@@ -1,0 +1,67 @@
+// Extension bench (paper Sec. 4-5 outlook): latency-insensitive repeater
+// planning across technology nodes. As feature size shrinks, the critical
+// length l_crit shrinks and -- more dramatically -- the wire length
+// reachable in one clock period collapses, so stateless buffers must be
+// progressively replaced by stateful relay stations (latches) that pipeline
+// the channel. The paper's Fig. 5 instance (the MPEG-4 decoder's critical
+// channels) is re-planned at 0.18u, 0.13u and 0.09u equivalents.
+//
+// The 0.18u row must degenerate to the paper's result: 55 repeaters, all
+// stateless, no added pipeline latency.
+#include <cstdio>
+
+#include "synth/latency_insensitive.hpp"
+#include "workloads/mpeg4_soc.hpp"
+
+int main() {
+  using namespace cdcs;
+  const model::ConstraintGraph cg = workloads::mpeg4_soc();
+
+  struct TechNode {
+    const char* name;
+    synth::DsmParams params;
+  };
+  // l_crit scales roughly with feature size; clock reach collapses faster
+  // because clock frequency rises as wires get slower per mm.
+  const TechNode nodes[] = {
+      {"0.18u", {.l_crit = 0.60, .clock_reach = 12.0, .buffer_cost = 1.0,
+                 .latch_cost = 3.0}},
+      {"0.13u", {.l_crit = 0.45, .clock_reach = 3.0, .buffer_cost = 1.0,
+                 .latch_cost = 3.0}},
+      {"0.09u", {.l_crit = 0.30, .clock_reach = 1.5, .buffer_cost = 1.0,
+                 .latch_cost = 3.0}},
+  };
+
+  std::puts("=== Latency-insensitive repeater planning, MPEG-4 decoder ===");
+  std::printf("%6s %8s %8s | %8s %8s %8s | %10s\n", "tech", "l_crit",
+              "reach", "buffers", "latches", "maxdepth", "cost");
+  int failures = 0;
+  for (const TechNode& node : nodes) {
+    const synth::DsmPlan plan = synth::dsm_plan(cg, node.params);
+    int max_depth = 0;
+    for (const synth::DsmPlanRow& row : plan.rows) {
+      max_depth = std::max(max_depth, row.segmentation.pipeline_depth);
+    }
+    std::printf("%6s %7.2f %8.1f | %8d %8d %8d | %10.0f\n", node.name,
+                node.params.l_crit, node.params.clock_reach,
+                plan.total_buffers, plan.total_latches, max_depth,
+                plan.total_cost);
+    if (std::string_view(node.name) == "0.18u") {
+      if (plan.total_buffers != 55 || plan.total_latches != 0) {
+        std::puts("FAIL: 0.18u row does not degenerate to Fig. 5's 55 "
+                  "stateless repeaters");
+        ++failures;
+      }
+    }
+  }
+
+  std::puts("\nPer-channel detail at 0.09u:");
+  const synth::DsmPlan dsm = synth::dsm_plan(cg, nodes[2].params);
+  for (const synth::DsmPlanRow& row : dsm.rows) {
+    std::printf("  %-22s d=%5.2f  buffers=%2d latches=%d depth=+%d cycles\n",
+                row.channel.c_str(), row.length, row.segmentation.buffers,
+                row.segmentation.latches, row.segmentation.pipeline_depth);
+  }
+  std::puts(failures == 0 ? "\nDSM extension: PASS" : "\nDSM extension: FAIL");
+  return failures == 0 ? 0 : 1;
+}

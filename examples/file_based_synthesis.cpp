@@ -1,0 +1,185 @@
+// File-driven synthesis: the command-line front end for users who want to
+// run the synthesizer on their own systems without writing C++.
+//
+//   ./file_based_synthesis [options] <constraint.graph> <comm.lib>
+//
+// Options:
+//   --policy sum|max         trunk capacity accounting (default: sum)
+//   --pivot min-d|any|max-i  Lemma 3.2 pivot rule (default: min-d)
+//   --max-k N                largest merging size considered (default: |A|)
+//   --lean                   drop unprofitable mergings from the UCP
+//   --no-chains              price only star merging structures
+//   --tables                 print the Gamma/Delta matrices (paper style)
+//   --delay WIRE NODE BUDGET per-length delay, per-node delay, and budget:
+//                            prints per-channel worst-path delays and flags
+//                            budget violations (the paper's clock-period
+//                            assumption check)
+//   --dot FILE               write the result as Graphviz DOT
+//   --save FILE              write the implementation graph (io format)
+//   --quiet                  suppress the full report (exit code only)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "io/dot.hpp"
+#include "io/impl_format.hpp"
+#include "io/report.hpp"
+#include "io/tables.hpp"
+#include "io/text_format.hpp"
+#include "sim/delay.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [options] <constraint.graph> <comm.lib>\n"
+         "  --policy sum|max   trunk capacity accounting (default sum)\n"
+         "  --pivot min-d|any|max-i   Lemma 3.2 pivot rule (default min-d)\n"
+         "  --max-k N          largest merging size considered\n"
+         "  --lean             drop unprofitable mergings\n"
+         "  --no-chains        star structures only\n"
+         "  --tables           print Gamma/Delta matrices\n"
+         "  --dot FILE         write Graphviz DOT\n"
+         "  --save FILE        write the implementation graph\n"
+         "  --quiet            suppress the report\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdcs;
+
+  synth::SynthesisOptions options;
+  bool print_tables = false;
+  bool quiet = false;
+  bool check_delay = false;
+  sim::DelayModel delay_model;
+  double delay_budget = 0.0;
+  std::string dot_file;
+  std::string save_file;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      const std::string_view v = next();
+      if (v == "sum") {
+        options.policy = model::CapacityPolicy::kSharedSum;
+      } else if (v == "max") {
+        options.policy = model::CapacityPolicy::kMaxPerConstraint;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--pivot") {
+      const std::string_view v = next();
+      if (v == "min-d") {
+        options.pivot_rule = synth::PivotRule::kMinDistance;
+      } else if (v == "any") {
+        options.pivot_rule = synth::PivotRule::kAnyPivot;
+      } else if (v == "max-i") {
+        options.pivot_rule = synth::PivotRule::kMaxIndex;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--max-k") {
+      options.max_merge_k = std::atoi(next());
+    } else if (arg == "--lean") {
+      options.drop_unprofitable = true;
+    } else if (arg == "--no-chains") {
+      options.enable_chain_topology = false;
+    } else if (arg == "--tables") {
+      print_tables = true;
+    } else if (arg == "--delay") {
+      delay_model.link_delay_per_length = std::atof(next());
+      delay_model.node_delay = std::atof(next());
+      delay_budget = std::atof(next());
+      check_delay = true;
+    } else if (arg == "--dot") {
+      dot_file = next();
+    } else if (arg == "--save") {
+      save_file = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.starts_with("--")) {
+      return usage(argv[0]);
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+  if (positional.size() != 2) return usage(argv[0]);
+
+  std::ifstream graph_file(positional[0]);
+  if (!graph_file) {
+    std::cerr << "cannot open constraint graph '" << positional[0] << "'\n";
+    return 2;
+  }
+  std::ifstream lib_file(positional[1]);
+  if (!lib_file) {
+    std::cerr << "cannot open library '" << positional[1] << "'\n";
+    return 2;
+  }
+
+  try {
+    const model::ConstraintGraph cg = io::read_constraint_graph(graph_file);
+    const commlib::Library lib = io::read_library(lib_file);
+
+    for (const std::string& problem : cg.validate()) {
+      std::cerr << "constraint graph: " << problem << '\n';
+    }
+    for (const std::string& problem : lib.validate()) {
+      std::cerr << "library: " << problem << '\n';
+    }
+
+    if (print_tables) {
+      std::cout << "Gamma (Constrained Distance Sum):\n"
+                << io::format_arc_pair_matrix(cg, synth::gamma_matrix(cg))
+                << "\nDelta (Merging Distance Sum):\n"
+                << io::format_arc_pair_matrix(cg, synth::delta_matrix(cg))
+                << '\n';
+    }
+
+    const synth::SynthesisResult result = synth::synthesize(cg, lib, options);
+    if (!quiet) std::cout << io::describe(result, cg, lib);
+
+    if (check_delay) {
+      const sim::DelayReport delays =
+          sim::analyze_delays(*result.implementation, delay_model);
+      std::cout << "\nChannel delays (worst path):\n";
+      for (const sim::ChannelDelay& c : delays.channels) {
+        std::cout << "  " << c.name << ": " << c.worst_path_delay << " ("
+                  << c.hops << " hops)"
+                  << (c.worst_path_delay > delay_budget ? "  ** OVER BUDGET"
+                                                        : "")
+                  << '\n';
+      }
+      const auto violations = delays.violations(delay_budget);
+      std::cout << violations.size() << " channel(s) over the "
+                << delay_budget << " budget\n";
+    }
+
+    if (!dot_file.empty()) {
+      std::ofstream dot(dot_file);
+      dot << io::to_dot(*result.implementation);
+      if (!quiet) std::cout << "wrote " << dot_file << '\n';
+    }
+    if (!save_file.empty()) {
+      std::ofstream save(save_file);
+      save << io::write_implementation(*result.implementation);
+      if (!quiet) std::cout << "wrote " << save_file << '\n';
+    }
+    return result.validation.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

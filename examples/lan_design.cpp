@@ -1,0 +1,32 @@
+// The introduction's LAN motivation: should a campus network be built from
+// fiber, wireless, or a mix? Wireless links are cheap but range- and
+// rate-limited; fiber costs per meter of trench but carries anything.
+// Synthesis answers per channel -- and discovers where several channels
+// should share one fiber trunk.
+#include <iostream>
+
+#include "baseline/baselines.hpp"
+#include "commlib/standard_libraries.hpp"
+#include "io/report.hpp"
+#include "synth/synthesizer.hpp"
+#include "workloads/lan.hpp"
+
+int main() {
+  using namespace cdcs;
+  const model::ConstraintGraph cg = workloads::campus_lan();
+  const commlib::Library lib = commlib::lan_library();
+
+  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  std::cout << io::describe(result, cg, lib);
+
+  // How much did exploring mergings/segmentations buy over naive
+  // point-to-point wiring?
+  const baseline::BaselineResult ptp =
+      baseline::point_to_point_baseline(cg, lib);
+  std::cout << "\nPoint-to-point baseline cost: " << ptp.cost
+            << "\nSynthesized cost:             " << result.total_cost
+            << "\nSaving:                       "
+            << (ptp.cost - result.total_cost) << " ("
+            << 100.0 * (ptp.cost - result.total_cost) / ptp.cost << "%)\n";
+  return result.validation.ok() ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+#include "baseline/baselines.hpp"
+
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "synth/chain_pricer.hpp"
+#include "synth/tree_pricer.hpp"
+#include "synth/ptp.hpp"
+
+namespace cdcs::baseline {
+namespace {
+
+/// Cost of implementing one group: point-to-point for singletons, the best
+/// of the star / daisy-chain / Steiner-tree merging structures otherwise
+/// (mirroring the candidate generator, so baseline-vs-pipeline comparisons
+/// are apples-to-apples); +infinity when unimplementable.
+double group_cost(const std::vector<model::ArcId>& group,
+                  const model::ConstraintGraph& cg,
+                  const commlib::Library& library,
+                  model::CapacityPolicy policy) {
+  if (group.size() == 1) {
+    return synth::best_point_to_point_cost(cg.distance(group.front()),
+                                           cg.bandwidth(group.front()),
+                                           library);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  if (const auto star = synth::price_merging(cg, library, group, policy)) {
+    best = std::min(best, star->cost);
+  }
+  if (const auto chain =
+          synth::price_chain_merging(cg, library, group, policy)) {
+    best = std::min(best, chain->cost);
+  }
+  if (const auto tree = synth::price_tree_merging(cg, library, group, policy)) {
+    best = std::min(best, tree->cost);
+  }
+  return best;
+}
+
+}  // namespace
+
+BaselineResult point_to_point_baseline(const model::ConstraintGraph& cg,
+                                       const commlib::Library& library) {
+  BaselineResult result;
+  for (model::ArcId a : cg.arcs()) {
+    const double c = synth::best_point_to_point_cost(cg.distance(a),
+                                                     cg.bandwidth(a), library);
+    if (!std::isfinite(c)) {
+      throw std::runtime_error("point_to_point_baseline: arc '" +
+                               cg.channel(a).name + "' is unimplementable");
+    }
+    result.groups.push_back({a});
+    result.cost += c;
+  }
+  return result;
+}
+
+BaselineResult greedy_merge_baseline(const model::ConstraintGraph& cg,
+                                     const commlib::Library& library,
+                                     model::CapacityPolicy policy) {
+  BaselineResult result = point_to_point_baseline(cg, library);
+  std::vector<double> costs;
+  costs.reserve(result.groups.size());
+  for (const auto& g : result.groups) {
+    costs.push_back(group_cost(g, cg, library, policy));
+  }
+
+  bool improved = true;
+  while (improved && result.groups.size() > 1) {
+    improved = false;
+    double best_saving = 1e-9;
+    std::size_t best_i = 0, best_j = 0;
+    double best_merged_cost = 0.0;
+    for (std::size_t i = 0; i < result.groups.size(); ++i) {
+      for (std::size_t j = i + 1; j < result.groups.size(); ++j) {
+        std::vector<model::ArcId> merged = result.groups[i];
+        merged.insert(merged.end(), result.groups[j].begin(),
+                      result.groups[j].end());
+        const double c = group_cost(merged, cg, library, policy);
+        const double saving = costs[i] + costs[j] - c;
+        if (saving > best_saving) {
+          best_saving = saving;
+          best_i = i;
+          best_j = j;
+          best_merged_cost = c;
+        }
+      }
+    }
+    if (best_saving > 1e-9) {
+      improved = true;
+      result.groups[best_i].insert(result.groups[best_i].end(),
+                                   result.groups[best_j].begin(),
+                                   result.groups[best_j].end());
+      costs[best_i] = best_merged_cost;
+      result.groups.erase(result.groups.begin() + best_j);
+      costs.erase(costs.begin() + best_j);
+    }
+  }
+  result.cost = 0.0;
+  for (double c : costs) result.cost += c;
+  return result;
+}
+
+BaselineResult exhaustive_partition_optimum(const model::ConstraintGraph& cg,
+                                            const commlib::Library& library,
+                                            model::CapacityPolicy policy,
+                                            std::size_t max_arcs) {
+  const std::vector<model::ArcId> arcs = cg.arcs();
+  if (arcs.size() > max_arcs) {
+    throw std::invalid_argument(
+        "exhaustive_partition_optimum: instance too large (" +
+        std::to_string(arcs.size()) + " arcs > " + std::to_string(max_arcs) +
+        ")");
+  }
+
+  BaselineResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  std::vector<std::vector<model::ArcId>> partition;
+  // Enumerates set partitions in restricted-growth order: arc i either joins
+  // an existing block or opens a new one.
+  const std::function<void(std::size_t, double)> recurse =
+      [&](std::size_t i, double cost_so_far) {
+        if (cost_so_far >= best.cost) return;  // blocks only get pricier
+        if (i == arcs.size()) {
+          double total = 0.0;
+          for (const auto& block : partition) {
+            total += group_cost(block, cg, library, policy);
+            if (total >= best.cost) return;
+          }
+          if (total < best.cost) {
+            best.cost = total;
+            best.groups = partition;
+          }
+          return;
+        }
+        for (std::size_t b = 0; b < partition.size(); ++b) {
+          partition[b].push_back(arcs[i]);
+          recurse(i + 1, cost_so_far);
+          partition[b].pop_back();
+        }
+        partition.push_back({arcs[i]});
+        recurse(i + 1, cost_so_far);
+        partition.pop_back();
+      };
+  recurse(0, 0.0);
+  return best;
+}
+
+}  // namespace cdcs::baseline

@@ -1,0 +1,105 @@
+#include "commlib/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cdcs::commlib {
+
+std::string_view to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kRepeater:
+      return "repeater";
+    case NodeKind::kMux:
+      return "mux";
+    case NodeKind::kDemux:
+      return "demux";
+    case NodeKind::kSwitch:
+      return "switch";
+  }
+  return "unknown";
+}
+
+LinkIndex Library::add_link(Link link) {
+  links_.push_back(std::move(link));
+  return links_.size() - 1;
+}
+
+NodeIndex Library::add_node(Node node) {
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+std::optional<LinkIndex> Library::find_link(std::string_view name) const {
+  for (LinkIndex i = 0; i < links_.size(); ++i) {
+    if (links_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeIndex> Library::find_node(std::string_view name) const {
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeIndex> Library::cheapest_node(NodeKind kind) const {
+  std::optional<NodeIndex> best;
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].can_act_as(kind)) continue;
+    if (!best || nodes_[i].cost < nodes_[*best].cost) best = i;
+  }
+  return best;
+}
+
+double Library::max_link_bandwidth() const {
+  double best = 0.0;
+  for (const Link& l : links_) best = std::max(best, l.bandwidth);
+  return best;
+}
+
+bool Library::linear_cost_model() const {
+  for (const Link& l : links_) {
+    if (!std::isinf(l.max_span) || l.fixed_cost != 0.0) return false;
+  }
+  return !links_.empty();
+}
+
+double Library::max_link_span() const {
+  double best = 0.0;
+  for (const Link& l : links_) best = std::max(best, l.max_span);
+  return best;
+}
+
+std::vector<std::string> Library::validate() const {
+  std::vector<std::string> problems;
+  if (links_.empty()) {
+    problems.push_back("library has no links; no channel can be implemented");
+  }
+  for (const Link& l : links_) {
+    if (l.bandwidth <= 0.0) {
+      problems.push_back("link '" + l.name + "' has non-positive bandwidth");
+    }
+    if (l.max_span <= 0.0) {
+      problems.push_back("link '" + l.name + "' has non-positive max span");
+    }
+    if (l.fixed_cost < 0.0 || l.cost_per_length < 0.0) {
+      problems.push_back("link '" + l.name + "' has a negative cost term");
+    }
+    if (std::isinf(l.max_span) && l.cost_per_length == 0.0 &&
+        l.fixed_cost == 0.0) {
+      problems.push_back("link '" + l.name +
+                         "' is unbounded and free; Assumption 2.1 requires "
+                         "positive implementation costs");
+    }
+  }
+  for (const Node& n : nodes_) {
+    if (n.cost < 0.0) {
+      problems.push_back("node '" + n.name + "' has negative cost");
+    }
+  }
+  return problems;
+}
+
+}  // namespace cdcs::commlib

@@ -1,0 +1,43 @@
+// Communication links (Def 2.2).
+//
+// A library link l is characterized by d(l) (longest channel it can realize),
+// b(l) (fastest channel it can realize), and a cost figure. The paper's two
+// application domains use two different pricing shapes:
+//
+//   * WAN/LAN links are length-priced families: "radio (11 Mbps, l, $2 x
+//     meter)" means any span is realizable at $2 per meter. Modeled with
+//     max_span = infinity and cost_per_length = 2 (per the library's length
+//     unit).
+//   * SoC wires are fixed-length segments: one metal wire of length l_crit
+//     whose "cost" in the repeater-minimization objective is carried by the
+//     repeater nodes, so the wire itself is free. Modeled with max_span =
+//     l_crit and both cost terms zero.
+//
+// The cost of instantiating a link over a concrete span s <= max_span is
+//     cost(s) = fixed_cost + cost_per_length * s.
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace cdcs::commlib {
+
+struct Link {
+  std::string name;
+  /// d(l): longest span one instance may cover. Infinity = length-priced family.
+  double max_span{std::numeric_limits<double>::infinity()};
+  /// b(l): bandwidth sustained by one instance, in the library's bandwidth unit.
+  double bandwidth{0.0};
+  /// Per-instance cost component (e.g. transceiver equipment).
+  double fixed_cost{0.0};
+  /// Cost per unit length of actually-used span.
+  double cost_per_length{0.0};
+
+  /// True when one instance can cover span `s`.
+  bool spans(double s) const { return s <= max_span; }
+
+  /// Cost of one instance cut to span `s`. Caller must ensure spans(s).
+  double cost(double s) const { return fixed_cost + cost_per_length * s; }
+};
+
+}  // namespace cdcs::commlib

@@ -1,0 +1,38 @@
+// Communication nodes (Def 2.2): repeaters, switches, muxes, demuxes.
+//
+// Nodes are the "active" library elements: a repeater joins two links in
+// series (arc segmentation), a mux/demux pair fans parallel links in/out
+// (arc duplication), and a switch is the general junction used where merged
+// trunks meet per-arc spurs (arc merging). Each node type has a single cost
+// c(n); node instances in an implementation graph map onto these via the
+// surjection psi of Def 2.4.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cdcs::commlib {
+
+enum class NodeKind {
+  kRepeater,  ///< receives and re-transmits the same data (2 ports)
+  kMux,       ///< merges multiple incoming links into one outgoing link
+  kDemux,     ///< splits one incoming link into multiple outgoing links
+  kSwitch,    ///< general router; can act as any of the above
+};
+
+std::string_view to_string(NodeKind kind);
+
+struct Node {
+  std::string name;
+  NodeKind kind{NodeKind::kRepeater};
+  double cost{0.0};
+
+  /// True when this node type can serve in the role `needed`. A switch can
+  /// stand in for any role (Sec. 2: "a switch, while being able to act as a
+  /// repeater, enables the connection of multiple links").
+  bool can_act_as(NodeKind needed) const {
+    return kind == needed || kind == NodeKind::kSwitch;
+  }
+};
+
+}  // namespace cdcs::commlib

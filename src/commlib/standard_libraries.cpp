@@ -1,0 +1,106 @@
+#include "commlib/standard_libraries.hpp"
+
+#include <limits>
+
+namespace cdcs::commlib {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Library wan_library() {
+  // Coordinates of the WAN workload are in kilometers, so the paper's
+  // "$2 x meter" / "$4 x meter" figures become $2000 and $4000 per km.
+  Library lib("wan-dac2002");
+  lib.add_link(Link{.name = "radio",
+                    .max_span = kInf,
+                    .bandwidth = 11.0,  // Mbps
+                    .fixed_cost = 0.0,
+                    .cost_per_length = 2000.0});  // $ per km
+  lib.add_link(Link{.name = "optical",
+                    .max_span = kInf,
+                    .bandwidth = 1000.0,  // 1 Gbps
+                    .fixed_cost = 0.0,
+                    .cost_per_length = 4000.0});  // $ per km
+  lib.add_node(Node{.name = "junction", .kind = NodeKind::kSwitch, .cost = 0.0});
+  return lib;
+}
+
+Library soc_library(double l_crit_mm) {
+  Library lib("soc-0.18u");
+  // A wire segment can sustain on-chip bandwidth over at most l_crit; cost is
+  // charged on the repeaters only (the figure of merit in Fig. 5 is the
+  // repeater count).
+  lib.add_link(Link{.name = "metal-wire",
+                    .max_span = l_crit_mm,
+                    .bandwidth = 1.0,  // normalized: one channel per wire
+                    .fixed_cost = 0.0,
+                    .cost_per_length = 0.0});
+  lib.add_node(
+      Node{.name = "inverter", .kind = NodeKind::kRepeater, .cost = 1.0});
+  lib.add_node(Node{.name = "mux", .kind = NodeKind::kMux, .cost = 1.0});
+  lib.add_node(Node{.name = "demux", .kind = NodeKind::kDemux, .cost = 1.0});
+  return lib;
+}
+
+Library noc_library(double l_crit_mm) {
+  Library lib("noc-mesh");
+  lib.add_link(Link{.name = "wire",
+                    .max_span = l_crit_mm,
+                    .bandwidth = 1.0,
+                    .fixed_cost = 0.0,
+                    .cost_per_length = 1.0});
+  lib.add_link(Link{.name = "bus4",
+                    .max_span = l_crit_mm,
+                    .bandwidth = 4.0,
+                    .fixed_cost = 0.0,
+                    .cost_per_length = 2.5});
+  lib.add_node(
+      Node{.name = "repeater", .kind = NodeKind::kRepeater, .cost = 0.2});
+  lib.add_node(Node{.name = "mux", .kind = NodeKind::kMux, .cost = 0.5});
+  lib.add_node(Node{.name = "demux", .kind = NodeKind::kDemux, .cost = 0.5});
+  lib.add_node(Node{.name = "switch", .kind = NodeKind::kSwitch, .cost = 1.0});
+  return lib;
+}
+
+Library mcm_library() {
+  Library lib("mcm-board");
+  lib.add_link(Link{.name = "pcb-x8",
+                    .max_span = 12.0,  // cm before the eye closes
+                    .bandwidth = 8.0,  // GB/s
+                    .fixed_cost = 0.6,  // connectors/vias per segment
+                    .cost_per_length = 0.25});
+  lib.add_link(Link{.name = "serdes",
+                    .max_span = 60.0,   // board-length reach
+                    .bandwidth = 32.0,  // GB/s
+                    .fixed_cost = 7.0,  // PHY pair + retimer budget
+                    .cost_per_length = 0.05});
+  lib.add_node(
+      Node{.name = "re-driver", .kind = NodeKind::kRepeater, .cost = 1.2});
+  lib.add_node(Node{.name = "mux", .kind = NodeKind::kMux, .cost = 2.0});
+  lib.add_node(Node{.name = "demux", .kind = NodeKind::kDemux, .cost = 2.0});
+  lib.add_node(Node{.name = "switch", .kind = NodeKind::kSwitch, .cost = 3.5});
+  return lib;
+}
+
+Library lan_library() {
+  Library lib("lan-fiber-vs-wireless");
+  // Wireless: no cabling, but per-endpoint radios, 54 Mbps, 300 m range.
+  lib.add_link(Link{.name = "wireless",
+                    .max_span = 300.0,   // meters
+                    .bandwidth = 54.0,   // Mbps
+                    .fixed_cost = 180.0,  // a pair of radios
+                    .cost_per_length = 0.0});
+  // Fiber: trenching dominates ($3/m) plus transceivers, 10 Gbps, any length.
+  lib.add_link(Link{.name = "fiber",
+                    .max_span = kInf,
+                    .bandwidth = 10000.0,  // Mbps
+                    .fixed_cost = 250.0,   // transceiver pair
+                    .cost_per_length = 3.0});
+  lib.add_node(Node{.name = "ap-repeater",
+                    .kind = NodeKind::kRepeater,
+                    .cost = 120.0});
+  lib.add_node(Node{.name = "switch", .kind = NodeKind::kSwitch, .cost = 400.0});
+  return lib;
+}
+
+}  // namespace cdcs::commlib

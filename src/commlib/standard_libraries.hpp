@@ -1,0 +1,50 @@
+// The concrete communication libraries used in the paper's Section 4
+// examples, plus a LAN library for the introduction's fiber-vs-wireless
+// motivation. Units are documented per library; all cost figures follow the
+// paper where the paper gives them.
+#pragma once
+
+#include "commlib/library.hpp"
+
+namespace cdcs::commlib {
+
+/// Example 1 (WAN). Length unit: meter; bandwidth unit: Mbps.
+///   radio link   l_r = (11 Mbps,  any length, $2 x meter)
+///   optical link l_o = (1 Gbps,   any length, $4 x meter)
+/// The paper's library lists no nodes; junction points of merged structures
+/// are modeled as zero-cost switches (a merging's economics in this domain
+/// live entirely in link mileage).
+Library wan_library();
+
+/// Example 2 (SoC repeater insertion). Length unit: millimeter; bandwidth
+/// unit: Gbps. One wire segment of length l_crit (default 0.6 mm for the
+/// paper's 0.18u process) plus optimally-sized inverter (repeater), mux and
+/// demux. The objective counts repeaters, so the repeater costs 1 and wires
+/// are free; mux/demux get the same unit cost (any stateless buffer counts).
+Library soc_library(double l_crit_mm = 0.6);
+
+/// NoC-style on-chip library (for the workloads::noc_mesh experiments).
+/// Length unit: millimeter; bandwidth unit: one link-wire's capacity.
+///   wire  -- a single routing track, l_crit-limited, cost ~ track length;
+///   bus4  -- a 4-wire shielded bundle: 4x the bandwidth at 2.5x the track
+///            cost per mm (the economy of scale that makes on-chip channel
+///            merging worthwhile, unlike the single-wire Fig. 5 library);
+///   repeater / mux / demux / switch with area costs.
+Library noc_library(double l_crit_mm = 0.6);
+
+/// Board-level library (for workloads::mcm_board). Length unit: centimeter;
+/// bandwidth unit: GB/s.
+///   pcb-x8   -- an 8-lane parallel PCB trace bundle: 8 GB/s, 12 cm reach
+///               before a re-driver, cheap per cm;
+///   serdes   -- a retimed serial link: 32 GB/s, board-length reach, pricey
+///               PHY pair per instance;
+///   re-driver / mux / demux / switch with part costs.
+Library mcm_library();
+
+/// Intro example: a LAN built from fiber-optic and wireless point-to-point
+/// links. Length unit: meter; bandwidth unit: Mbps. Wireless is cheap per
+/// meter but slow and range-limited; fiber is fast and unbounded but needs
+/// trenching (higher per-meter cost) plus per-endpoint equipment.
+Library lan_library();
+
+}  // namespace cdcs::commlib

@@ -1,0 +1,64 @@
+// Axis-aligned bounding box helper used by the workload generators (die /
+// service-area extents) and by the placement optimizers to bound their
+// search region: every optimal communication-vertex position lies inside the
+// bounding box of the terminals it serves (the objective is a nonnegative
+// combination of distances to terminals, each of which is non-decreasing as
+// the point leaves the box along either axis, for all supported norms).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace cdcs::geom {
+
+struct BBox {
+  double min_x{std::numeric_limits<double>::infinity()};
+  double min_y{std::numeric_limits<double>::infinity()};
+  double max_x{-std::numeric_limits<double>::infinity()};
+  double max_y{-std::numeric_limits<double>::infinity()};
+
+  constexpr bool empty() const { return min_x > max_x || min_y > max_y; }
+  constexpr double width() const { return empty() ? 0.0 : max_x - min_x; }
+  constexpr double height() const { return empty() ? 0.0 : max_y - min_y; }
+
+  constexpr void expand(Point2D p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grows the box by `margin` on every side.
+  constexpr void inflate(double margin) {
+    if (empty()) return;
+    min_x -= margin;
+    min_y -= margin;
+    max_x += margin;
+    max_y += margin;
+  }
+
+  constexpr bool contains(Point2D p) const {
+    return !empty() && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+           p.y <= max_y;
+  }
+
+  /// Nearest point of the box to `p` (identity when `p` is inside).
+  constexpr Point2D clamp(Point2D p) const {
+    return {std::clamp(p.x, min_x, max_x), std::clamp(p.y, min_y, max_y)};
+  }
+
+  constexpr Point2D center() const {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  template <typename Range>
+  static constexpr BBox of(const Range& points) {
+    BBox box;
+    for (const Point2D& p : points) box.expand(p);
+    return box;
+  }
+};
+
+}  // namespace cdcs::geom

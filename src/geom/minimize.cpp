@@ -1,0 +1,132 @@
+#include "geom/minimize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace cdcs::geom {
+
+MinimizeResult1D golden_section(const std::function<double(double)>& f,
+                                double lo, double hi, double tolerance,
+                                int max_iterations) {
+  if (lo > hi) std::swap(lo, hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  for (int it = 0; it < max_iterations && (b - a) > tolerance; ++it) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  const double x = (a + b) / 2.0;
+  return {x, f(x)};
+}
+
+namespace {
+
+MinimizeResult2D nelder_mead_once(const std::function<double(Point2D)>& f,
+                                  Point2D start, double step,
+                                  double tolerance, int max_iterations) {
+  struct Vertex {
+    Point2D p;
+    double value;
+  };
+  std::array<Vertex, 3> simplex = {
+      Vertex{start, f(start)},
+      Vertex{start + Point2D{step, 0.0}, f(start + Point2D{step, 0.0})},
+      Vertex{start + Point2D{0.0, step}, f(start + Point2D{0.0, step})},
+  };
+  auto by_value = [](const Vertex& a, const Vertex& b) {
+    return a.value < b.value;
+  };
+
+  for (int it = 0; it < max_iterations; ++it) {
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    const Vertex& best = simplex[0];
+    Vertex& worst = simplex[2];
+    const double size = std::sqrt(std::max(
+        squared_length(simplex[1].p - best.p),
+        squared_length(worst.p - best.p)));
+    if (size < tolerance) break;
+
+    const Point2D centroid = (simplex[0].p + simplex[1].p) / 2.0;
+    const Point2D reflected = centroid + (centroid - worst.p);
+    const double fr = f(reflected);
+    if (fr < best.value) {
+      const Point2D expanded = centroid + 2.0 * (centroid - worst.p);
+      const double fe = f(expanded);
+      worst = fe < fr ? Vertex{expanded, fe} : Vertex{reflected, fr};
+    } else if (fr < simplex[1].value) {
+      worst = {reflected, fr};
+    } else {
+      const Point2D contracted = centroid + 0.5 * (worst.p - centroid);
+      const double fc = f(contracted);
+      if (fc < worst.value) {
+        worst = {contracted, fc};
+      } else {
+        // Shrink toward the best vertex.
+        for (int i = 1; i < 3; ++i) {
+          simplex[i].p = best.p + 0.5 * (simplex[i].p - best.p);
+          simplex[i].value = f(simplex[i].p);
+        }
+      }
+    }
+  }
+  std::sort(simplex.begin(), simplex.end(), by_value);
+  return {simplex[0].p, simplex[0].value};
+}
+
+}  // namespace
+
+MinimizeResult2D nelder_mead(const std::function<double(Point2D)>& f,
+                             Point2D start, const NelderMeadOptions& options) {
+  MinimizeResult2D best = nelder_mead_once(
+      f, start, options.initial_step, options.tolerance,
+      options.max_iterations);
+  double step = options.initial_step;
+  for (int r = 0; r < options.restarts; ++r) {
+    step *= 0.25;
+    const MinimizeResult2D next = nelder_mead_once(
+        f, best.x, std::max(step, 16 * options.tolerance), options.tolerance,
+        options.max_iterations);
+    if (next.value < best.value) best = next;
+  }
+  return best;
+}
+
+MinimizeResult2D minimize_in_box(const std::function<double(Point2D)>& f,
+                                 const BBox& box, int samples,
+                                 const NelderMeadOptions& options) {
+  MinimizeResult2D best{box.center(), f(box.center())};
+  const int n = std::max(samples, 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Point2D p{
+          box.min_x + box.width() * i / (n - 1),
+          box.min_y + box.height() * j / (n - 1)};
+      const double v = f(p);
+      if (v < best.value) best = {p, v};
+    }
+  }
+  NelderMeadOptions polish = options;
+  polish.initial_step =
+      std::max({box.width(), box.height(), 1.0}) / (2.0 * n);
+  const MinimizeResult2D polished = nelder_mead(f, best.x, polish);
+  return polished.value < best.value ? polished : best;
+}
+
+}  // namespace cdcs::geom

@@ -1,0 +1,52 @@
+// Derivative-free minimizers used by the merging pricer.
+//
+// These are deliberately small, dependency-free routines: the placement
+// subproblems in this library are low-dimensional (1-D line searches and 2-D
+// point placements over convex objectives), so a golden-section search and a
+// Nelder-Mead simplex with restarts are exact enough to price candidates to
+// well below library cost granularity.
+#pragma once
+
+#include <functional>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace cdcs::geom {
+
+struct MinimizeResult1D {
+  double x{0.0};
+  double value{0.0};
+};
+
+/// Golden-section search for a unimodal f on [lo, hi].
+MinimizeResult1D golden_section(const std::function<double(double)>& f,
+                                double lo, double hi, double tolerance = 1e-10,
+                                int max_iterations = 200);
+
+struct MinimizeResult2D {
+  Point2D x;
+  double value{0.0};
+};
+
+struct NelderMeadOptions {
+  double initial_step = 1.0;    ///< simplex edge length around the start point
+  double tolerance = 1e-10;     ///< convergence threshold on simplex size
+  int max_iterations = 500;
+  int restarts = 2;             ///< re-seed simplex at the incumbent optimum
+};
+
+/// Nelder-Mead simplex minimization of f over R^2 starting at `start`.
+/// For the convex distance-sum objectives used here, restarting the simplex
+/// at the incumbent removes the classic premature-collapse failure mode.
+MinimizeResult2D nelder_mead(const std::function<double(Point2D)>& f,
+                             Point2D start, const NelderMeadOptions& options = {});
+
+/// Minimizes f over a grid of `samples x samples` points of `box`, then
+/// polishes the best sample with Nelder-Mead. Robust global-ish minimizer for
+/// the small bounded placement problems (optimum lies in the terminal bbox).
+MinimizeResult2D minimize_in_box(const std::function<double(Point2D)>& f,
+                                 const BBox& box, int samples = 8,
+                                 const NelderMeadOptions& options = {});
+
+}  // namespace cdcs::geom

@@ -1,0 +1,34 @@
+// Geometric norms ||p(u) - p(v)|| (Sec. 2 of the paper).
+//
+// Definition 2.1 requires d(a) to be consistent with the vertex positions but
+// leaves the distance notion application-specific: Euclidean for the WAN/LAN
+// examples, Manhattan for the on-chip example. A Norm value is carried by
+// every ConstraintGraph so that all derived quantities (the Delta matrix of
+// Table 2, the merging-pricer objective, segmentation lengths) use the same
+// metric as the arc lengths.
+#pragma once
+
+#include <string_view>
+
+#include "geom/point.hpp"
+
+namespace cdcs::geom {
+
+enum class Norm {
+  kEuclidean,  ///< L2: sqrt(dx^2 + dy^2) -- WAN/LAN domains.
+  kManhattan,  ///< L1: |dx| + |dy|       -- on-chip wiring domain.
+  kChebyshev,  ///< Linf: max(|dx|, |dy|) -- e.g. diagonal-routing fabrics.
+};
+
+/// Distance between two points under the given norm.
+double distance(Point2D a, Point2D b, Norm norm);
+
+/// Length of the displacement vector under the given norm.
+double length(Point2D v, Norm norm);
+
+std::string_view to_string(Norm norm);
+
+/// Parses "euclidean" / "manhattan" / "chebyshev"; throws std::invalid_argument.
+Norm norm_from_string(std::string_view name);
+
+}  // namespace cdcs::geom

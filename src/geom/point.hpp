@@ -1,0 +1,64 @@
+// Point2D: the positions p(v) attached to constraint-graph vertices (Def 2.1).
+//
+// The paper leaves the embedding space abstract ("the plane or in space");
+// both application examples (WAN, SoC) are planar, so the library works in
+// R^2 throughout. All coordinates are in the application's length unit
+// (kilometers for the WAN example, millimeters for the SoC example).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace cdcs::geom {
+
+struct Point2D {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr Point2D operator+(Point2D a, Point2D b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point2D operator-(Point2D a, Point2D b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point2D operator*(double s, Point2D p) {
+    return {s * p.x, s * p.y};
+  }
+  friend constexpr Point2D operator*(Point2D p, double s) { return s * p; }
+  friend constexpr Point2D operator/(Point2D p, double s) {
+    return {p.x / s, p.y / s};
+  }
+  constexpr Point2D& operator+=(Point2D o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Point2D& operator-=(Point2D o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Point2D a, Point2D b) = default;
+};
+
+/// Linear interpolation between two points; t in [0,1] moves a -> b.
+constexpr Point2D lerp(Point2D a, Point2D b, double t) {
+  return {(1.0 - t) * a.x + t * b.x, (1.0 - t) * a.y + t * b.y};
+}
+
+/// Squared Euclidean norm of the displacement; cheap helper used by the
+/// placement optimizers to avoid a sqrt in convergence checks.
+constexpr double squared_length(Point2D p) { return p.x * p.x + p.y * p.y; }
+
+/// True when two points coincide up to `eps` in each coordinate.
+constexpr bool almost_equal(Point2D a, Point2D b, double eps = 1e-9) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return (dx < eps && dx > -eps) && (dy < eps && dy > -eps);
+}
+
+std::ostream& operator<<(std::ostream& os, Point2D p);
+
+}  // namespace cdcs::geom

@@ -1,0 +1,41 @@
+// Weighted geometric-median ("Fermat-Weber") solvers.
+//
+// The cost of a candidate k-way merging (Sec. 3: "a simple nonlinear
+// optimization problem, which computes also their costs") reduces to placing
+// one or two communication vertices so that a nonnegative weighted sum of
+// distances to fixed terminals is minimized. The single-point subproblem is
+// the classic Fermat-Weber problem:
+//
+//     minimize_x  sum_i w_i * || x - t_i ||
+//
+// * Euclidean norm: Weiszfeld's iteration, with the standard fix-up for
+//   iterates that land exactly on a terminal (Kuhn's modification).
+// * Manhattan norm: the problem separates per coordinate and the exact
+//   optimum is the weighted median of the terminal coordinates.
+// * Chebyshev norm: solved by the derivative-free minimizer in minimize.hpp.
+#pragma once
+
+#include <span>
+
+#include "geom/norm.hpp"
+#include "geom/point.hpp"
+
+namespace cdcs::geom {
+
+struct WeiszfeldOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-10;  ///< convergence threshold on iterate movement
+};
+
+/// Value of the Fermat-Weber objective at x.
+double fermat_weber_cost(Point2D x, std::span<const Point2D> terminals,
+                         std::span<const double> weights, Norm norm);
+
+/// Minimizes sum_i w_i * ||x - t_i|| over x. Weights must be nonnegative and
+/// `weights.size() == terminals.size()`; throws std::invalid_argument
+/// otherwise. With no terminals (or all-zero weights) returns the origin.
+Point2D weighted_geometric_median(std::span<const Point2D> terminals,
+                                  std::span<const double> weights, Norm norm,
+                                  const WeiszfeldOptions& options = {});
+
+}  // namespace cdcs::geom

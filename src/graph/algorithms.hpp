@@ -1,0 +1,200 @@
+// Graph algorithms over Digraph: traversal, shortest paths, connectivity.
+//
+// The implementation-graph validator uses BFS reachability and Dijkstra
+// (min-cost / max-bottleneck path searches) to check Def 2.4; the flow
+// validator and the DOT writer use component and ordering queries. All
+// algorithms are generic over the payload types and take the arc weight as a
+// callable so the same routine serves length, cost, and bandwidth queries.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace cdcs::graph {
+
+/// Vertices reachable from `start` following arc direction (including start).
+template <typename VP, typename AP>
+std::vector<bool> reachable_from(const Digraph<VP, AP>& g, VertexId start) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> stack{start};
+  seen[start.index()] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (ArcId a : g.out_arcs(v)) {
+      const VertexId w = g.target(a);
+      if (!seen[w.index()]) {
+        seen[w.index()] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+/// Result of a single-source shortest-path run. `arc_into[v]` is the arc used
+/// to reach v on the best path (invalid for unreached vertices and the source).
+struct ShortestPaths {
+  std::vector<double> distance;
+  std::vector<ArcId> arc_into;
+
+  bool reached(VertexId v) const {
+    return distance[v.index()] < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Dijkstra with a caller-supplied nonnegative arc weight. `allowed` (when
+/// non-null, sized num_vertices) masks which vertices may be traversed; the
+/// validator uses it to forbid paths through computational vertices (Def 2.4
+/// condition 1).
+template <typename VP, typename AP, typename WeightFn>
+ShortestPaths dijkstra(const Digraph<VP, AP>& g, VertexId source,
+                       WeightFn&& weight,
+                       const std::vector<bool>* allowed = nullptr) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ShortestPaths result{std::vector<double>(g.num_vertices(), kInf),
+                       std::vector<ArcId>(g.num_vertices(), ArcId{})};
+  using Entry = std::pair<double, VertexId>;
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  result.distance[source.index()] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > result.distance[v.index()]) continue;  // stale entry
+    for (ArcId a : g.out_arcs(v)) {
+      const VertexId w = g.target(a);
+      if (allowed != nullptr && !(*allowed)[w.index()]) continue;
+      const double nd = d + weight(a);
+      if (nd < result.distance[w.index()]) {
+        result.distance[w.index()] = nd;
+        result.arc_into[w.index()] = a;
+        heap.push({nd, w});
+      }
+    }
+  }
+  return result;
+}
+
+/// Reconstructs the arc sequence of the best path source -> v found by
+/// dijkstra. Empty when v was not reached (or v == source).
+template <typename VP, typename AP>
+std::vector<ArcId> extract_path(const Digraph<VP, AP>& g,
+                                const ShortestPaths& sp, VertexId v) {
+  std::vector<ArcId> path;
+  if (!sp.reached(v)) return path;
+  VertexId cur = v;
+  while (sp.arc_into[cur.index()].valid()) {
+    const ArcId a = sp.arc_into[cur.index()];
+    path.push_back(a);
+    cur = g.source(a);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Widest-path ("max bottleneck bandwidth") from source: maximizes the
+/// minimum arc capacity along the path. Used by the Def 2.4 validator to find
+/// the most capable residual path for each constraint arc.
+template <typename VP, typename AP, typename CapFn>
+ShortestPaths widest_paths(const Digraph<VP, AP>& g, VertexId source,
+                           CapFn&& capacity,
+                           const std::vector<bool>* allowed = nullptr) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // distance[] holds the negated bottleneck so that "smaller is better"
+  // bookkeeping is shared with dijkstra consumers; callers should use
+  // bottleneck_of() below.
+  ShortestPaths result{std::vector<double>(g.num_vertices(), kInf),
+                       std::vector<ArcId>(g.num_vertices(), ArcId{})};
+  std::vector<double> best(g.num_vertices(), 0.0);
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry> heap;  // max-heap on bottleneck
+  best[source.index()] = kInf;
+  result.distance[source.index()] = -kInf;
+  heap.push({kInf, source});
+  while (!heap.empty()) {
+    const auto [b, v] = heap.top();
+    heap.pop();
+    if (b < best[v.index()]) continue;
+    for (ArcId a : g.out_arcs(v)) {
+      const VertexId w = g.target(a);
+      if (allowed != nullptr && !(*allowed)[w.index()]) continue;
+      const double nb = std::min(b, capacity(a));
+      if (nb > best[w.index()]) {
+        best[w.index()] = nb;
+        result.distance[w.index()] = -nb;
+        result.arc_into[w.index()] = a;
+        heap.push({nb, w});
+      }
+    }
+  }
+  return result;
+}
+
+/// Bottleneck value recorded by widest_paths for vertex v (0 if unreached).
+inline double bottleneck_of(const ShortestPaths& sp, VertexId v) {
+  const double d = sp.distance[v.index()];
+  return d == std::numeric_limits<double>::infinity() ? 0.0 : -d;
+}
+
+/// Weakly-connected component label per vertex, labels dense from 0.
+template <typename VP, typename AP>
+std::vector<int> weak_components(const Digraph<VP, AP>& g) {
+  std::vector<int> comp(g.num_vertices(), -1);
+  int next = 0;
+  for (std::uint32_t s = 0; s < g.num_vertices(); ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next;
+    std::vector<VertexId> stack{VertexId{s}};
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](VertexId w) {
+        if (comp[w.index()] == -1) {
+          comp[w.index()] = next;
+          stack.push_back(w);
+        }
+      };
+      for (ArcId a : g.out_arcs(v)) visit(g.target(a));
+      for (ArcId a : g.in_arcs(v)) visit(g.source(a));
+    }
+    ++next;
+  }
+  return comp;
+}
+
+/// Topological order of vertices; empty when the graph has a directed cycle.
+template <typename VP, typename AP>
+std::vector<VertexId> topological_order(const Digraph<VP, AP>& g) {
+  std::vector<std::size_t> indegree(g.num_vertices(), 0);
+  g.for_each_arc([&](ArcId a) { ++indegree[g.target(a).index()]; });
+  std::vector<VertexId> order;
+  order.reserve(g.num_vertices());
+  std::vector<VertexId> ready;
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    if (indegree[v] == 0) ready.push_back(VertexId{v});
+  }
+  while (!ready.empty()) {
+    const VertexId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (ArcId a : g.out_arcs(v)) {
+      const VertexId w = g.target(a);
+      if (--indegree[w.index()] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != g.num_vertices()) order.clear();
+  return order;
+}
+
+template <typename VP, typename AP>
+bool has_cycle(const Digraph<VP, AP>& g) {
+  return g.num_vertices() != 0 && topological_order(g).empty();
+}
+
+}  // namespace cdcs::graph

@@ -1,0 +1,142 @@
+// Minimal directed-graph substrate.
+//
+// Both the constraint graph (Def 2.1) and the implementation graph (Def 2.4)
+// are directed graphs with per-vertex and per-arc payloads. No external graph
+// library is assumed; this header provides an append-only adjacency-list
+// digraph with strongly-typed ids. Append-only is a deliberate invariant:
+// synthesis never deletes model elements (candidate structures are built in
+// fresh graphs instead), so ids stay dense and stable, which lets every other
+// module use plain vectors indexed by id.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace cdcs::graph {
+
+/// Strongly-typed index. Tag disambiguates vertex vs arc ids at compile time.
+template <typename Tag>
+struct Id {
+  std::uint32_t value{kInvalid};
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr std::size_t index() const { return value; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct VertexTag {};
+struct ArcTag {};
+using VertexId = Id<VertexTag>;
+using ArcId = Id<ArcTag>;
+
+/// Directed graph with vertex payload VP and arc payload AP.
+template <typename VP, typename AP>
+class Digraph {
+ public:
+  struct Arc {
+    VertexId source;
+    VertexId target;
+    AP payload;
+  };
+
+  VertexId add_vertex(VP payload = VP{}) {
+    vertices_.push_back(std::move(payload));
+    out_.emplace_back();
+    in_.emplace_back();
+    return VertexId{static_cast<std::uint32_t>(vertices_.size() - 1)};
+  }
+
+  ArcId add_arc(VertexId source, VertexId target, AP payload = AP{}) {
+    check_vertex(source);
+    check_vertex(target);
+    arcs_.push_back(Arc{source, target, std::move(payload)});
+    const ArcId id{static_cast<std::uint32_t>(arcs_.size() - 1)};
+    out_[source.index()].push_back(id);
+    in_[target.index()].push_back(id);
+    return id;
+  }
+
+  std::size_t num_vertices() const { return vertices_.size(); }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  VP& vertex(VertexId v) {
+    check_vertex(v);
+    return vertices_[v.index()];
+  }
+  const VP& vertex(VertexId v) const {
+    check_vertex(v);
+    return vertices_[v.index()];
+  }
+
+  Arc& arc(ArcId a) {
+    check_arc(a);
+    return arcs_[a.index()];
+  }
+  const Arc& arc(ArcId a) const {
+    check_arc(a);
+    return arcs_[a.index()];
+  }
+
+  VertexId source(ArcId a) const { return arc(a).source; }
+  VertexId target(ArcId a) const { return arc(a).target; }
+
+  const std::vector<ArcId>& out_arcs(VertexId v) const {
+    check_vertex(v);
+    return out_[v.index()];
+  }
+  const std::vector<ArcId>& in_arcs(VertexId v) const {
+    check_vertex(v);
+    return in_[v.index()];
+  }
+
+  std::size_t out_degree(VertexId v) const { return out_arcs(v).size(); }
+  std::size_t in_degree(VertexId v) const { return in_arcs(v).size(); }
+
+  /// Visits every vertex id in insertion order.
+  template <typename F>
+  void for_each_vertex(F&& f) const {
+    for (std::uint32_t i = 0; i < vertices_.size(); ++i) f(VertexId{i});
+  }
+
+  /// Visits every arc id in insertion order.
+  template <typename F>
+  void for_each_arc(F&& f) const {
+    for (std::uint32_t i = 0; i < arcs_.size(); ++i) f(ArcId{i});
+  }
+
+ private:
+  void check_vertex(VertexId v) const {
+    if (!v.valid() || v.index() >= vertices_.size()) {
+      throw std::out_of_range("Digraph: invalid vertex id");
+    }
+  }
+  void check_arc(ArcId a) const {
+    if (!a.valid() || a.index() >= arcs_.size()) {
+      throw std::out_of_range("Digraph: invalid arc id");
+    }
+  }
+
+  std::vector<VP> vertices_;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<ArcId>> out_;
+  std::vector<std::vector<ArcId>> in_;
+};
+
+}  // namespace cdcs::graph
+
+template <typename Tag>
+struct std::hash<cdcs::graph::Id<Tag>> {
+  std::size_t operator()(cdcs::graph::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,63 @@
+#include "io/dot.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace cdcs::io {
+namespace {
+
+constexpr std::array<const char*, 4> kLinkStyles = {"dashed", "solid",
+                                                    "dotted", "bold"};
+
+std::string pos_attr(geom::Point2D p) {
+  std::ostringstream os;
+  os << "pos=\"" << p.x << ',' << p.y << "!\"";
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const model::ConstraintGraph& cg) {
+  std::ostringstream os;
+  os << "digraph constraints {\n  node [shape=ellipse];\n";
+  for (model::VertexId v : cg.ports()) {
+    os << "  v" << v.index() << " [label=\"" << cg.port(v).name << "\", "
+       << pos_attr(cg.position(v)) << "];\n";
+  }
+  for (model::ArcId a : cg.arcs()) {
+    os << "  v" << cg.source(a).index() << " -> v" << cg.target(a).index()
+       << " [label=\"" << cg.channel(a).name << " d=" << cg.distance(a)
+       << " b=" << cg.bandwidth(a) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const model::ImplementationGraph& impl) {
+  const auto& cg = impl.constraints();
+  const auto& lib = impl.library();
+  std::ostringstream os;
+  os << "digraph implementation {\n";
+  for (std::size_t i = 0; i < impl.num_vertices(); ++i) {
+    const model::VertexId v{static_cast<std::uint32_t>(i)};
+    if (impl.is_computational(v)) {
+      os << "  v" << i << " [shape=ellipse, label=\"" << cg.port(v).name
+         << "\", " << pos_attr(impl.position(v)) << "];\n";
+    } else {
+      os << "  v" << i << " [shape=box, label=\""
+         << lib.node(impl.comm_vertex(v).node).name << "\", "
+         << pos_attr(impl.position(v)) << "];\n";
+    }
+  }
+  for (std::size_t i = 0; i < impl.num_link_arcs(); ++i) {
+    const model::ArcId a{static_cast<std::uint32_t>(i)};
+    const auto& la = impl.link_arc(a);
+    os << "  v" << impl.arc_source(a).index() << " -> v"
+       << impl.arc_target(a).index() << " [label=\"" << lib.link(la.link).name
+       << "\", style=" << kLinkStyles[la.link % kLinkStyles.size()] << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cdcs::io

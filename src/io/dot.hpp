@@ -1,0 +1,20 @@
+// Graphviz DOT export for constraint and implementation graphs -- the
+// library's equivalent of the paper's Figures 1, 3, 4 and 5 drawings.
+#pragma once
+
+#include <string>
+
+#include "model/implementation_graph.hpp"
+
+namespace cdcs::io {
+
+/// Ports as ellipses at their positions, channels annotated "d / b".
+std::string to_dot(const model::ConstraintGraph& cg);
+
+/// Computational vertices as ellipses, communication vertices as boxes
+/// labeled with their library node, link arcs labeled with their library
+/// link and styled per link index (solid/dashed/dotted, as Fig. 4 uses solid
+/// for the optical trunk and dash-dot for radio links).
+std::string to_dot(const model::ImplementationGraph& impl);
+
+}  // namespace cdcs::io

@@ -1,0 +1,158 @@
+#include "io/impl_format.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cdcs::io {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("line " + std::to_string(line) + ": " + message);
+}
+
+bool tokenize(const std::string& line, std::vector<std::string>& tokens) {
+  tokens.clear();
+  std::istringstream is(line.substr(0, line.find('#')));
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return !tokens.empty();
+}
+
+std::size_t parse_index(const std::string& tok, int line) {
+  try {
+    return std::stoul(tok);
+  } catch (const std::exception&) {
+    fail(line, "bad index '" + tok + "'");
+  }
+}
+
+double parse_num(const std::string& tok, int line) {
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    fail(line, "bad number '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+std::string write_implementation(const model::ImplementationGraph& impl) {
+  const auto& cg = impl.constraints();
+  const auto& lib = impl.library();
+  std::ostringstream os;
+  os.precision(17);
+  os << "implementation\n";
+  for (std::size_t i = cg.num_ports(); i < impl.num_vertices(); ++i) {
+    const model::VertexId v{static_cast<std::uint32_t>(i)};
+    const auto& cv = impl.comm_vertex(v);
+    os << "comm_vertex " << i << ' ' << lib.node(cv.node).name << ' '
+       << cv.position.x << ' ' << cv.position.y << '\n';
+  }
+  for (std::size_t i = 0; i < impl.num_link_arcs(); ++i) {
+    const model::ArcId a{static_cast<std::uint32_t>(i)};
+    os << "link_arc " << i << ' ' << impl.arc_source(a).index() << ' '
+       << impl.arc_target(a).index() << ' '
+       << lib.link(impl.link_arc(a).link).name << '\n';
+  }
+  for (model::ArcId ca : cg.arcs()) {
+    for (const model::Path& q : impl.arc_implementation(ca)) {
+      os << "path " << cg.channel(ca).name;
+      for (model::ArcId la : q.arcs) os << ' ' << la.index();
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::unique_ptr<model::ImplementationGraph> read_implementation(
+    std::istream& in, const model::ConstraintGraph& cg,
+    const commlib::Library& library) {
+  auto impl = std::make_unique<model::ImplementationGraph>(cg, library);
+
+  std::map<std::string, model::ArcId> channel_by_name;
+  for (model::ArcId a : cg.arcs()) {
+    channel_by_name.emplace(cg.channel(a).name, a);
+  }
+
+  std::string line;
+  int lineno = 0;
+  bool header_seen = false;
+  std::size_t next_vertex = cg.num_ports();
+  std::size_t next_arc = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> t;
+    if (!tokenize(line, t)) continue;
+    if (t[0] == "implementation") {
+      header_seen = true;
+    } else if (t[0] == "comm_vertex") {
+      if (t.size() != 5) fail(lineno, "comm_vertex takes: index node x y");
+      if (parse_index(t[1], lineno) != next_vertex) {
+        fail(lineno, "comm_vertex index mismatch (expected " +
+                         std::to_string(next_vertex) + ")");
+      }
+      const auto node = library.find_node(t[2]);
+      if (!node) fail(lineno, "unknown node '" + t[2] + "'");
+      impl->add_comm_vertex(
+          *node, {parse_num(t[3], lineno), parse_num(t[4], lineno)});
+      ++next_vertex;
+    } else if (t[0] == "link_arc") {
+      if (t.size() != 5) fail(lineno, "link_arc takes: index src dst link");
+      if (parse_index(t[1], lineno) != next_arc) {
+        fail(lineno, "link_arc index mismatch (expected " +
+                         std::to_string(next_arc) + ")");
+      }
+      const std::size_t src = parse_index(t[2], lineno);
+      const std::size_t dst = parse_index(t[3], lineno);
+      if (src >= impl->num_vertices() || dst >= impl->num_vertices()) {
+        fail(lineno, "link_arc endpoint out of range");
+      }
+      const auto link = library.find_link(t[4]);
+      if (!link) fail(lineno, "unknown link '" + t[4] + "'");
+      try {
+        impl->add_link_arc(model::VertexId{static_cast<std::uint32_t>(src)},
+                           model::VertexId{static_cast<std::uint32_t>(dst)},
+                           *link);
+      } catch (const std::invalid_argument& e) {
+        fail(lineno, e.what());
+      }
+      ++next_arc;
+    } else if (t[0] == "path") {
+      if (t.size() < 3) fail(lineno, "path takes: channel arc-indices...");
+      const auto channel = channel_by_name.find(t[1]);
+      if (channel == channel_by_name.end()) {
+        fail(lineno, "unknown channel '" + t[1] + "'");
+      }
+      model::Path path;
+      for (std::size_t i = 2; i < t.size(); ++i) {
+        const std::size_t idx = parse_index(t[i], lineno);
+        if (idx >= impl->num_link_arcs()) {
+          fail(lineno, "path references unknown link arc");
+        }
+        path.arcs.push_back(model::ArcId{static_cast<std::uint32_t>(idx)});
+      }
+      try {
+        impl->register_path(channel->second, std::move(path));
+      } catch (const std::invalid_argument& e) {
+        fail(lineno, e.what());
+      }
+    } else {
+      fail(lineno, "unknown directive '" + t[0] + "'");
+    }
+  }
+  if (!header_seen) {
+    throw std::runtime_error("missing 'implementation' header");
+  }
+  return impl;
+}
+
+std::unique_ptr<model::ImplementationGraph> read_implementation_from_string(
+    const std::string& text, const model::ConstraintGraph& cg,
+    const commlib::Library& library) {
+  std::istringstream is(text);
+  return read_implementation(is, cg, library);
+}
+
+}  // namespace cdcs::io

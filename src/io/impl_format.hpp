@@ -1,0 +1,42 @@
+// Plain-text serialization of implementation graphs, so synthesis results
+// can be stored, diffed, and reloaded for analysis without re-running the
+// synthesizer. The format references the constraint graph's channel names
+// and the library's element names, both of which must be supplied when
+// reading (an implementation graph is only meaningful relative to its
+// constraint graph and library -- Def 2.4).
+//
+// Format (one directive per line, '#' comments):
+//     implementation
+//     comm_vertex <index> <node-name> <x> <y>
+//     link_arc <index> <src-vertex> <dst-vertex> <link-name>
+//     path <channel-name> <link-arc-index>...
+//
+// Vertex indices 0..|V|-1 are the computational vertices (in constraint-
+// graph order); communication vertices continue from |V|. Indices are
+// written explicitly and verified on read so files remain diffable and
+// corruption is caught early.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "model/implementation_graph.hpp"
+
+namespace cdcs::io {
+
+std::string write_implementation(const model::ImplementationGraph& impl);
+
+/// Parses and reconstructs an implementation graph over (cg, library).
+/// Throws std::runtime_error with a line-numbered message on malformed
+/// input, unknown element names, index mismatches, or paths that violate
+/// the Def 2.4 shape checks enforced by register_path.
+std::unique_ptr<model::ImplementationGraph> read_implementation(
+    std::istream& in, const model::ConstraintGraph& cg,
+    const commlib::Library& library);
+
+std::unique_ptr<model::ImplementationGraph> read_implementation_from_string(
+    const std::string& text, const model::ConstraintGraph& cg,
+    const commlib::Library& library);
+
+}  // namespace cdcs::io

@@ -1,0 +1,100 @@
+#include "io/report.hpp"
+
+#include <sstream>
+
+namespace cdcs::io {
+namespace {
+
+std::string arc_list(const std::vector<model::ArcId>& arcs,
+                     const model::ConstraintGraph& cg) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (i > 0) os << ',';
+    os << cg.channel(arcs[i]).name;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string plan_summary(const synth::PtpPlan& plan,
+                         const commlib::Library& lib) {
+  std::ostringstream os;
+  os << lib.link(plan.link).name;
+  if (plan.segments > 1) os << " x" << plan.segments << " segments";
+  if (plan.parallel > 1) os << " x" << plan.parallel << " parallel";
+  return os.str();
+}
+
+}  // namespace
+
+std::string describe_candidate(const synth::Candidate& c,
+                               const model::ConstraintGraph& cg,
+                               const commlib::Library& lib) {
+  std::ostringstream os;
+  if (c.ptp) {
+    os << cg.channel(c.arcs.front()).name << ": point-to-point "
+       << plan_summary(*c.ptp, lib);
+  } else if (c.merging) {
+    const synth::MergingPlan& m = *c.merging;
+    os << "merge " << arc_list(c.arcs, cg) << " via "
+       << plan_summary(*m.trunk, lib) << " trunk (" << m.trunk_bandwidth
+       << " bw)";
+    if (m.has_hub) os << ", hub at " << m.hub_pos;
+    if (m.has_split) os << ", split at " << m.split_pos;
+  } else if (c.chain) {
+    const synth::ChainPlan& ch = *c.chain;
+    os << "chain-merge " << arc_list(c.arcs, cg) << " ("
+       << (ch.source_rooted ? "source" : "target") << "-rooted, "
+       << ch.drop_pos.size() << " drops, first segment "
+       << plan_summary(ch.segments.front(), lib) << " @ "
+       << ch.segment_bandwidth.front() << " bw)";
+  } else if (c.tree) {
+    const synth::TreePlan& t = *c.tree;
+    std::size_t junctions = 0;
+    for (bool j : t.is_junction) junctions += j;
+    os << "tree-merge " << arc_list(c.arcs, cg) << " ("
+       << (t.source_rooted ? "source" : "target") << "-rooted, "
+       << t.edges.size() << " edges, " << junctions << " junctions)";
+  }
+  os << ", cost " << c.cost;
+  return os.str();
+}
+
+std::string describe(const synth::SynthesisResult& result,
+                     const model::ConstraintGraph& cg,
+                     const commlib::Library& lib) {
+  std::ostringstream os;
+  const auto& stats = result.candidate_set.stats;
+
+  os << "Candidate set: " << cg.num_channels() << " point-to-point";
+  for (std::size_t k = 2; k < stats.survivors_per_k.size(); ++k) {
+    if (stats.survivors_per_k[k] > 0) {
+      os << ", " << stats.survivors_per_k[k] << " " << k << "-way";
+    }
+  }
+  os << " (" << result.candidates().size() << " UCP columns)\n";
+
+  for (std::size_t i = 0; i < stats.arc_eliminated_after_k.size(); ++i) {
+    if (stats.arc_eliminated_after_k[i] > 0) {
+      os << "  " << cg.channel(model::ArcId{static_cast<std::uint32_t>(i)}).name
+         << " eliminated from mergings after k="
+         << stats.arc_eliminated_after_k[i] << "\n";
+    }
+  }
+
+  os << "Selected implementation (cost " << result.total_cost << "):\n";
+  for (const synth::Candidate* c : result.selected()) {
+    os << "  " << describe_candidate(*c, cg, lib) << '\n';
+  }
+  os << "UCP: " << (result.cover.optimal ? "proven optimal" : "incumbent")
+     << " in " << result.cover.nodes_explored << " nodes\n";
+  os << "Validation: "
+     << (result.validation.ok() ? "PASS" : "FAIL") << '\n';
+  for (const std::string& p : result.validation.problems) {
+    os << "  problem: " << p << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cdcs::io

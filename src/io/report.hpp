@@ -1,0 +1,22 @@
+// Human-readable synthesis reports used by the examples and benchmarks.
+#pragma once
+
+#include <string>
+
+#include "synth/synthesizer.hpp"
+
+namespace cdcs::io {
+
+/// One line per selected candidate: arcs covered, structure, link usage,
+/// cost; followed by totals, candidate statistics and validation status.
+std::string describe(const synth::SynthesisResult& result,
+                     const model::ConstraintGraph& cg,
+                     const commlib::Library& library);
+
+/// Short structural summary of one candidate ("merge {a4,a5,a6} via optical
+/// trunk ..." / "a1: radio matching ...").
+std::string describe_candidate(const synth::Candidate& candidate,
+                               const model::ConstraintGraph& cg,
+                               const commlib::Library& library);
+
+}  // namespace cdcs::io

@@ -1,0 +1,43 @@
+#include "io/tables.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace cdcs::io {
+
+std::string truncate_decimals(double value, int decimals) {
+  const double scale = std::pow(10.0, decimals);
+  const double truncated = std::trunc(value * scale) / scale;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << truncated;
+  return os.str();
+}
+
+std::string format_arc_pair_matrix(const model::ConstraintGraph& cg,
+                                   const synth::ArcPairMatrix& m,
+                                   int decimals) {
+  const std::vector<model::ArcId> arcs = cg.arcs();
+  constexpr int kCell = 9;
+  std::ostringstream os;
+  os << std::setw(kCell) << "";
+  for (model::ArcId a : arcs) {
+    os << std::setw(kCell) << cg.channel(a).name;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    os << std::setw(kCell) << cg.channel(arcs[i]).name;
+    for (std::size_t j = 0; j < arcs.size(); ++j) {
+      if (j <= i) {
+        os << std::setw(kCell) << "";
+      } else {
+        os << std::setw(kCell)
+           << truncate_decimals(m(arcs[i], arcs[j]), decimals);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cdcs::io

@@ -1,0 +1,22 @@
+// Paper-style table rendering. The DAC-2002 tables print values TRUNCATED
+// (not rounded) to two decimals -- e.g. Gamma(a1,a2) = 10.3852... appears as
+// 10.38 and Delta(a1,a2) = 9.0554... as 9.05 -- so the formatter reproduces
+// truncation to match entry-for-entry.
+#pragma once
+
+#include <string>
+
+#include "synth/gamma_delta.hpp"
+
+namespace cdcs::io {
+
+/// Truncates (toward zero) to `decimals` digits: truncate(10.389, 2) = "10.38".
+std::string truncate_decimals(double value, int decimals = 2);
+
+/// Renders the upper triangle of a symmetric arc-pair matrix in the layout
+/// of the paper's Tables 1-2 (header row of arc names, blank lower triangle).
+std::string format_arc_pair_matrix(const model::ConstraintGraph& cg,
+                                   const synth::ArcPairMatrix& m,
+                                   int decimals = 2);
+
+}  // namespace cdcs::io

@@ -1,0 +1,202 @@
+#include "io/text_format.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdcs::io {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("line " + std::to_string(line) + ": " + message);
+}
+
+/// Strips comments/whitespace; returns false for blank lines.
+bool tokenize(const std::string& line, std::vector<std::string>& tokens) {
+  tokens.clear();
+  std::istringstream is(line.substr(0, line.find('#')));
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return !tokens.empty();
+}
+
+double parse_span(const std::string& tok, int line) {
+  if (tok == "inf" || tok == "infinity") {
+    return std::numeric_limits<double>::infinity();
+  }
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    fail(line, "bad span '" + tok + "'");
+  }
+}
+
+double parse_num(const std::string& tok, int line, const char* what) {
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    fail(line, std::string("bad ") + what + " '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+model::ConstraintGraph read_constraint_graph(std::istream& in) {
+  geom::Norm norm = geom::Norm::kEuclidean;
+  bool norm_seen = false;
+  struct PendingPort {
+    std::string name;
+    geom::Point2D pos;
+  };
+  std::vector<PendingPort> ports;
+  struct PendingChannel {
+    std::string name, src, dst;
+    double bandwidth;
+    int line;
+  };
+  std::vector<PendingChannel> channels;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> t;
+    if (!tokenize(line, t)) continue;
+    if (t[0] == "norm") {
+      if (t.size() != 2) fail(lineno, "norm takes one argument");
+      if (norm_seen) fail(lineno, "duplicate norm directive");
+      norm = geom::norm_from_string(t[1]);
+      norm_seen = true;
+    } else if (t[0] == "port") {
+      if (t.size() != 4) fail(lineno, "port takes: name x y");
+      ports.push_back({t[1],
+                       {parse_num(t[2], lineno, "x coordinate"),
+                        parse_num(t[3], lineno, "y coordinate")}});
+    } else if (t[0] == "channel") {
+      if (t.size() != 5) fail(lineno, "channel takes: name src dst bandwidth");
+      channels.push_back(
+          {t[1], t[2], t[3], parse_num(t[4], lineno, "bandwidth"), lineno});
+    } else {
+      fail(lineno, "unknown directive '" + t[0] + "'");
+    }
+  }
+
+  model::ConstraintGraph cg(norm);
+  std::map<std::string, model::VertexId> by_name;
+  for (const PendingPort& p : ports) {
+    if (by_name.contains(p.name)) {
+      throw std::runtime_error("duplicate port name '" + p.name + "'");
+    }
+    by_name.emplace(p.name, cg.add_port(p.name, p.pos));
+  }
+  for (const PendingChannel& c : channels) {
+    const auto su = by_name.find(c.src);
+    const auto sv = by_name.find(c.dst);
+    if (su == by_name.end()) fail(c.line, "unknown port '" + c.src + "'");
+    if (sv == by_name.end()) fail(c.line, "unknown port '" + c.dst + "'");
+    cg.add_channel(su->second, sv->second, c.bandwidth, c.name);
+  }
+  return cg;
+}
+
+model::ConstraintGraph read_constraint_graph_from_string(
+    const std::string& text) {
+  std::istringstream is(text);
+  return read_constraint_graph(is);
+}
+
+std::string write_constraint_graph(const model::ConstraintGraph& cg) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "norm " << geom::to_string(cg.norm()) << '\n';
+  for (model::VertexId v : cg.ports()) {
+    os << "port " << cg.port(v).name << ' ' << cg.position(v).x << ' '
+       << cg.position(v).y << '\n';
+  }
+  for (model::ArcId a : cg.arcs()) {
+    os << "channel " << cg.channel(a).name << ' '
+       << cg.port(cg.source(a)).name << ' ' << cg.port(cg.target(a)).name
+       << ' ' << cg.bandwidth(a) << '\n';
+  }
+  return os.str();
+}
+
+commlib::Library read_library(std::istream& in) {
+  commlib::Library lib;
+  std::string line;
+  int lineno = 0;
+  std::string name;
+  std::vector<commlib::Link> links;
+  std::vector<commlib::Node> nodes;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> t;
+    if (!tokenize(line, t)) continue;
+    if (t[0] == "library") {
+      if (t.size() != 2) fail(lineno, "library takes one argument");
+      name = t[1];
+    } else if (t[0] == "link") {
+      if (t.size() != 6) {
+        fail(lineno, "link takes: name max_span bandwidth fixed per_length");
+      }
+      links.push_back(commlib::Link{
+          .name = t[1],
+          .max_span = parse_span(t[2], lineno),
+          .bandwidth = parse_num(t[3], lineno, "bandwidth"),
+          .fixed_cost = parse_num(t[4], lineno, "fixed cost"),
+          .cost_per_length = parse_num(t[5], lineno, "per-length cost")});
+    } else if (t[0] == "node") {
+      if (t.size() != 4) fail(lineno, "node takes: name kind cost");
+      commlib::NodeKind kind;
+      if (t[2] == "repeater") {
+        kind = commlib::NodeKind::kRepeater;
+      } else if (t[2] == "mux") {
+        kind = commlib::NodeKind::kMux;
+      } else if (t[2] == "demux") {
+        kind = commlib::NodeKind::kDemux;
+      } else if (t[2] == "switch") {
+        kind = commlib::NodeKind::kSwitch;
+      } else {
+        fail(lineno, "unknown node kind '" + t[2] + "'");
+      }
+      nodes.push_back(commlib::Node{
+          .name = t[1], .kind = kind, .cost = parse_num(t[3], lineno, "cost")});
+    } else {
+      fail(lineno, "unknown directive '" + t[0] + "'");
+    }
+  }
+  commlib::Library out(name);
+  for (commlib::Link& l : links) out.add_link(std::move(l));
+  for (commlib::Node& n : nodes) out.add_node(std::move(n));
+  return out;
+}
+
+commlib::Library read_library_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_library(is);
+}
+
+std::string write_library(const commlib::Library& lib) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "library " << lib.name() << '\n';
+  for (const commlib::Link& l : lib.links()) {
+    os << "link " << l.name << ' ';
+    if (std::isinf(l.max_span)) {
+      os << "inf";
+    } else {
+      os << l.max_span;
+    }
+    os << ' ' << l.bandwidth << ' ' << l.fixed_cost << ' ' << l.cost_per_length
+       << '\n';
+  }
+  for (const commlib::Node& n : lib.nodes()) {
+    os << "node " << n.name << ' ' << commlib::to_string(n.kind) << ' '
+       << n.cost << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cdcs::io

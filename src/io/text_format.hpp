@@ -1,0 +1,36 @@
+// Plain-text interchange formats for constraint graphs and communication
+// libraries, so workloads and libraries can be stored beside the code and
+// exchanged with other tools.
+//
+// Constraint graph format (one directive per line, '#' comments):
+//     norm euclidean|manhattan|chebyshev
+//     port <name> <x> <y>
+//     channel <name> <src-port> <dst-port> <bandwidth>
+//
+// Library format:
+//     library <name>
+//     link <name> <max_span|inf> <bandwidth> <fixed_cost> <cost_per_length>
+//     node <name> repeater|mux|demux|switch <cost>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "commlib/library.hpp"
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::io {
+
+/// Parses the constraint-graph format; throws std::runtime_error with a
+/// line-numbered message on malformed input.
+model::ConstraintGraph read_constraint_graph(std::istream& in);
+model::ConstraintGraph read_constraint_graph_from_string(const std::string& text);
+
+std::string write_constraint_graph(const model::ConstraintGraph& cg);
+
+commlib::Library read_library(std::istream& in);
+commlib::Library read_library_from_string(const std::string& text);
+
+std::string write_library(const commlib::Library& lib);
+
+}  // namespace cdcs::io

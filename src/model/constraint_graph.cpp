@@ -1,0 +1,61 @@
+#include "model/constraint_graph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdcs::model {
+
+VertexId ConstraintGraph::add_port(std::string name, geom::Point2D position) {
+  if (!std::isfinite(position.x) || !std::isfinite(position.y)) {
+    throw std::invalid_argument("ConstraintGraph::add_port: non-finite position");
+  }
+  return g_.add_vertex(Port{std::move(name), position});
+}
+
+ArcId ConstraintGraph::add_channel(VertexId u, VertexId v, double bandwidth,
+                                   std::string name) {
+  if (bandwidth <= 0.0) {
+    throw std::invalid_argument(
+        "ConstraintGraph::add_channel: bandwidth must be positive");
+  }
+  if (u == v) {
+    throw std::invalid_argument(
+        "ConstraintGraph::add_channel: self-loop channels are not "
+        "point-to-point communications");
+  }
+  const double d = vertex_distance(u, v);
+  if (name.empty()) name = "a" + std::to_string(g_.num_arcs() + 1);
+  return g_.add_arc(u, v, Channel{std::move(name), bandwidth, d});
+}
+
+std::vector<ArcId> ConstraintGraph::arcs() const {
+  std::vector<ArcId> ids;
+  ids.reserve(g_.num_arcs());
+  g_.for_each_arc([&](ArcId a) { ids.push_back(a); });
+  return ids;
+}
+
+std::vector<VertexId> ConstraintGraph::ports() const {
+  std::vector<VertexId> ids;
+  ids.reserve(g_.num_vertices());
+  g_.for_each_vertex([&](VertexId v) { ids.push_back(v); });
+  return ids;
+}
+
+std::vector<std::string> ConstraintGraph::validate() const {
+  std::vector<std::string> problems;
+  g_.for_each_arc([&](ArcId a) {
+    const Channel& c = channel(a);
+    if (c.bandwidth <= 0.0) {
+      problems.push_back("channel '" + c.name + "' has non-positive bandwidth");
+    }
+    const double geometric = vertex_distance(source(a), target(a));
+    if (std::abs(geometric - c.distance) > 1e-9 * std::max(1.0, geometric)) {
+      problems.push_back("channel '" + c.name +
+                         "' cached distance is inconsistent with positions");
+    }
+  });
+  return problems;
+}
+
+}  // namespace cdcs::model

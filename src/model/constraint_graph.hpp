@@ -1,0 +1,78 @@
+// The communication constraint graph G = G(V, A) of Definition 2.1.
+//
+// Vertices are ports of computational modules with a position p(v); directed
+// arcs are point-to-point unidirectional channels with the two arc properties
+// d(a) (distance, always derived from the endpoint positions under the
+// graph's norm, keeping the Def 2.1 consistency requirement true by
+// construction) and b(a) (required bandwidth).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/norm.hpp"
+#include "geom/point.hpp"
+#include "graph/digraph.hpp"
+
+namespace cdcs::model {
+
+using graph::ArcId;
+using graph::VertexId;
+
+struct Port {
+  std::string name;
+  geom::Point2D position;
+};
+
+struct Channel {
+  std::string name;       ///< e.g. "a4"; defaults to "a<index+1>"
+  double bandwidth{0.0};  ///< b(a), in the library's bandwidth unit
+  double distance{0.0};   ///< d(a) = ||p(u) - p(v)||, derived, cached
+};
+
+class ConstraintGraph {
+ public:
+  explicit ConstraintGraph(geom::Norm norm = geom::Norm::kEuclidean)
+      : norm_(norm) {}
+
+  geom::Norm norm() const { return norm_; }
+
+  VertexId add_port(std::string name, geom::Point2D position);
+
+  /// Adds a channel u -> v with required bandwidth b(a) > 0. The distance
+  /// d(a) is computed from the endpoint positions. `name` defaults to
+  /// "a<k>" with k the 1-based arc index (the paper's numbering).
+  ArcId add_channel(VertexId u, VertexId v, double bandwidth,
+                    std::string name = {});
+
+  std::size_t num_ports() const { return g_.num_vertices(); }
+  std::size_t num_channels() const { return g_.num_arcs(); }
+
+  const Port& port(VertexId v) const { return g_.vertex(v); }
+  const Channel& channel(ArcId a) const { return g_.arc(a).payload; }
+
+  geom::Point2D position(VertexId v) const { return g_.vertex(v).position; }
+  VertexId source(ArcId a) const { return g_.source(a); }
+  VertexId target(ArcId a) const { return g_.target(a); }
+  double distance(ArcId a) const { return channel(a).distance; }
+  double bandwidth(ArcId a) const { return channel(a).bandwidth; }
+
+  /// All arc ids in insertion order (the paper indexes arcs a1..a|A| this way).
+  std::vector<ArcId> arcs() const;
+  std::vector<VertexId> ports() const;
+
+  /// Distance between two vertices under this graph's norm.
+  double vertex_distance(VertexId u, VertexId v) const {
+    return geom::distance(position(u), position(v), norm_);
+  }
+
+  /// Def 2.1 sanity: positive bandwidths, finite positions, cached distances
+  /// consistent with positions. Returns human-readable violations.
+  std::vector<std::string> validate() const;
+
+ private:
+  geom::Norm norm_;
+  graph::Digraph<Port, Channel> g_;
+};
+
+}  // namespace cdcs::model

@@ -1,0 +1,220 @@
+#include "model/implementation_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cdcs::model {
+
+std::string_view to_string(ImplKind kind) {
+  switch (kind) {
+    case ImplKind::kMatching:
+      return "matching";
+    case ImplKind::kSegmentation:
+      return "segmentation";
+    case ImplKind::kDuplication:
+      return "duplication";
+    case ImplKind::kCompound:
+      return "compound";
+    case ImplKind::kMergedShare:
+      return "merged";
+  }
+  return "unknown";
+}
+
+ImplementationGraph::ImplementationGraph(const ConstraintGraph& constraints,
+                                         const commlib::Library& library)
+    : constraints_(&constraints),
+      library_(&library),
+      arc_impls_(constraints.num_channels()) {
+  // chi: mirror every constraint vertex, preserving indices and positions.
+  for (VertexId v : constraints.ports()) {
+    (void)v;
+    g_.add_vertex(std::nullopt);
+  }
+  num_computational_ = g_.num_vertices();
+}
+
+VertexId ImplementationGraph::add_comm_vertex(commlib::NodeIndex node,
+                                              geom::Point2D position) {
+  if (node >= library_->nodes().size()) {
+    throw std::out_of_range("add_comm_vertex: library node index out of range");
+  }
+  return g_.add_vertex(CommVertex{node, position});
+}
+
+ArcId ImplementationGraph::add_link_arc(VertexId u, VertexId v,
+                                        commlib::LinkIndex link) {
+  if (link >= library_->links().size()) {
+    throw std::out_of_range("add_link_arc: library link index out of range");
+  }
+  const double span =
+      geom::distance(position(u), position(v), constraints_->norm());
+  const commlib::Link& l = library_->link(link);
+  if (span > l.max_span * (1.0 + 1e-9) + 1e-12) {
+    throw std::invalid_argument("add_link_arc: span " + std::to_string(span) +
+                                " exceeds link '" + l.name + "' max span " +
+                                std::to_string(l.max_span));
+  }
+  return g_.add_arc(u, v, LinkArc{link, span});
+}
+
+void ImplementationGraph::register_path(ArcId constraint_arc, Path path) {
+  if (constraint_arc.index() >= arc_impls_.size()) {
+    throw std::out_of_range("register_path: unknown constraint arc");
+  }
+  if (path.arcs.empty()) {
+    throw std::invalid_argument("register_path: empty path");
+  }
+  // Contiguity + distinct-vertex checks (Def 2.3: alternating sequence of
+  // *distinct* vertices and arcs).
+  std::unordered_set<std::uint32_t> seen;
+  VertexId cur = arc_source(path.arcs.front());
+  seen.insert(cur.value);
+  for (ArcId a : path.arcs) {
+    if (arc_source(a) != cur) {
+      throw std::invalid_argument("register_path: path arcs not contiguous");
+    }
+    cur = arc_target(a);
+    if (!seen.insert(cur.value).second) {
+      throw std::invalid_argument("register_path: repeated vertex in path");
+    }
+  }
+  // Def 2.4 condition 1: endpoints are chi(u), chi(v); intermediates are
+  // communication vertices.
+  const VertexId want_src = chi(constraints_->source(constraint_arc));
+  const VertexId want_dst = chi(constraints_->target(constraint_arc));
+  if (arc_source(path.arcs.front()) != want_src || cur != want_dst) {
+    throw std::invalid_argument(
+        "register_path: path endpoints do not match the constraint arc");
+  }
+  for (std::size_t i = 0; i + 1 < path.arcs.size(); ++i) {
+    if (!is_communication(arc_target(path.arcs[i]))) {
+      throw std::invalid_argument(
+          "register_path: path passes through a computational vertex");
+    }
+  }
+  arc_impls_[constraint_arc.index()].push_back(std::move(path));
+}
+
+geom::Point2D ImplementationGraph::position(VertexId v) const {
+  if (is_computational(v)) return constraints_->position(v);
+  return g_.vertex(v)->position;
+}
+
+const ImplementationGraph::CommVertex& ImplementationGraph::comm_vertex(
+    VertexId v) const {
+  const std::optional<CommVertex>& cv = g_.vertex(v);
+  if (!cv) {
+    throw std::invalid_argument("comm_vertex: vertex is computational");
+  }
+  return *cv;
+}
+
+double ImplementationGraph::arc_cost(ArcId a) const {
+  const LinkArc& la = link_arc(a);
+  return library_->link(la.link).cost(la.span);
+}
+
+double ImplementationGraph::arc_bandwidth(ArcId a) const {
+  return library_->link(link_arc(a).link).bandwidth;
+}
+
+double ImplementationGraph::path_length(const Path& q) const {
+  double total = 0.0;
+  for (ArcId a : q.arcs) total += arc_span(a);
+  return total;
+}
+
+double ImplementationGraph::path_bandwidth(const Path& q) const {
+  double bw = std::numeric_limits<double>::infinity();
+  for (ArcId a : q.arcs) bw = std::min(bw, arc_bandwidth(a));
+  return q.arcs.empty() ? 0.0 : bw;
+}
+
+double ImplementationGraph::path_cost(const Path& q) const {
+  double total = 0.0;
+  for (ArcId a : q.arcs) total += arc_cost(a);
+  return total;
+}
+
+const std::vector<Path>& ImplementationGraph::arc_implementation(
+    ArcId constraint_arc) const {
+  return arc_impls_.at(constraint_arc.index());
+}
+
+double ImplementationGraph::arc_implementation_cost(ArcId constraint_arc) const {
+  // Count every distinct element of P(a) once: links, plus the communication
+  // vertices the paths travel through.
+  std::set<std::uint32_t> arcs_used;
+  std::set<std::uint32_t> comm_used;
+  for (const Path& q : arc_implementation(constraint_arc)) {
+    for (ArcId a : q.arcs) {
+      arcs_used.insert(a.value);
+      for (VertexId v : {arc_source(a), arc_target(a)}) {
+        if (is_communication(v)) comm_used.insert(v.value);
+      }
+    }
+  }
+  double total = 0.0;
+  for (std::uint32_t a : arcs_used) total += arc_cost(ArcId{a});
+  for (std::uint32_t v : comm_used) {
+    total += library_->node(comm_vertex(VertexId{v}).node).cost;
+  }
+  return total;
+}
+
+double ImplementationGraph::cost() const {
+  double total = 0.0;
+  g_.for_each_arc([&](ArcId a) { total += arc_cost(a); });
+  g_.for_each_vertex([&](VertexId v) {
+    if (is_communication(v)) {
+      total += library_->node(comm_vertex(v).node).cost;
+    }
+  });
+  return total;
+}
+
+ImplKind ImplementationGraph::classify(ArcId constraint_arc) const {
+  const std::vector<Path>& paths = arc_implementation(constraint_arc);
+  if (paths.empty()) {
+    throw std::logic_error("classify: constraint arc has no implementation");
+  }
+  // Merged if any implementation arc is shared with another constraint arc.
+  std::unordered_set<std::uint32_t> mine;
+  for (const Path& q : paths) {
+    for (ArcId a : q.arcs) mine.insert(a.value);
+  }
+  for (std::size_t other = 0; other < arc_impls_.size(); ++other) {
+    if (other == constraint_arc.index()) continue;
+    for (const Path& q : arc_impls_[other]) {
+      for (ArcId a : q.arcs) {
+        if (mine.contains(a.value)) return ImplKind::kMergedShare;
+      }
+    }
+  }
+  if (paths.size() == 1) {
+    return paths.front().arcs.size() == 1 ? ImplKind::kMatching
+                                          : ImplKind::kSegmentation;
+  }
+  const bool all_single = std::all_of(
+      paths.begin(), paths.end(),
+      [](const Path& q) { return q.arcs.size() == 1; });
+  return all_single ? ImplKind::kDuplication : ImplKind::kCompound;
+}
+
+std::size_t ImplementationGraph::count_nodes(commlib::NodeKind kind) const {
+  std::size_t count = 0;
+  g_.for_each_vertex([&](VertexId v) {
+    if (is_communication(v) &&
+        library_->node(comm_vertex(v).node).kind == kind) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+}  // namespace cdcs::model

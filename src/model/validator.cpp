@@ -1,0 +1,114 @@
+#include "model/validator.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "sim/flow.hpp"
+
+namespace cdcs::model {
+namespace {
+
+void check_path_shape(const ImplementationGraph& impl, ArcId ca,
+                      const Path& q, std::size_t qi,
+                      std::vector<std::string>& problems) {
+  const ConstraintGraph& cg = impl.constraints();
+  const std::string& name = cg.channel(ca).name;
+  if (q.arcs.empty()) {
+    problems.push_back("path " + std::to_string(qi) + " of '" + name +
+                       "' is empty");
+    return;
+  }
+  std::unordered_set<std::uint32_t> seen;
+  VertexId cur = impl.arc_source(q.arcs.front());
+  seen.insert(cur.value);
+  bool contiguous = true;
+  for (ArcId a : q.arcs) {
+    if (impl.arc_source(a) != cur) {
+      contiguous = false;
+      break;
+    }
+    cur = impl.arc_target(a);
+    if (!seen.insert(cur.value).second) {
+      problems.push_back("path " + std::to_string(qi) + " of '" + name +
+                         "' repeats a vertex");
+    }
+  }
+  if (!contiguous) {
+    problems.push_back("path " + std::to_string(qi) + " of '" + name +
+                       "' is not contiguous");
+    return;
+  }
+  if (impl.arc_source(q.arcs.front()) != impl.chi(cg.source(ca)) ||
+      cur != impl.chi(cg.target(ca))) {
+    problems.push_back("path " + std::to_string(qi) + " of '" + name +
+                       "' does not connect chi(u) to chi(v)");
+  }
+  for (std::size_t i = 0; i + 1 < q.arcs.size(); ++i) {
+    if (!impl.is_communication(impl.arc_target(q.arcs[i]))) {
+      problems.push_back("path " + std::to_string(qi) + " of '" + name +
+                         "' passes through a computational vertex");
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validate(const ImplementationGraph& impl,
+                          CapacityPolicy policy, double tolerance) {
+  ValidationReport report;
+  const ConstraintGraph& cg = impl.constraints();
+  const commlib::Library& lib = impl.library();
+
+  // Link-arc legality (span within d(l)); add_link_arc enforces this on
+  // construction, but the validator re-checks so it can certify graphs built
+  // by any code path.
+  for (std::size_t i = 0; i < impl.num_link_arcs(); ++i) {
+    const ArcId a{static_cast<std::uint32_t>(i)};
+    const auto& la = impl.link_arc(a);
+    const commlib::Link& l = lib.link(la.link);
+    if (la.span > l.max_span * (1.0 + 1e-9) + 1e-12) {
+      report.problems.push_back("link arc #" + std::to_string(i) +
+                                " exceeds the max span of link '" + l.name +
+                                "'");
+    }
+    const double geometric = geom::distance(impl.position(impl.arc_source(a)),
+                                            impl.position(impl.arc_target(a)),
+                                            cg.norm());
+    if (std::abs(geometric - la.span) > 1e-6 * std::max(1.0, geometric)) {
+      report.problems.push_back("link arc #" + std::to_string(i) +
+                                " span disagrees with endpoint positions");
+    }
+  }
+
+  for (ArcId ca : cg.arcs()) {
+    const std::vector<Path>& paths = impl.arc_implementation(ca);
+    if (paths.empty()) {
+      report.problems.push_back("constraint arc '" + cg.channel(ca).name +
+                                "' has no implementation");
+      continue;
+    }
+    for (std::size_t qi = 0; qi < paths.size(); ++qi) {
+      check_path_shape(impl, ca, paths[qi], qi, report.problems);
+    }
+    if (policy == CapacityPolicy::kMaxPerConstraint) {
+      double total = 0.0;
+      for (const Path& q : paths) total += impl.path_bandwidth(q);
+      if (total + tolerance < cg.bandwidth(ca)) {
+        report.problems.push_back(
+            "constraint arc '" + cg.channel(ca).name +
+            "' bandwidth not covered: " + std::to_string(total) + " < " +
+            std::to_string(cg.bandwidth(ca)));
+      }
+    }
+  }
+
+  if (policy == CapacityPolicy::kSharedSum) {
+    const sim::FlowAssignment flows = sim::assign_flows(impl);
+    for (std::string& p : sim::capacity_violations(impl, flows, tolerance)) {
+      report.problems.push_back(std::move(p));
+    }
+  }
+  return report;
+}
+
+}  // namespace cdcs::model

@@ -1,0 +1,39 @@
+// Definition 2.4 validator: checks that an ImplementationGraph is a legal
+// implementation of its constraint graph under a chosen capacity policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/implementation_graph.hpp"
+
+namespace cdcs::model {
+
+/// How bandwidth on shared (merged) paths is accounted.
+enum class CapacityPolicy {
+  /// Literal Def 2.4 / Def 2.8 reading: each constraint arc individually
+  /// needs sum_q b(q) >= b(a) over its own paths; sharing is free.
+  kMaxPerConstraint,
+  /// Physical mux semantics (and the reading under which the paper's
+  /// Figure 4 optimum is optimal): the total flow crossing a link must also
+  /// fit that link's bandwidth. Checked via an explicit flow assignment.
+  kSharedSum,
+};
+
+struct ValidationReport {
+  std::vector<std::string> problems;
+  bool ok() const { return problems.empty(); }
+};
+
+/// Validates:
+///  * every constraint arc has a nonempty arc implementation P(a);
+///  * every path is contiguous, vertex-distinct, starts at chi(u), ends at
+///    chi(v), and crosses only communication vertices in between;
+///  * every implementation arc's span fits its link's d(l);
+///  * bandwidth coverage per `policy`;
+///  * every registered path's arcs exist and positions are finite.
+ValidationReport validate(const ImplementationGraph& impl,
+                          CapacityPolicy policy = CapacityPolicy::kSharedSum,
+                          double tolerance = 1e-9);
+
+}  // namespace cdcs::model

@@ -1,0 +1,195 @@
+#include "place/placement.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cdcs::place {
+
+std::size_t PlacementProblem::add_module(std::string name) {
+  modules.push_back(Module{std::move(name), false, {0.0, 0.0}});
+  return modules.size() - 1;
+}
+
+std::size_t PlacementProblem::add_fixed(std::string name,
+                                        geom::Point2D position) {
+  modules.push_back(Module{std::move(name), true, position});
+  return modules.size() - 1;
+}
+
+void PlacementProblem::connect(std::size_t a, std::size_t b, double weight) {
+  nets.push_back(Net{a, b, weight});
+}
+
+std::vector<std::string> PlacementProblem::validate() const {
+  std::vector<std::string> problems;
+  for (const Net& n : nets) {
+    if (n.a >= modules.size() || n.b >= modules.size()) {
+      problems.push_back("net endpoint out of range");
+      continue;
+    }
+    if (n.a == n.b) problems.push_back("net connects a module to itself");
+    if (n.weight <= 0.0) {
+      problems.push_back("net between '" + modules[n.a].name + "' and '" +
+                         modules[n.b].name + "' has non-positive weight");
+    }
+  }
+  // Union-find over nets; every component containing a movable module must
+  // also contain a fixed one, or the quadratic form has no unique minimum.
+  std::vector<std::size_t> parent(modules.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  for (const Net& n : nets) {
+    if (n.a < modules.size() && n.b < modules.size()) {
+      parent[find(n.a)] = find(n.b);
+    }
+  }
+  std::vector<bool> anchored(modules.size(), false);
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    if (modules[i].fixed) anchored[find(i)] = true;
+  }
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    if (!modules[i].fixed && !anchored[find(i)]) {
+      problems.push_back("module '" + modules[i].name +
+                         "' floats free: its component has no fixed module");
+    }
+  }
+  return problems;
+}
+
+namespace {
+
+/// One conjugate-gradient solve of L x = b restricted to movable modules,
+/// where L is the graph Laplacian of the net weights (fixed modules folded
+/// into b). Matrix-free: L*v is accumulated by streaming over nets.
+struct CgOutcome {
+  int iterations{0};
+  bool converged{false};
+};
+
+CgOutcome solve_coordinate(const PlacementProblem& p,
+                           const std::vector<std::size_t>& movable_index,
+                           std::vector<double>& x,  // per movable module
+                           const std::vector<double>& rhs,
+                           const PlacementOptions& options) {
+  const std::size_t m = x.size();
+  auto apply_laplacian = [&](const std::vector<double>& v,
+                             std::vector<double>& out) {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (const Net& n : p.nets) {
+      const std::size_t ia = movable_index[n.a];
+      const std::size_t ib = movable_index[n.b];
+      const double va = ia != SIZE_MAX ? v[ia] : 0.0;
+      const double vb = ib != SIZE_MAX ? v[ib] : 0.0;
+      if (ia != SIZE_MAX) out[ia] += n.weight * (va - vb);
+      if (ib != SIZE_MAX) out[ib] += n.weight * (vb - va);
+    }
+  };
+
+  std::vector<double> r(m), d(m), q(m);
+  apply_laplacian(x, q);
+  double rr = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    r[i] = rhs[i] - q[i];
+    d[i] = r[i];
+    rr += r[i] * r[i];
+  }
+  double rhs_norm = 0.0;
+  for (double b : rhs) rhs_norm += b * b;
+  const double threshold =
+      options.tolerance * options.tolerance * std::max(rhs_norm, 1e-30);
+
+  CgOutcome outcome;
+  while (outcome.iterations < options.max_iterations && rr > threshold) {
+    apply_laplacian(d, q);
+    double dq = 0.0;
+    for (std::size_t i = 0; i < m; ++i) dq += d[i] * q[i];
+    if (dq <= 0.0) break;  // singular direction; validate() should prevent
+    const double alpha = rr / dq;
+    double rr_next = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      x[i] += alpha * d[i];
+      r[i] -= alpha * q[i];
+      rr_next += r[i] * r[i];
+    }
+    const double beta = rr_next / rr;
+    for (std::size_t i = 0; i < m; ++i) d[i] = r[i] + beta * d[i];
+    rr = rr_next;
+    ++outcome.iterations;
+  }
+  outcome.converged = rr <= threshold;
+  return outcome;
+}
+
+}  // namespace
+
+PlacementResult place(const PlacementProblem& problem,
+                      const PlacementOptions& options) {
+  const std::vector<std::string> problems = problem.validate();
+  if (!problems.empty()) {
+    throw std::invalid_argument("place: " + problems.front());
+  }
+
+  // Index movable modules densely.
+  std::vector<std::size_t> movable_index(problem.modules.size(), SIZE_MAX);
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < problem.modules.size(); ++i) {
+    if (!problem.modules[i].fixed) {
+      movable_index[i] = movable.size();
+      movable.push_back(i);
+    }
+  }
+
+  PlacementResult result;
+  result.positions.resize(problem.modules.size());
+  for (std::size_t i = 0; i < problem.modules.size(); ++i) {
+    result.positions[i] = problem.modules[i].position;
+  }
+  if (movable.empty()) {
+    result.converged = true;
+  } else {
+    // Fold fixed neighbors into the right-hand side, one axis at a time.
+    for (int axis = 0; axis < 2; ++axis) {
+      std::vector<double> rhs(movable.size(), 0.0);
+      for (const Net& n : problem.nets) {
+        const bool a_mov = movable_index[n.a] != SIZE_MAX;
+        const bool b_mov = movable_index[n.b] != SIZE_MAX;
+        const auto coord = [&](std::size_t i) {
+          return axis == 0 ? problem.modules[i].position.x
+                           : problem.modules[i].position.y;
+        };
+        if (a_mov && !b_mov) rhs[movable_index[n.a]] += n.weight * coord(n.b);
+        if (b_mov && !a_mov) rhs[movable_index[n.b]] += n.weight * coord(n.a);
+      }
+      std::vector<double> x(movable.size());
+      for (std::size_t i = 0; i < movable.size(); ++i) {
+        x[i] = axis == 0 ? problem.modules[movable[i]].position.x
+                         : problem.modules[movable[i]].position.y;
+      }
+      const CgOutcome outcome =
+          solve_coordinate(problem, movable_index, x, rhs, options);
+      result.iterations = std::max(result.iterations, outcome.iterations);
+      result.converged = axis == 0 ? outcome.converged
+                                   : (result.converged && outcome.converged);
+      for (std::size_t i = 0; i < movable.size(); ++i) {
+        if (axis == 0) {
+          result.positions[movable[i]].x = x[i];
+        } else {
+          result.positions[movable[i]].y = x[i];
+        }
+      }
+    }
+  }
+
+  for (const Net& n : problem.nets) {
+    result.quadratic_wirelength +=
+        n.weight *
+        geom::squared_length(result.positions[n.a] - result.positions[n.b]);
+  }
+  return result;
+}
+
+}  // namespace cdcs::place

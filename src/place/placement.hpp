@@ -1,0 +1,74 @@
+// Quadratic (force-directed) module placement.
+//
+// The paper assumes every port position p(v) is given ("for each port of
+// every computational module on the chip a certain location could be
+// specified"). Real flows have to produce those positions first. This
+// module provides the classic analytical-placement substrate: modules
+// connected by weighted two-point nets, a few modules fixed (I/O pads,
+// pre-placed macros), the rest placed by minimizing the quadratic wirelength
+//
+//     Phi(x) = sum_nets w * ||p(u) - p(v)||^2
+//
+// whose optimum solves one Laplacian linear system per coordinate --
+// solved here by conjugate gradient without forming the matrix. Movable
+// modules end up at the weighted barycenter of their neighbors (the
+// classic "spring" equilibrium), which is unique whenever every movable
+// component is anchored through some fixed module.
+//
+// The output feeds straight into ConstraintGraph construction: place the
+// modules, then emit a channel per net with its bandwidth requirement (see
+// examples/soc_flow.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace cdcs::place {
+
+struct Module {
+  std::string name;
+  bool fixed{false};
+  geom::Point2D position;  ///< required when fixed; initial guess otherwise
+};
+
+struct Net {
+  std::size_t a{0};
+  std::size_t b{0};
+  double weight{1.0};  ///< typically the net's bandwidth or criticality
+};
+
+struct PlacementProblem {
+  std::vector<Module> modules;
+  std::vector<Net> nets;
+
+  std::size_t add_module(std::string name);
+  std::size_t add_fixed(std::string name, geom::Point2D position);
+  void connect(std::size_t a, std::size_t b, double weight = 1.0);
+
+  /// Structural sanity: net endpoints in range, positive weights, at least
+  /// one fixed module per connected component containing movables (else the
+  /// quadratic form is singular). Returns human-readable problems.
+  std::vector<std::string> validate() const;
+};
+
+struct PlacementOptions {
+  double tolerance = 1e-9;   ///< CG residual threshold (relative)
+  int max_iterations = 1000;
+};
+
+struct PlacementResult {
+  std::vector<geom::Point2D> positions;  ///< per module, fixed ones unchanged
+  double quadratic_wirelength{0.0};      ///< Phi at the solution
+  int iterations{0};                     ///< CG iterations (max of x/y solves)
+  bool converged{false};
+};
+
+/// Solves the quadratic placement. Throws std::invalid_argument when
+/// validate() reports problems.
+PlacementResult place(const PlacementProblem& problem,
+                      const PlacementOptions& options = {});
+
+}  // namespace cdcs::place

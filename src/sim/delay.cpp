@@ -1,0 +1,52 @@
+#include "sim/delay.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdcs::sim {
+
+std::vector<ChannelDelay> DelayReport::violations(double budget) const {
+  std::vector<ChannelDelay> out;
+  for (const ChannelDelay& c : channels) {
+    if (c.worst_path_delay > budget) out.push_back(c);
+  }
+  return out;
+}
+
+DelayReport analyze_delays(const model::ImplementationGraph& impl,
+                           const DelayModel& model) {
+  DelayReport report;
+  const auto& cg = impl.constraints();
+  for (model::ArcId a : cg.arcs()) {
+    const std::vector<model::Path>& paths = impl.arc_implementation(a);
+    if (paths.empty()) continue;
+    ChannelDelay cd;
+    cd.arc = a;
+    cd.name = cg.channel(a).name;
+    cd.best_path_delay = std::numeric_limits<double>::infinity();
+    for (const model::Path& q : paths) {
+      double delay = 0.0;
+      std::size_t hops = 0;
+      for (model::ArcId la : q.arcs) {
+        delay += model.link_delay_per_length * impl.arc_span(la);
+        const model::VertexId mid = impl.arc_target(la);
+        if (impl.is_communication(mid)) {
+          delay += model.node_delay;
+          ++hops;
+        }
+      }
+      // The final vertex is chi(v): computational, no node delay. Any
+      // comm vertex counted above is interior to the path.
+      if (delay > cd.worst_path_delay) {
+        cd.worst_path_delay = delay;
+        cd.hops = hops;
+      }
+      cd.best_path_delay = std::min(cd.best_path_delay, delay);
+    }
+    report.max_delay = std::max(report.max_delay, cd.worst_path_delay);
+    report.channels.push_back(std::move(cd));
+  }
+  return report;
+}
+
+}  // namespace cdcs::sim

@@ -1,0 +1,55 @@
+// Channel delay analysis over an implementation graph.
+//
+// The paper's on-chip result "is valid as long as ... all links on the chip
+// have a delay smaller than the clock period" (Sec. 4). This module makes
+// that assumption checkable: given per-library-element delay figures, it
+// computes the worst-case end-to-end delay of every constraint arc's
+// implementation (max over its paths of the sum of link and node delays)
+// and reports which channels violate a delay budget.
+//
+// The delay model is intentionally first-order, matching the paper's
+// abstraction level:
+//   * a link instance of span s contributes  link_delay_per_length * s
+//     (with optimal repeatering, on-chip wire delay is linear in length --
+//     the very premise of l_crit segmentation [Otten-Brayton]; for WAN/LAN
+//     media this is the propagation delay);
+//   * every communication vertex (repeater, mux, demux, switch) contributes
+//     its node_delay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/implementation_graph.hpp"
+
+namespace cdcs::sim {
+
+struct DelayModel {
+  /// Delay per unit length of wire/medium (e.g. ns per mm, or us per km).
+  double link_delay_per_length{1.0};
+  /// Delay through any communication vertex (repeater/mux/demux/switch).
+  double node_delay{0.0};
+};
+
+struct ChannelDelay {
+  model::ArcId arc;
+  std::string name;
+  double worst_path_delay{0.0};  ///< max over the arc's registered paths
+  double best_path_delay{0.0};   ///< min over paths (single-path: == worst)
+  std::size_t hops{0};           ///< comm vertices on the worst path
+};
+
+struct DelayReport {
+  std::vector<ChannelDelay> channels;
+  double max_delay{0.0};
+
+  /// Channels whose worst-case delay exceeds `budget`.
+  std::vector<ChannelDelay> violations(double budget) const;
+};
+
+/// Analyzes every constraint arc of `impl`. Arcs without registered paths
+/// are skipped (the Def 2.4 validator reports those).
+DelayReport analyze_delays(const model::ImplementationGraph& impl,
+                           const DelayModel& model);
+
+}  // namespace cdcs::sim

@@ -1,0 +1,62 @@
+#include "sim/flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace cdcs::sim {
+
+FlowAssignment assign_flows(const model::ImplementationGraph& impl) {
+  FlowAssignment out;
+  out.arc_load.assign(impl.num_link_arcs(), 0.0);
+  const auto arcs = impl.constraints().arcs();
+  out.unrouted.reserve(arcs.size());
+
+  for (model::ArcId ca : arcs) {
+    double remaining = impl.constraints().bandwidth(ca);
+    const std::vector<model::Path>& paths = impl.arc_implementation(ca);
+    for (std::size_t qi = 0; qi < paths.size() && remaining > 0.0; ++qi) {
+      // Residual bottleneck of this path given flow already placed.
+      double residual = std::numeric_limits<double>::infinity();
+      for (model::ArcId a : paths[qi].arcs) {
+        residual = std::min(
+            residual, impl.arc_bandwidth(a) - out.arc_load[a.index()]);
+      }
+      const double f = std::clamp(residual, 0.0, remaining);
+      if (f <= 0.0) continue;
+      for (model::ArcId a : paths[qi].arcs) out.arc_load[a.index()] += f;
+      out.path_flows.push_back(PathFlow{ca, qi, f});
+      remaining -= f;
+    }
+    out.unrouted.push_back(std::max(remaining, 0.0));
+  }
+  return out;
+}
+
+std::vector<std::string> capacity_violations(
+    const model::ImplementationGraph& impl, const FlowAssignment& flows,
+    double tolerance) {
+  std::vector<std::string> problems;
+  for (std::size_t i = 0; i < flows.arc_load.size(); ++i) {
+    const model::ArcId a{static_cast<std::uint32_t>(i)};
+    const double cap = impl.arc_bandwidth(a);
+    if (flows.arc_load[i] > cap + tolerance) {
+      problems.push_back("link arc #" + std::to_string(i) + " ('" +
+                         impl.library().link(impl.link_arc(a).link).name +
+                         "') carries " + std::to_string(flows.arc_load[i]) +
+                         " over capacity " + std::to_string(cap));
+    }
+  }
+  const auto arcs = impl.constraints().arcs();
+  for (std::size_t i = 0; i < flows.unrouted.size(); ++i) {
+    if (flows.unrouted[i] > tolerance) {
+      problems.push_back(
+          "constraint arc '" + impl.constraints().channel(arcs[i]).name +
+          "' has " + std::to_string(flows.unrouted[i]) +
+          " of its bandwidth unrouted");
+    }
+  }
+  return problems;
+}
+
+}  // namespace cdcs::sim

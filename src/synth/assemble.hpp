@@ -1,0 +1,36 @@
+// Materialization: turns selected candidates (point-to-point plans and
+// merging plans) into a concrete ImplementationGraph -- communication
+// vertices with positions, link arcs with spans, and registered paths per
+// constraint arc (Sec. 3: "the exact topology, communication node position,
+// number of links").
+//
+// Conventions:
+//  * Segmentation repeaters sit ON the paths, evenly spaced along the
+//    straight segment between the chain endpoints (positions lerp(F, T,
+//    i/K); for every norm, distances along a straight segment are additive,
+//    so each piece's span is exactly span/K <= d(l)).
+//  * Duplication mux/demux instances are accounted as communication vertices
+//    co-located with the bundle endpoints but OFF the paths, keeping the
+//    paths literally in the Def 2.7 parallel-links shape while still paying
+//    c(mux) + c(demux) in Def 2.5's cost.
+//  * A merging's hub/split nodes are ON the paths at the positions the
+//    pricer optimized.
+#pragma once
+
+#include <memory>
+
+#include "synth/candidate_generator.hpp"
+
+namespace cdcs::synth {
+
+/// Builds the implementation graph realizing every candidate in `chosen`
+/// (indices into `candidates`). Each constraint arc covered by several
+/// chosen candidates receives the union of their paths (legal, if wasteful;
+/// the exact UCP never selects such overlaps when costs are positive).
+/// Throws std::invalid_argument when `chosen` does not cover every arc.
+std::unique_ptr<model::ImplementationGraph> assemble(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const std::vector<Candidate>& candidates,
+    const std::vector<std::size_t>& chosen);
+
+}  // namespace cdcs::synth

@@ -1,0 +1,175 @@
+#include "synth/candidate_generator.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace cdcs::synth {
+
+CandidateSet generate_candidates(const model::ConstraintGraph& cg,
+                                 const commlib::Library& library,
+                                 const SynthesisOptions& options) {
+  CandidateSet out;
+  const std::vector<model::ArcId> arcs = cg.arcs();
+  const std::size_t n = arcs.size();
+  const int max_k = options.max_merge_k > 0
+                        ? std::min<int>(options.max_merge_k, static_cast<int>(n))
+                        : static_cast<int>(n);
+
+  auto& stats = out.stats;
+  stats.survivors_per_k.assign(max_k + 1, 0);
+  stats.pruned_geometry_per_k.assign(max_k + 1, 0);
+  stats.pruned_bandwidth_per_k.assign(max_k + 1, 0);
+  stats.unpriceable_per_k.assign(max_k + 1, 0);
+  stats.dropped_unprofitable_per_k.assign(max_k + 1, 0);
+  stats.arc_eliminated_after_k.assign(n, 0);
+
+  // --- Optimum point-to-point implementations (Def 2.6 / Lemma 2.1). ---
+  const DelayConstraint delay_constraint =
+      options.delay_budget
+          ? DelayConstraint{&options.delay_budget->model,
+                            options.delay_budget->budget}
+          : DelayConstraint{};
+  const DelayConstraint* delay =
+      options.delay_budget ? &delay_constraint : nullptr;
+
+  std::vector<double> ptp_cost(n, 0.0);
+  for (model::ArcId a : arcs) {
+    std::optional<PtpPlan> plan =
+        best_point_to_point(cg.distance(a), cg.bandwidth(a), library, delay);
+    if (!plan) {
+      throw std::runtime_error(
+          "generate_candidates: constraint arc '" + cg.channel(a).name +
+          "' has no feasible point-to-point implementation in library '" +
+          library.name() + (options.delay_budget ? "' within the delay budget"
+                                                 : "'"));
+    }
+    ptp_cost[a.index()] = plan->cost;
+    out.candidates.push_back(
+        Candidate{.arcs = {a}, .cost = plan->cost, .ptp = plan});
+  }
+  const ArcPairMatrix gamma = gamma_matrix(cg);
+  const ArcPairMatrix delta = delta_matrix(cg);
+  const std::vector<double> bw = bandwidth_vector(cg);
+  const double max_link_bw = library.max_link_bandwidth();
+
+  // --- k-way mergings for increasing k (main loop of Fig. 2). ---
+  std::vector<bool> active(n, true);
+  for (int k = 2; k <= max_k; ++k) {
+    std::vector<model::ArcId> pool;
+    for (model::ArcId a : arcs) {
+      if (active[a.index()]) pool.push_back(a);
+    }
+    if (pool.size() < static_cast<std::size_t>(k)) break;
+
+    std::vector<bool> participates(n, false);
+    std::size_t survivors_this_k = 0;
+    std::size_t enumerated_this_k = 0;
+    std::vector<model::ArcId> subset(k);
+    std::vector<double> subset_bw(k);
+
+    const std::function<void(std::size_t, int)> recurse =
+        [&](std::size_t start, int depth) {
+          if (stats.enumeration_truncated) return;
+          if (depth == k) {
+            ++stats.subsets_examined;
+            if (++enumerated_this_k > options.max_subsets_per_k) {
+              stats.enumeration_truncated = true;
+              return;
+            }
+            for (int i = 0; i < k; ++i) subset_bw[i] = bw[subset[i].index()];
+            if (options.use_theorem32 &&
+                theorem32_prunes(subset_bw, max_link_bw)) {
+              ++stats.pruned_bandwidth_per_k[k];
+              return;
+            }
+            const bool geometric_pruned =
+                (k == 2 && options.use_lemma31 &&
+                 lemma31_prunes(gamma, delta, subset[0], subset[1])) ||
+                (k >= 3 && options.use_lemma32 &&
+                 lemma32_prunes(cg, gamma, delta, subset, options.pivot_rule));
+            if (geometric_pruned) {
+              ++stats.pruned_geometry_per_k[k];
+              return;
+            }
+            ++survivors_this_k;
+            for (model::ArcId a : subset) participates[a.index()] = true;
+
+            std::optional<MergingPlan> star =
+                price_merging(cg, library, subset, options.policy);
+            std::optional<ChainPlan> chain =
+                options.enable_chain_topology
+                    ? price_chain_merging(cg, library, subset, options.policy)
+                    : std::nullopt;
+            std::optional<TreePlan> tree =
+                options.enable_tree_topology
+                    ? price_tree_merging(cg, library, subset, options.policy)
+                    : std::nullopt;
+            // Delay-constrained synthesis: a merged structure whose slowest
+            // channel busts the budget is not a candidate.
+            if (options.delay_budget) {
+              const auto& db = *options.delay_budget;
+              if (star && worst_arc_delay(*star, db.model) > db.budget) {
+                star.reset();
+              }
+              if (chain && worst_arc_delay(*chain, db.model) > db.budget) {
+                chain.reset();
+              }
+              if (tree && worst_arc_delay(*tree, db.model) > db.budget) {
+                tree.reset();
+              }
+            }
+            if (!star && !chain && !tree) {
+              ++stats.unpriceable_per_k[k];
+              return;
+            }
+            // Keep the cheapest structure for this subset.
+            constexpr double kInf = std::numeric_limits<double>::infinity();
+            const double star_cost = star ? star->cost : kInf;
+            const double chain_cost = chain ? chain->cost : kInf;
+            const double tree_cost = tree ? tree->cost : kInf;
+            const double cost =
+                std::min({star_cost, chain_cost, tree_cost});
+            if (options.drop_unprofitable) {
+              double members = 0.0;
+              for (model::ArcId a : subset) members += ptp_cost[a.index()];
+              if (cost >= members - 1e-9) {
+                ++stats.dropped_unprofitable_per_k[k];
+                return;
+              }
+            }
+            // Ties break toward the structurally simplest realization.
+            Candidate candidate{.arcs = subset, .cost = cost};
+            if (star && star_cost == cost) {
+              candidate.merging = std::move(star);
+            } else if (chain && chain_cost == cost) {
+              candidate.chain = std::move(chain);
+            } else {
+              candidate.tree = std::move(tree);
+            }
+            out.candidates.push_back(std::move(candidate));
+            return;
+          }
+          for (std::size_t i = start; i < pool.size(); ++i) {
+            subset[depth] = pool[i];
+            recurse(i + 1, depth + 1);
+          }
+        };
+    recurse(0, 0);
+    stats.survivors_per_k[k] = survivors_this_k;
+
+    // Theorem 3.1: an arc in no surviving k-subset can join no larger
+    // merging either; drop its Gamma-matrix column for all following k.
+    if (options.use_theorem31) {
+      for (model::ArcId a : pool) {
+        if (!participates[a.index()]) {
+          active[a.index()] = false;
+          stats.arc_eliminated_after_k[a.index()] = k;
+        }
+      }
+    }
+    if (survivors_this_k == 0) break;  // Gamma's column set is empty
+  }
+  return out;
+}
+
+}  // namespace cdcs::synth

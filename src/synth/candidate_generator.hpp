@@ -1,0 +1,104 @@
+// GenerateCandidateArcImplementations (Fig. 2): builds the set S of candidate
+// arc implementations -- the optimum point-to-point implementation of every
+// constraint arc, plus every k-way merging that survives the pruning tests
+// (Lemma 3.1 for pairs, Lemma 3.2 for k >= 3, Theorem 3.2 on bandwidth),
+// with Theorem 3.1 progressively eliminating arcs that can no longer appear
+// in any larger merging.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "synth/chain_pricer.hpp"
+#include "synth/mergeability.hpp"
+#include "synth/merging_pricer.hpp"
+#include "synth/plan_delay.hpp"
+#include "synth/tree_pricer.hpp"
+
+namespace cdcs::synth {
+
+struct SynthesisOptions {
+  model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum;
+  PivotRule pivot_rule = PivotRule::kMinDistance;
+
+  // Ablation switches (all on = the paper's algorithm).
+  bool use_lemma31 = true;    ///< pairwise geometric pruning at k = 2
+  bool use_lemma32 = true;    ///< pivot-based geometric pruning at k >= 3
+  bool use_theorem31 = true;  ///< progressive per-arc elimination
+  bool use_theorem32 = true;  ///< bandwidth-sum pruning
+
+  /// Drop priced mergings that do not beat the sum of their members'
+  /// point-to-point costs. Keeps the UCP matrix lean; never loses the
+  /// optimum (the member singletons cover the same rows for less).
+  bool drop_unprofitable = false;
+
+  /// Also price the daisy-chain (bus) structure for subsets with a common
+  /// endpoint and keep the cheaper of star/chain per subset.
+  bool enable_chain_topology = true;
+
+  /// Also price the Steiner-tree structure (Hanan-grid topology) for
+  /// subsets with a common endpoint; the cheapest of star/chain/tree wins.
+  bool enable_tree_topology = true;
+
+  /// Largest merging size considered; 0 means |A| (the paper's algorithm).
+  int max_merge_k = 0;
+
+  /// Safety valve on subset enumeration per k (the paper's examples stay in
+  /// the tens; random scaling benches can explode combinatorially).
+  std::size_t max_subsets_per_k = 5'000'000;
+
+  /// Delay-constrained synthesis: when set, every candidate must keep the
+  /// worst-case delay of each of its channels within `budget` under
+  /// `model` (per-length wire delay + per-node processing). Merged
+  /// structures whose detours/hops blow the budget are dropped; a
+  /// point-to-point singleton violating it makes the instance infeasible
+  /// (std::runtime_error), since no structure can be faster than the
+  /// dedicated straight-line implementation.
+  struct DelayBudget {
+    sim::DelayModel model;
+    double budget{0.0};
+  };
+  std::optional<DelayBudget> delay_budget;
+};
+
+/// One column of the covering problem: a single arc's point-to-point
+/// implementation, a star merging, a daisy-chain merging, or a Steiner-tree
+/// merging. Exactly one of the four plans is set.
+struct Candidate {
+  std::vector<model::ArcId> arcs;  ///< rows covered, sorted by index
+  double cost{0.0};
+  std::optional<PtpPlan> ptp;          ///< set iff arcs.size() == 1
+  std::optional<MergingPlan> merging;  ///< star structure (k >= 2)
+  std::optional<ChainPlan> chain;      ///< daisy-chain structure (k >= 2)
+  std::optional<TreePlan> tree;        ///< Steiner-tree structure (k >= 2)
+};
+
+struct GenerationStats {
+  /// survivors_per_k[k] = subsets of size k passing all pruning tests
+  /// (the paper's "thirteen 2-way, twenty-one 3-way, ..." counts).
+  std::vector<std::size_t> survivors_per_k;
+  std::vector<std::size_t> pruned_geometry_per_k;   ///< Lemma 3.1 / 3.2
+  std::vector<std::size_t> pruned_bandwidth_per_k;  ///< Theorem 3.2
+  std::vector<std::size_t> unpriceable_per_k;  ///< survived tests, no library plan
+  std::vector<std::size_t> dropped_unprofitable_per_k;
+  /// Per arc index: the k whose round eliminated the arc (Theorem 3.1);
+  /// 0 when the arc stayed active to the end.
+  std::vector<int> arc_eliminated_after_k;
+  std::size_t subsets_examined{0};
+  bool enumeration_truncated{false};  ///< hit max_subsets_per_k
+};
+
+struct CandidateSet {
+  std::vector<Candidate> candidates;  ///< singletons first, then mergings by k
+  GenerationStats stats;
+};
+
+/// Runs Fig. 2. Throws std::runtime_error when some constraint arc has no
+/// feasible point-to-point implementation (the problem is unsatisfiable with
+/// this library, since merging legs rely on the same plans).
+CandidateSet generate_candidates(const model::ConstraintGraph& cg,
+                                 const commlib::Library& library,
+                                 const SynthesisOptions& options = {});
+
+}  // namespace cdcs::synth

@@ -1,0 +1,35 @@
+#include "synth/gamma_delta.hpp"
+
+namespace cdcs::synth {
+
+ArcPairMatrix gamma_matrix(const model::ConstraintGraph& cg) {
+  const std::vector<model::ArcId> arcs = cg.arcs();
+  ArcPairMatrix m(arcs.size());
+  for (model::ArcId a : arcs) {
+    for (model::ArcId b : arcs) {
+      m.at(a, b) = cg.distance(a) + cg.distance(b);
+    }
+  }
+  return m;
+}
+
+ArcPairMatrix delta_matrix(const model::ConstraintGraph& cg) {
+  const std::vector<model::ArcId> arcs = cg.arcs();
+  ArcPairMatrix m(arcs.size());
+  for (model::ArcId a : arcs) {
+    for (model::ArcId b : arcs) {
+      m.at(a, b) = cg.vertex_distance(cg.source(a), cg.source(b)) +
+                   cg.vertex_distance(cg.target(a), cg.target(b));
+    }
+  }
+  return m;
+}
+
+std::vector<double> bandwidth_vector(const model::ConstraintGraph& cg) {
+  std::vector<double> b;
+  b.reserve(cg.num_channels());
+  for (model::ArcId a : cg.arcs()) b.push_back(cg.bandwidth(a));
+  return b;
+}
+
+}  // namespace cdcs::synth

@@ -1,0 +1,46 @@
+// The two symmetric matrices driving merge pruning (Sec. 3, Tables 1-2):
+//
+//   Gamma(a_i, a_j) = d(a_i) + d(a_j)                 (Constrained Distance Sum)
+//   Delta(a_i, a_j) = ||p(u_i)-p(u_j)|| + ||p(v_i)-p(v_j)||   (Merging Distance Sum)
+//
+// Gamma is the combined length the two channels must cover anyway; Delta is
+// the detour incurred by routing both through a shared structure. Lemma 3.1
+// prunes a pair whenever Gamma <= Delta.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::synth {
+
+/// Dense symmetric matrix indexed by constraint-arc index.
+class ArcPairMatrix {
+ public:
+  explicit ArcPairMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  std::size_t size() const { return n_; }
+
+  double operator()(model::ArcId a, model::ArcId b) const {
+    return data_[a.index() * n_ + b.index()];
+  }
+  double& at(model::ArcId a, model::ArcId b) {
+    return data_[a.index() * n_ + b.index()];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// ComputeConstrainedDistanceSumMatrix of Fig. 2 (Table 1).
+ArcPairMatrix gamma_matrix(const model::ConstraintGraph& cg);
+
+/// ComputeMergingDistanceSumMatrix of Fig. 2 (Table 2).
+ArcPairMatrix delta_matrix(const model::ConstraintGraph& cg);
+
+/// ComputeBandwidthVector of Fig. 2: b(a) per arc, by arc index.
+std::vector<double> bandwidth_vector(const model::ConstraintGraph& cg);
+
+}  // namespace cdcs::synth

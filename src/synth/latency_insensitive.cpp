@@ -1,0 +1,57 @@
+#include "synth/latency_insensitive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdcs::synth {
+namespace {
+
+/// ceil(a / b) with protection against exact-multiple floating noise.
+int robust_ceil_div(double a, double b) {
+  const double q = a / b;
+  const double r = std::round(q);
+  if (std::abs(q - r) < 1e-9 * std::max(1.0, std::abs(q))) {
+    return static_cast<int>(r);
+  }
+  return static_cast<int>(std::ceil(q));
+}
+
+}  // namespace
+
+DsmSegmentation dsm_segment(double length, const DsmParams& params) {
+  if (length <= 0.0) {
+    throw std::invalid_argument("dsm_segment: length must be positive");
+  }
+  if (params.l_crit <= 0.0 || params.clock_reach <= 0.0) {
+    throw std::invalid_argument("dsm_segment: non-positive parameter");
+  }
+  const int total_repeaters = robust_ceil_div(length, params.l_crit) - 1;
+  int latches = robust_ceil_div(length, params.clock_reach) - 1;
+  latches = std::min(latches, total_repeaters);
+  latches = std::max(latches, 0);
+  const int buffers = total_repeaters - latches;
+
+  DsmSegmentation out;
+  out.buffers = buffers;
+  out.latches = latches;
+  out.pipeline_depth = latches;  // each relay station adds one cycle
+  out.cost = buffers * params.buffer_cost + latches * params.latch_cost;
+  return out;
+}
+
+DsmPlan dsm_plan(const model::ConstraintGraph& cg, const DsmParams& params) {
+  DsmPlan plan;
+  for (model::ArcId a : cg.arcs()) {
+    DsmPlanRow row;
+    row.channel = cg.channel(a).name;
+    row.length = cg.distance(a);
+    row.segmentation = dsm_segment(row.length, params);
+    plan.total_buffers += row.segmentation.buffers;
+    plan.total_latches += row.segmentation.latches;
+    plan.total_cost += row.segmentation.cost;
+    plan.rows.push_back(std::move(row));
+  }
+  return plan;
+}
+
+}  // namespace cdcs::synth

@@ -1,0 +1,64 @@
+// Latency-insensitive segmentation -- the extension sketched in the paper's
+// conclusions (Sec. 4-5): "with the advent of deep sub-micron (DSM) process
+// technology (0.13u and below) [all links shorter than a clock period] will
+// be true for fewer wires. Still the approach presented in this work can be
+// combined with the recently proposed latency-insensitive methodology [1],
+// after making sure to define a cost function centered on the minimization
+// of both stateless (buffers) and stateful (latches) repeaters."
+//
+// Model: a wire of length L is segmented into pieces no longer than l_crit
+// (electrical constraint), requiring ceil(L / l_crit) - 1 repeaters in
+// total. A signal can only travel `clock_reach` of wire within one clock
+// period; every clock-period boundary crossed therefore needs its repeater
+// to be a STATEFUL relay station (latch), which pipelines the channel by one
+// cycle (the latency-insensitive protocol of [1] absorbs the added
+// latency). The remaining repeaters stay stateless buffers. When
+// clock_reach >= L no latch is needed and the result degenerates to the
+// paper's Fig. 5 cost model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::synth {
+
+struct DsmSegmentation {
+  int buffers{0};     ///< stateless repeaters (optimally sized inverters)
+  int latches{0};     ///< stateful relay stations at clock-period boundaries
+  int pipeline_depth{0};  ///< extra cycles introduced on the channel
+  double cost{0.0};
+};
+
+struct DsmParams {
+  double l_crit{0.6};        ///< max electrical segment length [mm]
+  double clock_reach{5.0};   ///< wire length traversable per clock [mm]
+  double buffer_cost{1.0};
+  double latch_cost{3.0};    ///< a relay station is a few flops + control
+};
+
+/// Segments one channel of length `length` under `params`. Total repeater
+/// count is ceil(length / l_crit) - 1; of these, ceil(length / clock_reach)
+/// - 1 must be latches (capped by the total). Throws std::invalid_argument
+/// on non-positive lengths or parameters.
+DsmSegmentation dsm_segment(double length, const DsmParams& params);
+
+struct DsmPlanRow {
+  std::string channel;
+  double length{0.0};
+  DsmSegmentation segmentation;
+};
+
+struct DsmPlan {
+  std::vector<DsmPlanRow> rows;
+  int total_buffers{0};
+  int total_latches{0};
+  double total_cost{0.0};
+};
+
+/// Applies dsm_segment to every channel of a constraint graph (lengths under
+/// the graph's norm).
+DsmPlan dsm_plan(const model::ConstraintGraph& cg, const DsmParams& params);
+
+}  // namespace cdcs::synth

@@ -1,0 +1,63 @@
+#include "synth/mergeability.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdcs::synth {
+
+bool lemma31_prunes(const ArcPairMatrix& gamma, const ArcPairMatrix& delta,
+                    model::ArcId a, model::ArcId b, double tolerance) {
+  return gamma(a, b) <= delta(a, b) + tolerance;
+}
+
+bool lemma32_prunes_with_pivot(const ArcPairMatrix& gamma,
+                               const ArcPairMatrix& delta,
+                               std::span<const model::ArcId> subset,
+                               model::ArcId pivot, double tolerance) {
+  double sum_gamma = 0.0;
+  double sum_delta = 0.0;
+  for (model::ArcId a : subset) {
+    if (a == pivot) continue;
+    sum_gamma += gamma(a, pivot);
+    sum_delta += delta(a, pivot);
+  }
+  return sum_gamma <= sum_delta + tolerance;
+}
+
+bool lemma32_prunes(const model::ConstraintGraph& cg,
+                    const ArcPairMatrix& gamma, const ArcPairMatrix& delta,
+                    std::span<const model::ArcId> subset, PivotRule rule,
+                    double tolerance) {
+  switch (rule) {
+    case PivotRule::kAnyPivot: {
+      return std::any_of(subset.begin(), subset.end(), [&](model::ArcId p) {
+        return lemma32_prunes_with_pivot(gamma, delta, subset, p, tolerance);
+      });
+    }
+    case PivotRule::kMinDistance: {
+      model::ArcId pivot = subset.front();
+      for (model::ArcId a : subset) {
+        if (cg.distance(a) < cg.distance(pivot)) pivot = a;
+      }
+      return lemma32_prunes_with_pivot(gamma, delta, subset, pivot, tolerance);
+    }
+    case PivotRule::kMaxIndex: {
+      const model::ArcId pivot = *std::max_element(subset.begin(), subset.end());
+      return lemma32_prunes_with_pivot(gamma, delta, subset, pivot, tolerance);
+    }
+  }
+  return false;
+}
+
+bool theorem32_prunes(std::span<const double> subset_bandwidths,
+                      double max_link_bandwidth, double tolerance) {
+  double sum = 0.0;
+  double min_b = std::numeric_limits<double>::infinity();
+  for (double b : subset_bandwidths) {
+    sum += b;
+    min_b = std::min(min_b, b);
+  }
+  return sum + tolerance >= max_link_bandwidth + min_b;
+}
+
+}  // namespace cdcs::synth

@@ -1,0 +1,58 @@
+// Merge-pruning tests: Lemma 3.1, Lemma 3.2, Theorem 3.2 (and the machinery
+// for Theorem 3.1's progressive arc elimination lives in the candidate
+// generator, which owns the k-loop).
+//
+// All tests are *sufficient conditions for non-mergeability*: when a test
+// fires, the subset provably cannot be a K-way merging in any optimal
+// implementation (given Assumption 2.1), so it is pruned from the candidate
+// set S without losing the global optimum.
+//
+// Lemma 3.2's inequality with pivot a_j rearranges to pure Gamma/Delta row
+// sums over the subset:
+//     (k-1) d(a_j) + sum_{i != j} d(a_i)  <=  sum_{i != j} Delta(a_i, a_j)
+// <=> sum_{i != j} Gamma(a_i, a_j)        <=  sum_{i != j} Delta(a_i, a_j)
+// The lemma holds for *any* choice of pivot, so applying it with every pivot
+// ("AnyPivot") is the strongest sound use. The paper's own experiment is
+// consistent with a single-pivot application (the minimum-distance arc),
+// which reproduces its candidate counts (13 / 21 / 16 on the WAN example);
+// both policies are provided, plus max-index for a literal "last element is
+// a_k" implementation.
+#pragma once
+
+#include <span>
+
+#include "synth/gamma_delta.hpp"
+
+namespace cdcs::synth {
+
+enum class PivotRule {
+  kMinDistance,  ///< pivot = arc with minimal d(a); matches the paper's counts
+  kAnyPivot,     ///< try every pivot; prunes strictly more, still exact
+  kMaxIndex,     ///< pivot = highest arc index in the subset
+};
+
+/// Lemma 3.1: returns true when the pair {a, b} is *pruned* (provably not
+/// 2-way mergeable): d(a) + d(b) <= ||u_a - u_b|| + ||v_a - v_b||.
+bool lemma31_prunes(const ArcPairMatrix& gamma, const ArcPairMatrix& delta,
+                    model::ArcId a, model::ArcId b, double tolerance = 1e-9);
+
+/// Lemma 3.2 with a single pivot j in `subset`: true when the subset is
+/// pruned using that pivot.
+bool lemma32_prunes_with_pivot(const ArcPairMatrix& gamma,
+                               const ArcPairMatrix& delta,
+                               std::span<const model::ArcId> subset,
+                               model::ArcId pivot, double tolerance = 1e-9);
+
+/// Lemma 3.2 under a pivot rule: true when the subset is pruned.
+bool lemma32_prunes(const model::ConstraintGraph& cg,
+                    const ArcPairMatrix& gamma, const ArcPairMatrix& delta,
+                    std::span<const model::ArcId> subset, PivotRule rule,
+                    double tolerance = 1e-9);
+
+/// Theorem 3.2: true when the subset is pruned on bandwidth grounds:
+///   sum_i b(a_i) >= max_{l in L} b(l) + min_j b(a_j).
+/// `max_link_bandwidth` is Library::max_link_bandwidth().
+bool theorem32_prunes(std::span<const double> subset_bandwidths,
+                      double max_link_bandwidth, double tolerance = 1e-9);
+
+}  // namespace cdcs::synth

@@ -1,0 +1,205 @@
+#include "synth/merging_pricer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/minimize.hpp"
+#include "geom/weiszfeld.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+constexpr double kCoincideEps = 1e-9;
+
+bool all_coincide(const std::vector<geom::Point2D>& pts) {
+  return std::all_of(pts.begin(), pts.end(), [&](geom::Point2D p) {
+    return geom::almost_equal(p, pts.front(), kCoincideEps);
+  });
+}
+
+/// Marginal cost per unit length of the cheapest realization carrying
+/// bandwidth b: min over links of dup(b, l) * cost_per_length(l), where
+/// dup is the duplication factor (only available when the library has
+/// mux/demux-capable nodes). Under a linear cost model this slope is EXACT
+/// -- the leg cost is slope * length plus span-independent node constants --
+/// so the placement problem becomes a weighted Fermat-Weber instance.
+/// For general libraries it is the Weiszfeld warm-start weight.
+double length_slope(double b, const commlib::Library& lib, bool can_bundle) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const commlib::Link& l : lib.links()) {
+    if (l.bandwidth <= 0.0) continue;
+    const double dup = std::ceil(b / l.bandwidth - 1e-12);
+    if (dup > 1.0 && !can_bundle) continue;
+    best = std::min(best, std::max(dup, 1.0) * l.cost_per_length);
+  }
+  return std::isfinite(best) && best > 0.0 ? best : 1.0;
+}
+
+}  // namespace
+
+std::optional<MergingPlan> price_merging(const model::ConstraintGraph& cg,
+                                         const commlib::Library& library,
+                                         std::vector<model::ArcId> subset,
+                                         model::CapacityPolicy policy) {
+  if (subset.size() < 2) return std::nullopt;
+  std::sort(subset.begin(), subset.end());
+
+  const geom::Norm norm = cg.norm();
+  std::vector<geom::Point2D> sources;
+  std::vector<geom::Point2D> targets;
+  std::vector<double> bandwidths;
+  for (model::ArcId a : subset) {
+    sources.push_back(cg.position(cg.source(a)));
+    targets.push_back(cg.position(cg.target(a)));
+    bandwidths.push_back(cg.bandwidth(a));
+  }
+
+  MergingPlan plan;
+  plan.arcs = subset;
+  plan.has_hub = !all_coincide(sources);
+  plan.has_split = !all_coincide(targets);
+
+  if (plan.has_hub) {
+    plan.hub_node = library.cheapest_node(commlib::NodeKind::kMux);
+    if (!plan.hub_node) return std::nullopt;
+  }
+  if (plan.has_split) {
+    plan.split_node = library.cheapest_node(commlib::NodeKind::kDemux);
+    if (!plan.split_node) return std::nullopt;
+  }
+
+  plan.trunk_bandwidth = 0.0;
+  for (double b : bandwidths) {
+    plan.trunk_bandwidth = policy == model::CapacityPolicy::kSharedSum
+                               ? plan.trunk_bandwidth + b
+                               : std::max(plan.trunk_bandwidth, b);
+  }
+
+  // Variable cost as a function of the two trunk endpoints. Node costs are
+  // constants and added at the end.
+  auto legs_cost = [&](geom::Point2D hub, geom::Point2D split) {
+    double total = best_point_to_point_cost(
+        geom::distance(hub, split, norm), plan.trunk_bandwidth, library);
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      if (plan.has_hub) {
+        total += best_point_to_point_cost(
+            geom::distance(sources[i], hub, norm), bandwidths[i], library);
+      }
+      if (plan.has_split) {
+        total += best_point_to_point_cost(
+            geom::distance(split, targets[i], norm), bandwidths[i], library);
+      }
+    }
+    return total;
+  };
+
+  // Fixed endpoints when a side is common; otherwise optimize.
+  geom::Point2D hub = sources.front();
+  geom::Point2D split = targets.front();
+
+  if (plan.has_hub || plan.has_split) {
+    const bool can_bundle =
+        library.cheapest_node(commlib::NodeKind::kMux).has_value() &&
+        library.cheapest_node(commlib::NodeKind::kDemux).has_value();
+    const double trunk_w =
+        length_slope(plan.trunk_bandwidth, library, can_bundle);
+    std::vector<double> leg_w;
+    leg_w.reserve(bandwidths.size());
+    for (double b : bandwidths) {
+      leg_w.push_back(length_slope(b, library, can_bundle));
+    }
+
+    // Weiszfeld placement: each free endpoint is pulled by its own legs
+    // plus the trunk toward the opposite endpoint. Exact for linear cost
+    // models; a warm start otherwise.
+    auto weiszfeld_hub = [&]() {
+      std::vector<geom::Point2D> pts = sources;
+      std::vector<double> ws = leg_w;
+      pts.push_back(split);
+      ws.push_back(trunk_w);
+      return geom::weighted_geometric_median(pts, ws, norm);
+    };
+    auto weiszfeld_split = [&]() {
+      std::vector<geom::Point2D> pts = targets;
+      std::vector<double> ws = leg_w;
+      pts.push_back(hub);
+      ws.push_back(trunk_w);
+      return geom::weighted_geometric_median(pts, ws, norm);
+    };
+    if (plan.has_hub) hub = weiszfeld_hub();
+    if (plan.has_split) split = weiszfeld_split();
+
+    const int rounds = (plan.has_hub && plan.has_split) ? 3 : 1;
+    if (library.linear_cost_model()) {
+      // Leg costs are exactly slope * length + constants: alternating
+      // Weiszfeld solves each coordinate block to optimality.
+      for (int r = 1; r < rounds; ++r) {
+        if (plan.has_hub) hub = weiszfeld_hub();
+        if (plan.has_split) split = weiszfeld_split();
+      }
+    } else {
+      // Segmented / fixed-cost libraries make the objective piecewise;
+      // refine the Weiszfeld seed with a bounded derivative-free search.
+      geom::BBox box;
+      for (geom::Point2D p : sources) box.expand(p);
+      for (geom::Point2D p : targets) box.expand(p);
+      box.inflate(1e-6);
+      geom::NelderMeadOptions nm;
+      nm.max_iterations = 150;
+      nm.restarts = 1;
+      nm.tolerance = 1e-8;
+      for (int r = 0; r < rounds; ++r) {
+        if (plan.has_hub) {
+          auto f = [&](geom::Point2D h) { return legs_cost(h, split); };
+          const geom::MinimizeResult2D res =
+              geom::minimize_in_box(f, box, 6, nm);
+          if (res.value <= legs_cost(hub, split)) hub = res.x;
+        }
+        if (plan.has_split) {
+          auto f = [&](geom::Point2D s) { return legs_cost(hub, s); };
+          const geom::MinimizeResult2D res =
+              geom::minimize_in_box(f, box, 6, nm);
+          if (res.value <= legs_cost(hub, split)) split = res.x;
+        }
+      }
+    }
+  }
+
+  plan.hub_pos = hub;
+  plan.split_pos = split;
+
+  // Materialize the leg plans at the chosen positions.
+  double cost = 0.0;
+  const double trunk_span = geom::distance(hub, split, norm);
+  std::optional<PtpPlan> trunk =
+      best_point_to_point(trunk_span, plan.trunk_bandwidth, library);
+  if (!trunk) return std::nullopt;
+  plan.trunk = trunk;
+  cost += trunk->cost;
+
+  plan.ingress.resize(subset.size());
+  plan.egress.resize(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    if (plan.has_hub) {
+      auto leg = best_point_to_point(geom::distance(sources[i], hub, norm),
+                                     bandwidths[i], library);
+      if (!leg) return std::nullopt;
+      cost += leg->cost;
+      plan.ingress[i] = leg;
+    }
+    if (plan.has_split) {
+      auto leg = best_point_to_point(geom::distance(split, targets[i], norm),
+                                     bandwidths[i], library);
+      if (!leg) return std::nullopt;
+      cost += leg->cost;
+      plan.egress[i] = leg;
+    }
+  }
+  if (plan.hub_node) cost += library.node(*plan.hub_node).cost;
+  if (plan.split_node) cost += library.node(*plan.split_node).cost;
+  plan.cost = cost;
+  return plan;
+}
+
+}  // namespace cdcs::synth

@@ -1,0 +1,36 @@
+#include "synth/synthesizer.hpp"
+
+#include <stdexcept>
+
+#include "model/validator.hpp"
+
+namespace cdcs::synth {
+
+SynthesisResult synthesize(const model::ConstraintGraph& cg,
+                           const commlib::Library& library,
+                           const SynthesisOptions& options,
+                           const ucp::BnbOptions& solver_options) {
+  SynthesisResult result;
+  result.candidate_set = generate_candidates(cg, library, options);
+
+  ucp::CoverProblem cover(cg.num_channels());
+  for (const Candidate& c : result.candidate_set.candidates) {
+    std::vector<std::size_t> rows;
+    rows.reserve(c.arcs.size());
+    for (model::ArcId a : c.arcs) rows.push_back(a.index());
+    cover.add_column(rows, c.cost);
+  }
+  result.cover = ucp::solve_exact(cover, solver_options);
+  if (result.cover.chosen.empty() && cg.num_channels() > 0) {
+    throw std::runtime_error("synthesize: covering problem is infeasible");
+  }
+
+  result.implementation = assemble(cg, library,
+                                   result.candidate_set.candidates,
+                                   result.cover.chosen);
+  result.total_cost = result.implementation->cost();
+  result.validation = model::validate(*result.implementation, options.policy);
+  return result;
+}
+
+}  // namespace cdcs::synth

@@ -1,0 +1,49 @@
+// Top-level constraint-driven communication synthesis (Problem 2.1).
+//
+// Pipeline, exactly as Sec. 3 describes:
+//   1. generate_candidates  -- Fig. 2: point-to-point optima + non-pruned
+//                              k-way mergings, each priced by the placement
+//                              optimizer;
+//   2. weighted UCP         -- rows = constraint arcs, columns = candidates,
+//                              solved exactly by branch-and-bound;
+//   3. assemble             -- materialize the winning columns into the
+//                              final implementation graph;
+//   4. validate             -- independent Def 2.4 / flow check.
+#pragma once
+
+#include <memory>
+
+#include "synth/assemble.hpp"
+#include "ucp/bnb.hpp"
+
+namespace cdcs::synth {
+
+struct SynthesisResult {
+  CandidateSet candidate_set;
+  ucp::CoverSolution cover;         ///< chosen indices == candidate indices
+  double total_cost{0.0};           ///< Def 2.5 cost of `implementation`
+  std::unique_ptr<model::ImplementationGraph> implementation;
+  model::ValidationReport validation;
+
+  const std::vector<Candidate>& candidates() const {
+    return candidate_set.candidates;
+  }
+  /// The selected candidates (columns of the UCP optimum).
+  std::vector<const Candidate*> selected() const {
+    std::vector<const Candidate*> sel;
+    for (std::size_t j : cover.chosen) {
+      sel.push_back(&candidate_set.candidates[j]);
+    }
+    return sel;
+  }
+};
+
+/// Solves Problem 2.1 for (cg, library). The returned implementation graph
+/// keeps references to `cg` and `library`; both must outlive the result.
+/// Throws std::runtime_error when some arc cannot be implemented at all.
+SynthesisResult synthesize(const model::ConstraintGraph& cg,
+                           const commlib::Library& library,
+                           const SynthesisOptions& options = {},
+                           const ucp::BnbOptions& solver_options = {});
+
+}  // namespace cdcs::synth

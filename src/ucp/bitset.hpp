@@ -1,0 +1,106 @@
+// Small dynamic bitset tuned for covering-matrix rows. The UCP solver works
+// on row sets of a few dozen to a few thousand elements; std::vector<bool>
+// lacks word-level set algebra, so this provides exactly the operations the
+// reductions and bounds need (subset test, intersection count, iteration).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cdcs::ucp {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+  bool any() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  /// this := this & ~other
+  void subtract(const Bitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+  /// this := this | other
+  void unite(const Bitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+  /// this := this & other
+  void intersect(const Bitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  bool intersects(const Bitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+  std::size_t intersection_count(const Bitset& other) const {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += std::popcount(words_[i] & other.words_[i]);
+    }
+    return c;
+  }
+  bool is_subset_of(const Bitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Index of the lowest set bit, or size() when empty.
+  std::size_t first() const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] != 0) {
+        return (i << 6) + std::countr_zero(words_[i]);
+      }
+    }
+    return bits_;
+  }
+
+  /// Calls f(index) for every set bit in ascending order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        f((i << 6) + b);
+        w &= w - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const Bitset&, const Bitset&) = default;
+
+ private:
+  std::size_t bits_{0};
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cdcs::ucp

@@ -1,0 +1,249 @@
+#include "ucp/bnb.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ucp/dp.hpp"
+#include "ucp/greedy.hpp"
+
+namespace cdcs::ucp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct SearchState {
+  Bitset uncovered;
+  std::vector<char> available;  ///< per column
+};
+
+class Solver {
+ public:
+  Solver(const CoverProblem& problem, const BnbOptions& options)
+      : p_(problem), opt_(options) {}
+
+  CoverSolution run() {
+    CoverSolution greedy = solve_greedy(p_);
+    best_cost_ = greedy.cost;
+    best_ = greedy.chosen;
+
+    SearchState root{Bitset(p_.num_rows()),
+                     std::vector<char>(p_.num_columns(), 1)};
+    for (std::size_t r = 0; r < p_.num_rows(); ++r) root.uncovered.set(r);
+
+    std::vector<std::size_t> chosen;
+    complete_ = true;
+    branch(root, 0.0, chosen, 0);
+
+    CoverSolution sol;
+    sol.chosen = best_;
+    std::sort(sol.chosen.begin(), sol.chosen.end());
+    sol.cost = best_cost_;
+    sol.optimal = complete_ && best_cost_ < kInf;
+    sol.nodes_explored = nodes_;
+    return sol;
+  }
+
+ private:
+  /// Applies reductions in place; appends forced columns to `chosen` and adds
+  /// their weight to `cost`. Returns false when the branch is infeasible.
+  bool reduce(SearchState& s, double& cost, std::vector<std::size_t>& chosen,
+              int depth) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+
+      // Essential columns (and infeasibility detection).
+      bool found_essential = true;
+      while (found_essential) {
+        found_essential = false;
+        std::size_t essential_col = p_.num_columns();
+        bool dead = false;
+        s.uncovered.for_each([&](std::size_t r) {
+          if (dead || essential_col != p_.num_columns()) return;
+          std::size_t count = 0;
+          std::size_t only = p_.num_columns();
+          for (std::size_t j = 0; j < p_.num_columns() && count < 2; ++j) {
+            if (s.available[j] && p_.column(j).rows.test(r)) {
+              ++count;
+              only = j;
+            }
+          }
+          if (count == 0) {
+            dead = true;
+          } else if (count == 1) {
+            essential_col = only;
+          }
+        });
+        if (dead) return false;
+        if (essential_col != p_.num_columns()) {
+          cost += p_.column(essential_col).weight;
+          if (cost >= best_cost_) return false;
+          chosen.push_back(essential_col);
+          s.uncovered.subtract(p_.column(essential_col).rows);
+          s.available[essential_col] = 0;
+          found_essential = true;
+          changed = true;
+          if (s.uncovered.none()) return true;
+        }
+      }
+
+      // Row dominance: if every available column covering r2 also covers r1,
+      // r1 is automatically satisfied when r2 is -> ignore r1.
+      if (opt_.use_row_dominance) {
+        std::vector<std::size_t> rows;
+        s.uncovered.for_each([&](std::size_t r) { rows.push_back(r); });
+        for (std::size_t r1 : rows) {
+          if (!s.uncovered.test(r1)) continue;
+          for (std::size_t r2 : rows) {
+            if (r1 == r2 || !s.uncovered.test(r2) || !s.uncovered.test(r1)) {
+              continue;
+            }
+            bool subset = true;  // cols(r2) subseteq cols(r1)?
+            for (std::size_t j = 0; j < p_.num_columns() && subset; ++j) {
+              if (s.available[j] && p_.column(j).rows.test(r2) &&
+                  !p_.column(j).rows.test(r1)) {
+                subset = false;
+              }
+            }
+            if (subset) {
+              s.uncovered.reset(r1);
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+
+      // Column dominance on the remaining rows.
+      if (opt_.use_column_dominance && depth <= opt_.column_dominance_max_depth) {
+        for (std::size_t j1 = 0; j1 < p_.num_columns(); ++j1) {
+          if (!s.available[j1]) continue;
+          Bitset r1 = p_.column(j1).rows;
+          r1.intersect(s.uncovered);
+          if (r1.none()) {
+            s.available[j1] = 0;  // useless column
+            changed = true;
+            continue;
+          }
+          for (std::size_t j2 = 0; j2 < p_.num_columns(); ++j2) {
+            if (j1 == j2 || !s.available[j2]) continue;
+            const double w1 = p_.column(j1).weight;
+            const double w2 = p_.column(j2).weight;
+            // Tie-break by index so two identical columns don't erase each
+            // other.
+            if (w2 > w1 || (w2 == w1 && j2 > j1)) continue;
+            Bitset r2 = p_.column(j2).rows;
+            r2.intersect(s.uncovered);
+            if (r1.is_subset_of(r2)) {
+              s.available[j1] = 0;
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  double lower_bound(const SearchState& s) const {
+    if (!opt_.use_mis_lower_bound) return 0.0;
+    double bound = 0.0;
+    std::vector<char> blocked(p_.num_columns(), 0);
+    s.uncovered.for_each([&](std::size_t r) {
+      double cheapest = kInf;
+      bool independent = true;
+      for (std::size_t j = 0; j < p_.num_columns(); ++j) {
+        if (!s.available[j] || !p_.column(j).rows.test(r)) continue;
+        if (blocked[j]) independent = false;
+        cheapest = std::min(cheapest, p_.column(j).weight);
+      }
+      if (independent && cheapest < kInf) {
+        bound += cheapest;
+        for (std::size_t j = 0; j < p_.num_columns(); ++j) {
+          if (s.available[j] && p_.column(j).rows.test(r)) blocked[j] = 1;
+        }
+      }
+    });
+    return bound;
+  }
+
+  void branch(SearchState s, double cost, std::vector<std::size_t> chosen,
+              int depth) {
+    if (nodes_ >= opt_.max_nodes) {
+      complete_ = false;
+      return;
+    }
+    ++nodes_;
+
+    if (!reduce(s, cost, chosen, depth)) return;
+    if (s.uncovered.none()) {
+      if (cost < best_cost_) {
+        best_cost_ = cost;
+        best_ = chosen;
+      }
+      return;
+    }
+    if (cost + lower_bound(s) >= best_cost_) return;
+
+    // Branch on the uncovered row with the fewest available columns.
+    std::size_t best_row = p_.num_rows();
+    std::size_t best_count = std::numeric_limits<std::size_t>::max();
+    s.uncovered.for_each([&](std::size_t r) {
+      std::size_t count = 0;
+      for (std::size_t j = 0; j < p_.num_columns(); ++j) {
+        if (s.available[j] && p_.column(j).rows.test(r)) ++count;
+      }
+      if (count < best_count) {
+        best_count = count;
+        best_row = r;
+      }
+    });
+    if (best_row == p_.num_rows()) return;
+
+    std::vector<std::size_t> cols;
+    for (std::size_t j = 0; j < p_.num_columns(); ++j) {
+      if (s.available[j] && p_.column(j).rows.test(best_row)) cols.push_back(j);
+    }
+    std::sort(cols.begin(), cols.end(), [&](std::size_t a, std::size_t b) {
+      return p_.column(a).weight < p_.column(b).weight;
+    });
+
+    for (std::size_t j : cols) {
+      SearchState child = s;
+      child.uncovered.subtract(p_.column(j).rows);
+      child.available[j] = 0;
+      std::vector<std::size_t> child_chosen = chosen;
+      child_chosen.push_back(j);
+      const double child_cost = cost + p_.column(j).weight;
+      if (child_cost < best_cost_) {
+        branch(std::move(child), child_cost, std::move(child_chosen),
+               depth + 1);
+      }
+      // Sibling branches assume column j excluded: any cover using j was
+      // just explored.
+      s.available[j] = 0;
+    }
+  }
+
+  const CoverProblem& p_;
+  const BnbOptions& opt_;
+  double best_cost_{kInf};
+  std::vector<std::size_t> best_;
+  std::size_t nodes_{0};
+  bool complete_{true};
+};
+
+}  // namespace
+
+CoverSolution solve_exact(const CoverProblem& problem,
+                          const BnbOptions& options) {
+  if (problem.num_rows() <=
+      std::min(options.dense_dp_max_rows, kDenseDpMaxRows)) {
+    return solve_dp(problem);
+  }
+  Solver solver(problem, options);
+  return solver.run();
+}
+
+}  // namespace cdcs::ucp

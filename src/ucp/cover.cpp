@@ -1,0 +1,44 @@
+#include "ucp/cover.hpp"
+
+#include <stdexcept>
+
+namespace cdcs::ucp {
+
+std::size_t CoverProblem::add_column(const std::vector<std::size_t>& rows,
+                                     double weight) {
+  if (weight < 0.0) {
+    throw std::invalid_argument("CoverProblem: negative column weight");
+  }
+  Column col{Bitset(num_rows_), weight};
+  for (std::size_t r : rows) {
+    if (r >= num_rows_) {
+      throw std::out_of_range("CoverProblem: row index out of range");
+    }
+    col.rows.set(r);
+  }
+  if (col.rows.none()) {
+    throw std::invalid_argument("CoverProblem: column covers no rows");
+  }
+  columns_.push_back(std::move(col));
+  return columns_.size() - 1;
+}
+
+bool CoverProblem::feasible() const {
+  Bitset covered(num_rows_);
+  for (const Column& c : columns_) covered.unite(c.rows);
+  return covered.count() == num_rows_;
+}
+
+double CoverProblem::cost_of(const std::vector<std::size_t>& chosen) const {
+  double total = 0.0;
+  for (std::size_t j : chosen) total += columns_.at(j).weight;
+  return total;
+}
+
+bool CoverProblem::covers_all(const std::vector<std::size_t>& chosen) const {
+  Bitset covered(num_rows_);
+  for (std::size_t j : chosen) covered.unite(columns_.at(j).rows);
+  return covered.count() == num_rows_;
+}
+
+}  // namespace cdcs::ucp

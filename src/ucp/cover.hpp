@@ -1,0 +1,61 @@
+// Weighted Unate Covering Problem (Sec. 3, step 2).
+//
+// The covering matrix associates a row to each constraint arc and a column to
+// each candidate arc implementation; entry (i, j) is 1 when candidate j
+// implements arc i, and each column carries the candidate's cost as weight.
+// The global optimum of Problem 2.1 is the minimum-weight set of columns
+// covering all rows. This module holds the problem representation; solvers
+// live in greedy.hpp (fast upper bound) and bnb.hpp (exact branch-and-bound
+// in the spirit of the paper's references [4] Goldberg et al. and [8]
+// Liao--Devadas, reimplemented from scratch).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ucp/bitset.hpp"
+
+namespace cdcs::ucp {
+
+struct Column {
+  Bitset rows;    ///< rows covered by this column
+  double weight;  ///< candidate cost (must be >= 0)
+};
+
+class CoverProblem {
+ public:
+  explicit CoverProblem(std::size_t num_rows) : num_rows_(num_rows) {}
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column covering `rows` (row indices) with the given weight;
+  /// returns its index.
+  std::size_t add_column(const std::vector<std::size_t>& rows, double weight);
+
+  const Column& column(std::size_t j) const { return columns_.at(j); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// True when every row is covered by at least one column (otherwise no
+  /// solution exists).
+  bool feasible() const;
+
+  /// Total weight of a column selection.
+  double cost_of(const std::vector<std::size_t>& chosen) const;
+
+  /// True when `chosen` covers every row.
+  bool covers_all(const std::vector<std::size_t>& chosen) const;
+
+ private:
+  std::size_t num_rows_;
+  std::vector<Column> columns_;
+};
+
+struct CoverSolution {
+  std::vector<std::size_t> chosen;  ///< column indices, ascending
+  double cost{0.0};
+  bool optimal{false};   ///< proven optimal (bnb completed within node budget)
+  std::size_t nodes_explored{0};
+};
+
+}  // namespace cdcs::ucp

@@ -1,0 +1,30 @@
+// Exact dense dynamic program for weighted UCP with few rows.
+//
+// Covering instances produced by communication synthesis have one row per
+// constraint arc -- typically well under 24 -- while the column count can
+// reach the thousands (every surviving merging). Branch-and-bound degrades
+// badly there (hundreds of near-equal columns per row explode the branching
+// factor), but the row-subset state space is tiny: over masks m of still-
+// uncovered rows,
+//
+//     dp[m] = min over columns c covering the lowest row of m of
+//             dp[m \ rows(c)] + weight(c)
+//
+// runs in O(2^R * avg-columns-per-row) time and O(2^R) space -- milliseconds
+// for R <= 20 regardless of column count. solve_exact() dispatches here
+// automatically below the row threshold (see BnbOptions::dense_dp_max_rows).
+#pragma once
+
+#include "ucp/cover.hpp"
+
+namespace cdcs::ucp {
+
+/// Hard cap on rows (memory: 3 * 2^R words). solve_dp refuses above it.
+inline constexpr std::size_t kDenseDpMaxRows = 24;
+
+/// Exact minimum-weight cover via subset DP. Throws std::invalid_argument
+/// when num_rows exceeds kDenseDpMaxRows. Infeasible -> cost = +infinity,
+/// empty chosen, optimal = false. `nodes_explored` counts DP states.
+CoverSolution solve_dp(const CoverProblem& problem);
+
+}  // namespace cdcs::ucp

@@ -1,0 +1,41 @@
+#include "ucp/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdcs::ucp {
+
+CoverSolution solve_greedy(const CoverProblem& problem) {
+  CoverSolution sol;
+  Bitset uncovered(problem.num_rows());
+  for (std::size_t r = 0; r < problem.num_rows(); ++r) uncovered.set(r);
+
+  while (uncovered.any()) {
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::size_t best_j = problem.num_columns();
+    for (std::size_t j = 0; j < problem.num_columns(); ++j) {
+      const std::size_t gain =
+          problem.column(j).rows.intersection_count(uncovered);
+      if (gain == 0) continue;
+      const double ratio =
+          problem.column(j).weight / static_cast<double>(gain);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best_j = j;
+      }
+    }
+    if (best_j == problem.num_columns()) {
+      // Some row is uncoverable; report infeasibility.
+      sol.chosen.clear();
+      sol.cost = std::numeric_limits<double>::infinity();
+      return sol;
+    }
+    sol.chosen.push_back(best_j);
+    uncovered.subtract(problem.column(best_j).rows);
+  }
+  std::sort(sol.chosen.begin(), sol.chosen.end());
+  sol.cost = problem.cost_of(sol.chosen);
+  return sol;
+}
+
+}  // namespace cdcs::ucp

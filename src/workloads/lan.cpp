@@ -1,0 +1,37 @@
+#include "workloads/lan.hpp"
+
+namespace cdcs::workloads {
+
+model::ConstraintGraph campus_lan() {
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  // Building 1: office wing.
+  const model::VertexId ws1 = cg.add_port("workstation-1", {0.0, 0.0});
+  const model::VertexId ws2 = cg.add_port("workstation-2", {18.0, 6.0});
+  // Building 2: lab, ~200 m east.
+  const model::VertexId lab1 = cg.add_port("lab-server", {210.0, 20.0});
+  const model::VertexId lab2 = cg.add_port("lab-capture", {228.0, 34.0});
+  // Building 3: data center, ~350 m north-east.
+  const model::VertexId dc = cg.add_port("datacenter", {340.0, 260.0});
+  const model::VertexId backup = cg.add_port("backup-array", {352.0, 268.0});
+
+  // Office traffic: light, wireless-friendly.
+  cg.add_channel(ws1, ws2, 20.0, "office-share");
+  cg.add_channel(ws1, lab1, 30.0, "ws1->lab");
+  cg.add_channel(ws2, lab1, 30.0, "ws2->lab");
+  // Lab instrumentation: a capture stream beyond one wireless link.
+  cg.add_channel(lab2, lab1, 90.0, "capture->server");
+  // Lab to datacenter bulk transfers; the raw capture archive stream also
+  // exceeds wireless rates, so both lab sources want fiber northbound --
+  // a natural trunk-sharing opportunity.
+  cg.add_channel(lab1, dc, 400.0, "lab->dc");
+  cg.add_channel(lab2, dc, 100.0, "capture->archive");
+  cg.add_channel(dc, lab1, 150.0, "dc->lab");
+  // Office offsite backups.
+  cg.add_channel(ws1, dc, 40.0, "ws1->dc");
+  cg.add_channel(ws2, dc, 40.0, "ws2->dc");
+  // Intra-datacenter mirroring.
+  cg.add_channel(dc, backup, 2000.0, "dc->backup");
+  return cg;
+}
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,14 @@
+// Campus-LAN workload for the introduction's fiber-vs-wireless design
+// question: clients and servers spread over a few hundred meters, some
+// channels demanding more than a wireless link can sustain. Pairs with
+// commlib::lan_library().
+#pragma once
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::workloads {
+
+/// Three buildings, six hosts, ten channels; Euclidean norm, meters, Mbps.
+model::ConstraintGraph campus_lan();
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,30 @@
+#include "workloads/mcm.hpp"
+
+namespace cdcs::workloads {
+
+model::ConstraintGraph mcm_board() {
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  // A 30 x 20 cm board; the memory hub sits between the CPUs, the I/O die
+  // at the edge by the connectors.
+  const model::VertexId cpu0 = cg.add_port("cpu0", {8.0, 12.0});
+  const model::VertexId cpu1 = cg.add_port("cpu1", {22.0, 12.0});
+  const model::VertexId hub = cg.add_port("mem_hub", {15.0, 8.0});
+  const model::VertexId io = cg.add_port("io_die", {27.0, 3.0});
+
+  // Cache-coherence: wide, symmetric, latency-critical.
+  cg.add_channel(cpu0, cpu1, 24.0, "coh0->1");
+  cg.add_channel(cpu1, cpu0, 24.0, "coh1->0");
+  // Memory traffic: both CPUs stream reads/writes through the hub.
+  cg.add_channel(cpu0, hub, 16.0, "mem-wr0");
+  cg.add_channel(hub, cpu0, 20.0, "mem-rd0");
+  cg.add_channel(cpu1, hub, 16.0, "mem-wr1");
+  cg.add_channel(hub, cpu1, 20.0, "mem-rd1");
+  // I/O DMA: device traffic lands in memory, plus a doorbell path per CPU.
+  cg.add_channel(io, hub, 12.0, "dma-in");
+  cg.add_channel(hub, io, 6.0, "dma-out");
+  cg.add_channel(cpu0, io, 2.0, "mmio0");
+  cg.add_channel(cpu1, io, 2.0, "mmio1");
+  return cg;
+}
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,18 @@
+// Multi-chip-module / board-level workload -- the paper's Sec. 2 list of
+// target systems names "a multi-chip multi-processor system" alongside SoCs
+// and LANs. Four dies on a substrate: two CPUs, a memory-hub die and an I/O
+// die, with coherence, memory and DMA traffic. Pairs with
+// commlib::mcm_library(): cheap distance-limited PCB traces (re-drivers
+// extend them) versus expensive but fast board-length serdes links --
+// the same matching/segmentation/duplication/merging trade-offs as the WAN,
+// at centimeter scale.
+#pragma once
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::workloads {
+
+/// Positions in centimeters (Euclidean), bandwidths in GB/s.
+model::ConstraintGraph mcm_board();
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,38 @@
+#include "workloads/mpeg4_soc.hpp"
+
+namespace cdcs::workloads {
+
+model::ConstraintGraph mpeg4_soc() {
+  model::ConstraintGraph cg(geom::Norm::kManhattan);
+  const model::VertexId risc = cg.add_port("risc_cpu", {0.85, 4.25});
+  const model::VertexId dsp = cg.add_port("dsp", {3.85, 4.30});
+  const model::VertexId sdram = cg.add_port("sdram_ctrl", {2.50, 4.70});
+  const model::VertexId vld = cg.add_port("vld", {0.80, 2.60});
+  const model::VertexId idct = cg.add_port("idct", {2.20, 2.40});
+  const model::VertexId mc = cg.add_port("motion_comp", {3.97, 2.50});
+  const model::VertexId dma = cg.add_port("dma", {2.45, 3.40});
+  const model::VertexId vout = cg.add_port("video_out", {4.30, 0.80});
+  const model::VertexId audio = cg.add_port("audio_if", {0.70, 0.90});
+  const model::VertexId bus = cg.add_port("bus_bridge", {2.75, 1.20});
+
+  const double b = kMpeg4ChannelBandwidth;
+  // The decode pipeline plus host/memory traffic: the "most critical
+  // channels" of the design.
+  cg.add_channel(sdram, dma, b, "sdram->dma");
+  cg.add_channel(dma, vld, b, "dma->vld");
+  cg.add_channel(vld, idct, b, "vld->idct");
+  cg.add_channel(idct, mc, b, "idct->mc");
+  cg.add_channel(mc, vout, b, "mc->video_out");
+  cg.add_channel(risc, sdram, b, "risc->sdram");
+  cg.add_channel(dsp, sdram, b, "dsp->sdram");
+  cg.add_channel(dma, mc, b, "dma->mc");
+  cg.add_channel(risc, dsp, b, "risc->dsp");
+  cg.add_channel(bus, audio, b, "bus->audio");
+  cg.add_channel(dma, vout, b, "dma->video_out");
+  cg.add_channel(sdram, mc, b, "sdram->mc");
+  cg.add_channel(risc, vld, b, "risc->vld");
+  cg.add_channel(sdram, vout, b, "sdram->video_out");
+  return cg;
+}
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,31 @@
+// Synthetic multi-processor MPEG-4 decoder floorplan for the paper's second
+// application example (Fig. 5): optimal repeater insertion on the most
+// critical on-chip channels of a 0.18u design, with critical wire length
+// l_crit = 0.6 mm and Manhattan distance.
+//
+// SUBSTITUTION NOTE (see DESIGN.md #5.1): the paper's floorplan is
+// proprietary and unpublished; this one places the canonical MPEG-4 decoder
+// SoC blocks (RISC host, DSP, SDRAM controller, VLD, IDCT, motion
+// compensation, DMA, video/audio I/O, peripheral bus bridge) on a ~5x5 mm
+// die and selects 14 critical channels whose synthesis requires exactly the
+// paper's 55 repeaters. The experiment's code path (segmentation-only
+// synthesis with a fixed-length single-link library, cost =
+// floor(manhattan/l_crit) repeaters per channel) is identical for any
+// floorplan with the same total.
+#pragma once
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::workloads {
+
+/// Critical length for the 0.18u process of the paper's example, in mm.
+inline constexpr double kMpeg4CritLengthMm = 0.6;
+
+/// Bandwidth demand per critical channel, normalized to one wire's capacity.
+inline constexpr double kMpeg4ChannelBandwidth = 1.0;
+
+/// The 10-module, 14-channel critical-channel constraint graph (Manhattan
+/// norm, positions in mm).
+model::ConstraintGraph mpeg4_soc();
+
+}  // namespace cdcs::workloads

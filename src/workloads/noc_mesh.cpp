@@ -1,0 +1,71 @@
+#include "workloads/noc_mesh.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace cdcs::workloads {
+
+model::ConstraintGraph noc_mesh(const NocMeshParams& params) {
+  if (params.rows < 2 || params.cols < 2) {
+    throw std::invalid_argument("noc_mesh: grid must be at least 2x2");
+  }
+  model::ConstraintGraph cg(geom::Norm::kManhattan);
+
+  std::vector<model::VertexId> tile(params.rows * params.cols);
+  auto at = [&](int r, int c) { return tile[r * params.cols + c]; };
+  for (int r = 0; r < params.rows; ++r) {
+    for (int c = 0; c < params.cols; ++c) {
+      tile[r * params.cols + c] = cg.add_port(
+          "tile_" + std::to_string(r) + "_" + std::to_string(c),
+          {c * params.tile_pitch_mm, r * params.tile_pitch_mm});
+    }
+  }
+
+  auto name = [&](int r1, int c1, int r2, int c2) {
+    return "t" + std::to_string(r1) + std::to_string(c1) + "->t" +
+           std::to_string(r2) + std::to_string(c2);
+  };
+
+  switch (params.traffic) {
+    case NocTraffic::kNeighbor:
+      for (int r = 0; r < params.rows; ++r) {
+        for (int c = 0; c < params.cols; ++c) {
+          if (c + 1 < params.cols) {
+            cg.add_channel(at(r, c), at(r, c + 1), params.bandwidth,
+                           name(r, c, r, c + 1));
+          }
+          if (r + 1 < params.rows) {
+            cg.add_channel(at(r, c), at(r + 1, c), params.bandwidth,
+                           name(r, c, r + 1, c));
+          }
+        }
+      }
+      break;
+    case NocTraffic::kHotspotMemory: {
+      const int mr = params.rows - 1;
+      const int mc = params.cols / 2;
+      for (int r = 0; r < params.rows; ++r) {
+        for (int c = 0; c < params.cols; ++c) {
+          if (r == mr && c == mc) continue;
+          cg.add_channel(at(r, c), at(mr, mc), params.bandwidth,
+                         name(r, c, mr, mc));
+        }
+      }
+      break;
+    }
+    case NocTraffic::kBitComplement:
+      for (int r = 0; r < params.rows; ++r) {
+        for (int c = 0; c < params.cols; ++c) {
+          const int r2 = params.rows - 1 - r;
+          const int c2 = params.cols - 1 - c;
+          if (r2 == r && c2 == c) continue;
+          cg.add_channel(at(r, c), at(r2, c2), params.bandwidth,
+                         name(r, c, r2, c2));
+        }
+      }
+      break;
+  }
+  return cg;
+}
+
+}  // namespace cdcs::workloads

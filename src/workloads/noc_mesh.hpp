@@ -1,0 +1,41 @@
+// Tile-grid ("NoC-style") SoC workload: an R x C grid of tiles with a
+// traffic pattern over it. This is the problem shape the paper's line of
+// work grew into (networks-on-chip synthesis, the COSI project): many
+// medium-length channels on a Manhattan die where trunk sharing between
+// same-direction flows is the interesting question.
+//
+// Traffic patterns:
+//   * kNeighbor     -- each tile streams to its east and south neighbors
+//                      (systolic/pipelined traffic);
+//   * kHotspotMemory -- every tile streams to a memory controller tile on
+//                      the die edge (DRAM-bound traffic, heavy merging
+//                      opportunity);
+//   * kBitComplement -- tile (r, c) streams to (R-1-r, C-1-c) (classic NoC
+//                      stress pattern, long criss-cross channels).
+#pragma once
+
+#include <cstdint>
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::workloads {
+
+enum class NocTraffic {
+  kNeighbor,
+  kHotspotMemory,
+  kBitComplement,
+};
+
+struct NocMeshParams {
+  int rows = 4;
+  int cols = 4;
+  double tile_pitch_mm = 1.2;  ///< center-to-center tile spacing
+  NocTraffic traffic = NocTraffic::kHotspotMemory;
+  double bandwidth = 1.0;      ///< per-channel demand (per-wire units)
+};
+
+/// Builds the tile grid and its traffic channels (Manhattan norm, mm).
+/// Hotspot traffic targets the tile at (rows-1, cols/2).
+model::ConstraintGraph noc_mesh(const NocMeshParams& params);
+
+}  // namespace cdcs::workloads

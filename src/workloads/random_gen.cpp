@@ -1,0 +1,57 @@
+#include "workloads/random_gen.hpp"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace cdcs::workloads {
+
+model::ConstraintGraph random_workload(const RandomWorkloadParams& params) {
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  model::ConstraintGraph cg(params.norm);
+
+  std::vector<geom::Point2D> centers;
+  for (int c = 0; c < params.num_clusters; ++c) {
+    centers.push_back(
+        {unit(rng) * params.area_extent, unit(rng) * params.area_extent});
+  }
+
+  std::vector<std::vector<model::VertexId>> cluster_ports(params.num_clusters);
+  for (int c = 0; c < params.num_clusters; ++c) {
+    for (int p = 0; p < params.ports_per_cluster; ++p) {
+      const geom::Point2D pos{
+          centers[c].x + (unit(rng) * 2.0 - 1.0) * params.cluster_radius,
+          centers[c].y + (unit(rng) * 2.0 - 1.0) * params.cluster_radius};
+      cluster_ports[c].push_back(cg.add_port(
+          "n" + std::to_string(c) + "_" + std::to_string(p), pos));
+    }
+  }
+
+  std::uniform_int_distribution<int> cluster_pick(0, params.num_clusters - 1);
+  std::uniform_int_distribution<int> port_pick(0, params.ports_per_cluster - 1);
+  std::uniform_real_distribution<double> bw(params.min_bandwidth,
+                                            params.max_bandwidth);
+
+  int added = 0;
+  int guard = 0;
+  while (added < params.num_channels && guard < params.num_channels * 100) {
+    ++guard;
+    const bool inter = unit(rng) < params.inter_cluster_fraction &&
+                       params.num_clusters > 1;
+    const int cu = cluster_pick(rng);
+    int cv = cu;
+    if (inter) {
+      while (cv == cu) cv = cluster_pick(rng);
+    }
+    const model::VertexId u = cluster_ports[cu][port_pick(rng)];
+    const model::VertexId v = cluster_ports[cv][port_pick(rng)];
+    if (u == v) continue;
+    cg.add_channel(u, v, bw(rng));
+    ++added;
+  }
+  return cg;
+}
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,29 @@
+// Random clustered constraint-graph generator for scaling benchmarks and
+// property tests. Mirrors the structure of the paper's WAN example: a few
+// geographically tight clusters with cheap-to-merge inter-cluster traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::workloads {
+
+struct RandomWorkloadParams {
+  int num_clusters = 3;
+  int ports_per_cluster = 3;
+  double cluster_radius = 5.0;     ///< intra-cluster spread
+  double area_extent = 200.0;      ///< cluster centers drawn in this square
+  int num_channels = 10;
+  double min_bandwidth = 5.0;
+  double max_bandwidth = 15.0;
+  geom::Norm norm = geom::Norm::kEuclidean;
+  std::uint64_t seed = 1;
+  /// Fraction of channels forced to cross clusters (merge opportunities).
+  double inter_cluster_fraction = 0.5;
+};
+
+/// Deterministic for a fixed parameter set (seeded Mersenne Twister).
+model::ConstraintGraph random_workload(const RandomWorkloadParams& params);
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,24 @@
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::workloads {
+
+model::ConstraintGraph wan2002() {
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  const model::VertexId a = cg.add_port("A", {0.0, 0.0});
+  const model::VertexId b = cg.add_port("B", {4.0, 3.0});
+  const model::VertexId c = cg.add_port("C", {9.0, 1.0});
+  const model::VertexId d = cg.add_port("D", {-2.0, -97.0});
+  const model::VertexId e = cg.add_port("E", {0.0, -100.0});
+
+  cg.add_channel(a, b, kWanBandwidthMbps, "a1");
+  cg.add_channel(c, b, kWanBandwidthMbps, "a2");
+  cg.add_channel(c, a, kWanBandwidthMbps, "a3");
+  cg.add_channel(d, a, kWanBandwidthMbps, "a4");
+  cg.add_channel(d, b, kWanBandwidthMbps, "a5");
+  cg.add_channel(d, c, kWanBandwidthMbps, "a6");
+  cg.add_channel(d, e, kWanBandwidthMbps, "a7");
+  cg.add_channel(e, d, kWanBandwidthMbps, "a8");
+  return cg;
+}
+
+}  // namespace cdcs::workloads

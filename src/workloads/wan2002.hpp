@@ -1,0 +1,28 @@
+// Exact reconstruction of the paper's Section 4 WAN example (Figs. 3-4,
+// Tables 1-2).
+//
+// The paper publishes the Gamma and Delta matrices to two decimal digits but
+// not the node coordinates. Solving the resulting system yields an exact
+// integer-coordinate reconstruction (verified entry-by-entry against both
+// tables, which the paper prints TRUNCATED -- not rounded -- to 2 decimals):
+//
+//   positions (km):  A=(0,0)  B=(4,3)  C=(9,1)  D=(-2,-97)  E=(0,-100)
+//   arcs:  a1=(A,B) a2=(C,B) a3=(C,A) a4=(D,A) a5=(D,B) a6=(D,C)
+//          a7=(D,E) a8=(E,D)
+//   norm:  Euclidean;  every channel requires 10 Mbps.
+//
+// e.g. d(a4) = ||D-A|| = sqrt(4 + 9409) = sqrt(9413) = 97.0206...,
+// giving Gamma(a1,a4) = 5 + 97.0206 = 102.02 as printed.
+#pragma once
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::workloads {
+
+/// The five-node WAN constraint graph with its 8 channels (10 Mbps each).
+model::ConstraintGraph wan2002();
+
+/// Channel bandwidth used by every WAN arc, in Mbps.
+inline constexpr double kWanBandwidthMbps = 10.0;
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.hpp"
+#include "commlib/standard_libraries.hpp"
+#include "workloads/random_gen.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::baseline {
+namespace {
+
+TEST(PointToPoint, WanCostMatchesHandComputation) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const BaselineResult r =
+      point_to_point_baseline(cg, commlib::wan_library());
+  EXPECT_EQ(r.groups.size(), 8u);
+  // Every 10 Mbps channel fits a radio at $2000/km: total = 2000 * sum(d).
+  double total_km = 0.0;
+  for (model::ArcId a : cg.arcs()) total_km += cg.distance(a);
+  EXPECT_NEAR(r.cost, 2000.0 * total_km, 1e-6);
+}
+
+TEST(PointToPoint, ThrowsWhenInfeasible) {
+  model::ConstraintGraph cg;
+  const model::VertexId u = cg.add_port("u", {0, 0});
+  const model::VertexId v = cg.add_port("v", {10, 0});
+  cg.add_channel(u, v, 1.0);
+  commlib::Library lib("weak");
+  lib.add_link(commlib::Link{
+      .name = "short", .max_span = 1.0, .bandwidth = 5.0, .fixed_cost = 1.0});
+  EXPECT_THROW(point_to_point_baseline(cg, lib), std::runtime_error);
+}
+
+TEST(GreedyMerge, WanIsAGreedyTrap) {
+  // The optimum merges {a4,a5,a6}, but every 2-way sub-merging exactly TIES
+  // its separate radios (optical $4000/km == two radios at $2000/km each),
+  // so pairwise-greedy never takes the first step and stays at the
+  // point-to-point solution. This is precisely the local optimum the
+  // paper's exact candidate-generation + UCP pipeline escapes.
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  const BaselineResult greedy = greedy_merge_baseline(cg, lib);
+  const BaselineResult ptp = point_to_point_baseline(cg, lib);
+  EXPECT_NEAR(greedy.cost, ptp.cost, 1e-6);
+  EXPECT_EQ(greedy.groups.size(), 8u);
+
+  // Confirm the tie that traps greedy: every pair within {a4,a5,a6} merges
+  // at exactly its separate cost.
+  for (std::uint32_t i = 3; i <= 5; ++i) {
+    for (std::uint32_t j = i + 1; j <= 5; ++j) {
+      const auto pair_plan = synth::price_merging(
+          cg, lib, {model::ArcId{i}, model::ArcId{j}});
+      ASSERT_TRUE(pair_plan.has_value());
+      const double separate = 2000.0 * (cg.distance(model::ArcId{i}) +
+                                        cg.distance(model::ArcId{j}));
+      EXPECT_NEAR(pair_plan->cost, separate, 1.0);
+    }
+  }
+
+  // The 3-way merging, by contrast, saves outright.
+  const auto triple = synth::price_merging(
+      cg, lib, {model::ArcId{3}, model::ArcId{4}, model::ArcId{5}});
+  ASSERT_TRUE(triple.has_value());
+  const double separate3 =
+      2000.0 * (cg.distance(model::ArcId{3}) + cg.distance(model::ArcId{4}) +
+                cg.distance(model::ArcId{5}));
+  EXPECT_LT(triple->cost, separate3 - 100000.0);
+}
+
+TEST(GreedyMerge, NeverWorseThanPointToPoint) {
+  for (int seed = 0; seed < 6; ++seed) {
+    workloads::RandomWorkloadParams params;
+    params.seed = seed;
+    params.num_channels = 7;
+    const model::ConstraintGraph cg = workloads::random_workload(params);
+    const commlib::Library lib = commlib::wan_library();
+    EXPECT_LE(greedy_merge_baseline(cg, lib).cost,
+              point_to_point_baseline(cg, lib).cost + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Exhaustive, RefusesLargeInstances) {
+  workloads::RandomWorkloadParams params;
+  params.num_channels = 12;
+  const model::ConstraintGraph cg = workloads::random_workload(params);
+  EXPECT_THROW(
+      exhaustive_partition_optimum(cg, commlib::wan_library(),
+                                   model::CapacityPolicy::kSharedSum, 10),
+      std::invalid_argument);
+}
+
+TEST(Exhaustive, TinyInstanceByHand) {
+  // Two parallel 10 Mbps channels over 10 km: the best partition merges
+  // them onto one optical link ($40,000), matching two separate radios --
+  // with three channels the merge wins outright.
+  model::ConstraintGraph cg;
+  const model::VertexId u = cg.add_port("u", {0, 0});
+  const model::VertexId v = cg.add_port("v", {10, 0});
+  cg.add_channel(u, v, 10.0);
+  cg.add_channel(u, v, 10.0);
+  cg.add_channel(u, v, 10.0);
+  const BaselineResult best =
+      exhaustive_partition_optimum(cg, commlib::wan_library());
+  EXPECT_NEAR(best.cost, 40000.0, 1e-6);
+  EXPECT_EQ(best.groups.size(), 1u);
+  EXPECT_EQ(best.groups.front().size(), 3u);
+}
+
+TEST(Exhaustive, OrderingOfGroupsIrrelevant) {
+  // The partition enumerator must consider singleton-first and
+  // merged-first shapes equally; verify group count on an instance whose
+  // optimum is all singletons.
+  model::ConstraintGraph cg;
+  const model::VertexId a = cg.add_port("a", {0, 0});
+  const model::VertexId b = cg.add_port("b", {5, 0});
+  const model::VertexId c = cg.add_port("c", {0, 5});
+  const model::VertexId d = cg.add_port("d", {5, 5});
+  cg.add_channel(a, b, 5.0);
+  cg.add_channel(c, d, 5.0);
+  const BaselineResult best =
+      exhaustive_partition_optimum(cg, commlib::wan_library());
+  EXPECT_EQ(best.groups.size(), 2u);
+  EXPECT_NEAR(best.cost, 2 * 5.0 * 2000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cdcs::baseline

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "synth/candidate_generator.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+TEST(CandidateStats, PrunedCountsAddUp) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  const CandidateSet set = generate_candidates(cg, lib, {});
+  const auto& s = set.stats;
+  // At k=2 the 28 pairs split into survivors + geometric prunes (no
+  // bandwidth prunes fire on this instance).
+  EXPECT_EQ(s.survivors_per_k[2] + s.pruned_geometry_per_k[2], 28u);
+  EXPECT_EQ(s.pruned_bandwidth_per_k[2], 0u);
+  EXPECT_FALSE(s.enumeration_truncated);
+  // Total subsets examined = sum over k of C(active_k, k); must be at least
+  // the survivors at every level.
+  std::size_t total_survivors = 0;
+  for (std::size_t k = 2; k < s.survivors_per_k.size(); ++k) {
+    total_survivors += s.survivors_per_k[k];
+  }
+  EXPECT_GT(s.subsets_examined, total_survivors);
+}
+
+TEST(CandidateStats, TruncationFlagFires) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  SynthesisOptions opts;
+  opts.max_subsets_per_k = 5;  // absurdly small budget
+  const CandidateSet set = generate_candidates(cg, lib, opts);
+  EXPECT_TRUE(set.stats.enumeration_truncated);
+  // Point-to-point candidates are always present regardless.
+  EXPECT_GE(set.candidates.size(), cg.num_channels());
+}
+
+TEST(CandidateStats, BandwidthPruningFires) {
+  // A library whose fastest link is barely above a single channel: any
+  // 2-subset trips Theorem 3.2 (sum >= max_l b + min b).
+  model::ConstraintGraph cg;
+  const model::VertexId a = cg.add_port("a", {0, 0});
+  const model::VertexId b = cg.add_port("b", {1, 0});
+  const model::VertexId c = cg.add_port("c", {0, 1});
+  cg.add_channel(a, b, 10.0);
+  cg.add_channel(a, c, 10.0);
+  commlib::Library lib("tight");
+  lib.add_link(commlib::Link{
+      .name = "only", .bandwidth = 10.0, .cost_per_length = 1.0});
+  lib.add_node(commlib::Node{
+      .name = "sw", .kind = commlib::NodeKind::kSwitch, .cost = 0.1});
+  const CandidateSet set = generate_candidates(cg, lib, {});
+  EXPECT_EQ(set.stats.pruned_bandwidth_per_k[2], 1u);
+  EXPECT_EQ(set.stats.survivors_per_k[2], 0u);
+  EXPECT_EQ(set.candidates.size(), 2u);  // singletons only
+}
+
+TEST(CandidateStats, UnpriceableSurvivorsCounted) {
+  // Two channels whose merging survives the geometric tests but cannot be
+  // structured: differing sources and targets need both a mux and a demux,
+  // and the library has neither.
+  model::ConstraintGraph cg;
+  const model::VertexId u1 = cg.add_port("u1", {0, 0});
+  const model::VertexId u2 = cg.add_port("u2", {0, 1});
+  const model::VertexId v1 = cg.add_port("v1", {100, 0});
+  const model::VertexId v2 = cg.add_port("v2", {100, 1});
+  cg.add_channel(u1, v1, 5.0);
+  cg.add_channel(u2, v2, 5.0);
+  commlib::Library lib("nonodes");
+  lib.add_link(commlib::Link{
+      .name = "wire", .bandwidth = 100.0, .cost_per_length = 1.0});
+  const CandidateSet set = generate_candidates(cg, lib, {});
+  EXPECT_EQ(set.stats.survivors_per_k[2], 1u);
+  EXPECT_EQ(set.stats.unpriceable_per_k[2], 1u);
+  EXPECT_EQ(set.candidates.size(), 2u);
+}
+
+TEST(CandidateStats, MaxIndexPivotDiffersFromMinDistance) {
+  // Pivot rules are genuinely different policies; on the WAN they agree at
+  // k=2..4 but generally diverge (documented in bench_scaling_ablation).
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  SynthesisOptions max_idx;
+  max_idx.pivot_rule = PivotRule::kMaxIndex;
+  const CandidateSet a = generate_candidates(cg, lib, max_idx);
+  EXPECT_EQ(a.stats.survivors_per_k[2], 13u);
+  EXPECT_EQ(a.stats.survivors_per_k[3], 21u);
+  EXPECT_EQ(a.stats.survivors_per_k[4], 16u);
+}
+
+}  // namespace
+}  // namespace cdcs::synth

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "sim/delay.hpp"
+#include "synth/synthesizer.hpp"
+#include "workloads/mpeg4_soc.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::sim {
+namespace {
+
+TEST(Delay, MatchingIsPureWireDelay) {
+  model::ConstraintGraph cg;
+  const model::VertexId u = cg.add_port("u", {0, 0});
+  const model::VertexId v = cg.add_port("v", {3, 4});
+  cg.add_channel(u, v, 10.0);
+  const commlib::Library lib = commlib::wan_library();
+  model::ImplementationGraph impl(cg, lib);
+  impl.register_path(model::ArcId{0},
+                     model::Path{{impl.add_link_arc(u, v, 0)}});
+  // 5 km at 3.34 us/km (radio ~ speed of light).
+  const DelayReport r = analyze_delays(impl, {.link_delay_per_length = 3.34});
+  ASSERT_EQ(r.channels.size(), 1u);
+  EXPECT_NEAR(r.channels[0].worst_path_delay, 16.7, 1e-9);
+  EXPECT_EQ(r.channels[0].hops, 0u);
+  EXPECT_DOUBLE_EQ(r.max_delay, r.channels[0].worst_path_delay);
+}
+
+TEST(Delay, SegmentationAddsNodeDelays) {
+  const model::ConstraintGraph cg = workloads::mpeg4_soc();
+  const commlib::Library lib = commlib::soc_library(0.6);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  // 80 ps/mm wire (post-repeatering), 30 ps per repeater.
+  const DelayReport r = analyze_delays(
+      *result.implementation, {.link_delay_per_length = 80.0,
+                               .node_delay = 30.0});
+  ASSERT_EQ(r.channels.size(), cg.num_channels());
+  // Every channel's delay = 80*d + 30*repeaters; check one exactly:
+  // sdram->video_out has d = 5.70 mm and 9 repeaters.
+  bool found = false;
+  for (const ChannelDelay& c : r.channels) {
+    if (c.name == "sdram->video_out") {
+      EXPECT_EQ(c.hops, 9u);
+      EXPECT_NEAR(c.worst_path_delay, 80.0 * 5.70 + 30.0 * 9, 1e-6);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // With a 500 ps budget (2 GHz), the long channels violate -- the paper's
+  // motivation for latency-insensitive design at DSM nodes.
+  EXPECT_FALSE(r.violations(500.0).empty());
+  EXPECT_TRUE(r.violations(1e6).empty());
+}
+
+TEST(Delay, MergedChannelsSeeTrunkDetour) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const DelayReport r =
+      analyze_delays(*result.implementation, {.link_delay_per_length = 5.0});
+  ASSERT_EQ(r.channels.size(), 8u);
+  for (const ChannelDelay& c : r.channels) {
+    const double direct = 5.0 * cg.distance(c.arc);
+    // Delay is at least the direct-line bound and reasonably close to it
+    // (the trunk detour through the split point is small).
+    EXPECT_GE(c.worst_path_delay, direct - 1e-6);
+    EXPECT_LE(c.worst_path_delay, 1.2 * direct + 1e-6);
+    // Merged arcs pass exactly one comm vertex (the split junction).
+    if (c.arc.index() >= 3 && c.arc.index() <= 5) {
+      EXPECT_EQ(c.hops, 1u);
+    } else {
+      EXPECT_EQ(c.hops, 0u);
+    }
+  }
+}
+
+TEST(Delay, BestAndWorstDifferAcrossParallelPaths) {
+  model::ConstraintGraph cg;
+  const model::VertexId u = cg.add_port("u", {0, 0});
+  const model::VertexId v = cg.add_port("v", {10, 0});
+  cg.add_channel(u, v, 10.0);
+  const commlib::Library lib = commlib::wan_library();
+  model::ImplementationGraph impl(cg, lib);
+  const model::ArcId direct = impl.add_link_arc(u, v, 0);
+  const model::VertexId mid =
+      impl.add_comm_vertex(*lib.find_node("junction"), {5.0, 5.0});
+  const model::ArcId d1 = impl.add_link_arc(u, mid, 0);
+  const model::ArcId d2 = impl.add_link_arc(mid, v, 0);
+  impl.register_path(model::ArcId{0}, model::Path{{direct}});
+  impl.register_path(model::ArcId{0}, model::Path{{d1, d2}});
+  const DelayReport r =
+      analyze_delays(impl, {.link_delay_per_length = 1.0, .node_delay = 2.0});
+  ASSERT_EQ(r.channels.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.channels[0].best_path_delay, 10.0);
+  EXPECT_NEAR(r.channels[0].worst_path_delay,
+              2.0 * std::sqrt(25.0 + 25.0) + 2.0, 1e-9);
+}
+
+TEST(Delay, SkipsUnimplementedArcs) {
+  model::ConstraintGraph cg;
+  const model::VertexId u = cg.add_port("u", {0, 0});
+  const model::VertexId v = cg.add_port("v", {1, 0});
+  cg.add_channel(u, v, 1.0);
+  const commlib::Library lib = commlib::wan_library();
+  const model::ImplementationGraph impl(cg, lib);
+  EXPECT_TRUE(analyze_delays(impl, {}).channels.empty());
+}
+
+}  // namespace
+}  // namespace cdcs::sim

@@ -1,0 +1,139 @@
+// Randomized end-to-end property tests: random libraries x random
+// constraint graphs, through the full pipeline. These don't pin exact
+// values; they enforce the invariants that must hold for EVERY instance:
+//
+//   * the synthesized implementation validates (Def 2.4 + capacity policy);
+//   * the UCP optimum never exceeds the point-to-point sum (its columns
+//     include every singleton);
+//   * the materialized graph's Def 2.5 cost equals the sum of the selected
+//     candidates' costs (no double counting, nothing dropped);
+//   * re-validating under the weaker literal policy also passes when the
+//     sum policy was used for synthesis;
+//   * infeasible instances throw cleanly rather than crash.
+//
+// Note these hold regardless of Assumption 2.1 (random libraries may
+// violate it; the pruning lemmas then lose their optimality guarantee but
+// never their soundness w.r.t. validity).
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.hpp"
+#include "commlib/library.hpp"
+#include "model/validator.hpp"
+#include "synth/synthesizer.hpp"
+#include "workloads/random_gen.hpp"
+
+namespace cdcs {
+namespace {
+
+commlib::Library random_library(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  commlib::Library lib("fuzz");
+  const int n_links = 1 + static_cast<int>(unit(rng) * 3);
+  for (int i = 0; i < n_links; ++i) {
+    const bool bounded = unit(rng) < 0.4;
+    lib.add_link(commlib::Link{
+        .name = "link" + std::to_string(i),
+        .max_span = bounded ? 5.0 + unit(rng) * 60.0
+                            : std::numeric_limits<double>::infinity(),
+        .bandwidth = 5.0 + unit(rng) * 40.0,
+        .fixed_cost = unit(rng) < 0.5 ? unit(rng) * 50.0 : 0.0,
+        .cost_per_length = 0.5 + unit(rng) * 10.0});
+  }
+  if (unit(rng) < 0.9) {
+    lib.add_node(commlib::Node{.name = "rep",
+                               .kind = commlib::NodeKind::kRepeater,
+                               .cost = unit(rng) * 20.0});
+  }
+  if (unit(rng) < 0.9) {
+    lib.add_node(commlib::Node{.name = "mux",
+                               .kind = commlib::NodeKind::kMux,
+                               .cost = unit(rng) * 20.0});
+    lib.add_node(commlib::Node{.name = "demux",
+                               .kind = commlib::NodeKind::kDemux,
+                               .cost = unit(rng) * 20.0});
+  }
+  if (unit(rng) < 0.5) {
+    lib.add_node(commlib::Node{.name = "sw",
+                               .kind = commlib::NodeKind::kSwitch,
+                               .cost = unit(rng) * 30.0});
+  }
+  return lib;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzz, InvariantsHoldOnRandomInstances) {
+  std::mt19937_64 rng(0xC0FFEEull + GetParam() * 977);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  const commlib::Library lib = random_library(rng);
+
+  workloads::RandomWorkloadParams params;
+  params.seed = rng();
+  params.num_clusters = 1 + static_cast<int>(unit(rng) * 3);
+  params.ports_per_cluster = 2 + static_cast<int>(unit(rng) * 2);
+  params.num_channels = 4 + static_cast<int>(unit(rng) * 5);
+  params.min_bandwidth = 2.0;
+  params.max_bandwidth = 2.0 + unit(rng) * 50.0;
+  params.norm = unit(rng) < 0.5 ? geom::Norm::kEuclidean
+                                : geom::Norm::kManhattan;
+  params.area_extent = 30.0 + unit(rng) * 150.0;
+  const model::ConstraintGraph cg = workloads::random_workload(params);
+
+  synth::SynthesisOptions opts;
+  if (unit(rng) < 0.3) opts.pivot_rule = synth::PivotRule::kAnyPivot;
+  if (unit(rng) < 0.3) opts.drop_unprofitable = true;
+  if (unit(rng) < 0.2) opts.enable_chain_topology = false;
+  if (unit(rng) < 0.2) opts.enable_tree_topology = false;
+
+  synth::SynthesisResult result;
+  try {
+    result = synth::synthesize(cg, lib, opts);
+  } catch (const std::runtime_error&) {
+    // Unimplementable instance for this library (e.g. demand above every
+    // link with no mux): a clean, typed failure is the contract.
+    SUCCEED();
+    return;
+  }
+
+  // 1. Validity under the synthesis policy and the weaker literal policy.
+  EXPECT_TRUE(result.validation.ok())
+      << "seed " << GetParam() << ": "
+      << (result.validation.problems.empty()
+              ? ""
+              : result.validation.problems.front());
+  EXPECT_TRUE(model::validate(*result.implementation,
+                              model::CapacityPolicy::kMaxPerConstraint)
+                  .ok());
+
+  // 2. Never worse than point-to-point.
+  const baseline::BaselineResult ptp =
+      baseline::point_to_point_baseline(cg, lib);
+  EXPECT_LE(result.total_cost, ptp.cost + 1e-6 * std::max(1.0, ptp.cost));
+
+  // 3. Def 2.5 cost equals the selected candidates' cost sum (candidates
+  // never share elements across columns).
+  double chosen_sum = 0.0;
+  for (const synth::Candidate* c : result.selected()) chosen_sum += c->cost;
+  EXPECT_NEAR(result.total_cost, chosen_sum,
+              1e-6 * std::max(1.0, chosen_sum));
+
+  // 4. Every arc covered by exactly one column (positive costs).
+  std::vector<int> covered(cg.num_channels(), 0);
+  for (const synth::Candidate* c : result.selected()) {
+    for (model::ArcId a : c->arcs) ++covered[a.index()];
+  }
+  for (int count : covered) EXPECT_EQ(count, 1);
+
+  // 5. Every arc classifies to a defined structure.
+  for (model::ArcId a : cg.arcs()) {
+    EXPECT_NO_THROW((void)result.implementation->classify(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace cdcs

@@ -1,0 +1,191 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+
+namespace cdcs::graph {
+namespace {
+
+using G = Digraph<int, double>;
+
+TEST(Digraph, AddAndQuery) {
+  G g;
+  const VertexId a = g.add_vertex(10);
+  const VertexId b = g.add_vertex(20);
+  const ArcId e = g.add_arc(a, b, 1.5);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_EQ(g.vertex(a), 10);
+  EXPECT_EQ(g.arc(e).payload, 1.5);
+  EXPECT_EQ(g.source(e), a);
+  EXPECT_EQ(g.target(e), b);
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+  EXPECT_EQ(g.out_degree(b), 0u);
+}
+
+TEST(Digraph, ParallelArcsAndSelfLoops) {
+  G g;
+  const VertexId a = g.add_vertex();
+  const VertexId b = g.add_vertex();
+  g.add_arc(a, b, 1.0);
+  g.add_arc(a, b, 2.0);  // parallel arcs are legal (duplication!)
+  g.add_arc(a, a, 3.0);  // self-loop is representable at this layer
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_EQ(g.out_degree(a), 3u);
+  EXPECT_EQ(g.in_degree(b), 2u);
+}
+
+TEST(Digraph, InvalidIdsThrow) {
+  G g;
+  const VertexId a = g.add_vertex();
+  EXPECT_THROW(g.vertex(VertexId{5}), std::out_of_range);
+  EXPECT_THROW(g.add_arc(a, VertexId{5}), std::out_of_range);
+  EXPECT_THROW(g.arc(ArcId{0}), std::out_of_range);
+  EXPECT_THROW(g.vertex(VertexId{}), std::out_of_range);  // invalid sentinel
+}
+
+TEST(Digraph, IdHashing) {
+  std::hash<VertexId> h;
+  EXPECT_EQ(h(VertexId{3}), h(VertexId{3}));
+  EXPECT_NE(h(VertexId{3}), h(VertexId{4}));
+}
+
+G chain_graph(int n) {
+  G g;
+  std::vector<VertexId> v;
+  for (int i = 0; i < n; ++i) v.push_back(g.add_vertex(i));
+  for (int i = 0; i + 1 < n; ++i) g.add_arc(v[i], v[i + 1], 1.0);
+  return g;
+}
+
+TEST(Reachability, ChainIsForwardOnly) {
+  const G g = chain_graph(4);
+  const auto from0 = reachable_from(g, VertexId{0});
+  EXPECT_TRUE(from0[3]);
+  const auto from3 = reachable_from(g, VertexId{3});
+  EXPECT_FALSE(from3[0]);
+  EXPECT_TRUE(from3[3]);
+}
+
+TEST(Dijkstra, PicksCheaperOfTwoRoutes) {
+  G g;
+  const VertexId s = g.add_vertex();
+  const VertexId m = g.add_vertex();
+  const VertexId t = g.add_vertex();
+  g.add_arc(s, t, 10.0);
+  g.add_arc(s, m, 3.0);
+  g.add_arc(m, t, 4.0);
+  const auto sp =
+      dijkstra(g, s, [&](ArcId a) { return g.arc(a).payload; });
+  EXPECT_DOUBLE_EQ(sp.distance[t.index()], 7.0);
+  const auto path = extract_path(g, sp, t);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(g.target(path[1]), t);
+}
+
+TEST(Dijkstra, RespectsAllowedMask) {
+  G g;
+  const VertexId s = g.add_vertex();
+  const VertexId m = g.add_vertex();
+  const VertexId t = g.add_vertex();
+  g.add_arc(s, m, 1.0);
+  g.add_arc(m, t, 1.0);
+  std::vector<bool> allowed = {true, false, true};  // forbid m
+  const auto sp = dijkstra(
+      g, s, [&](ArcId a) { return g.arc(a).payload; }, &allowed);
+  EXPECT_FALSE(sp.reached(t));
+}
+
+TEST(Dijkstra, MatchesBruteForceOnRandomGraphs) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    G g;
+    const int n = 8;
+    std::vector<VertexId> v;
+    for (int i = 0; i < n; ++i) v.push_back(g.add_vertex());
+    std::uniform_int_distribution<int> pick(0, n - 1);
+    std::uniform_real_distribution<double> w(0.1, 10.0);
+    for (int e = 0; e < 20; ++e) {
+      const int a = pick(rng);
+      const int b = pick(rng);
+      if (a != b) g.add_arc(v[a], v[b], w(rng));
+    }
+    const auto sp =
+        dijkstra(g, v[0], [&](ArcId a) { return g.arc(a).payload; });
+    // Bellman-Ford as the oracle.
+    std::vector<double> dist(n, 1e18);
+    dist[0] = 0.0;
+    for (int round = 0; round < n; ++round) {
+      g.for_each_arc([&](ArcId a) {
+        const double nd = dist[g.source(a).index()] + g.arc(a).payload;
+        if (nd < dist[g.target(a).index()]) dist[g.target(a).index()] = nd;
+      });
+    }
+    for (int i = 0; i < n; ++i) {
+      if (dist[i] >= 1e17) {
+        EXPECT_FALSE(sp.reached(v[i]));
+      } else {
+        EXPECT_NEAR(sp.distance[i], dist[i], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(WidestPath, MaximizesBottleneck) {
+  G g;
+  const VertexId s = g.add_vertex();
+  const VertexId m1 = g.add_vertex();
+  const VertexId m2 = g.add_vertex();
+  const VertexId t = g.add_vertex();
+  g.add_arc(s, m1, 10.0);
+  g.add_arc(m1, t, 2.0);  // route A: bottleneck 2
+  g.add_arc(s, m2, 5.0);
+  g.add_arc(m2, t, 6.0);  // route B: bottleneck 5
+  const VertexId isolated = g.add_vertex();
+  const auto wp =
+      widest_paths(g, s, [&](ArcId a) { return g.arc(a).payload; });
+  EXPECT_DOUBLE_EQ(bottleneck_of(wp, t), 5.0);
+  EXPECT_DOUBLE_EQ(bottleneck_of(wp, isolated), 0.0);  // unreached vertex
+}
+
+TEST(WeakComponents, TwoIslands) {
+  G g;
+  const VertexId a = g.add_vertex();
+  const VertexId b = g.add_vertex();
+  const VertexId c = g.add_vertex();
+  g.add_vertex();  // isolated d
+  g.add_arc(a, b);
+  g.add_arc(c, b);  // direction ignored for weak connectivity
+  const auto comp = weak_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Topological, OrderRespectsArcs) {
+  const G g = chain_graph(5);
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<int> position(5);
+  for (int i = 0; i < 5; ++i) position[order[i].index()] = i;
+  g.for_each_arc([&](ArcId a) {
+    EXPECT_LT(position[g.source(a).index()], position[g.target(a).index()]);
+  });
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(Topological, DetectsCycle) {
+  G g;
+  const VertexId a = g.add_vertex();
+  const VertexId b = g.add_vertex();
+  g.add_arc(a, b);
+  g.add_arc(b, a);
+  EXPECT_TRUE(topological_order(g).empty());
+  EXPECT_TRUE(has_cycle(g));
+}
+
+}  // namespace
+}  // namespace cdcs::graph

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "io/impl_format.hpp"
+#include "model/validator.hpp"
+#include "synth/synthesizer.hpp"
+#include "workloads/mpeg4_soc.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::io {
+namespace {
+
+void expect_equivalent(const model::ImplementationGraph& a,
+                       const model::ImplementationGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_link_arcs(), b.num_link_arcs());
+  EXPECT_NEAR(a.cost(), b.cost(), 1e-9 * std::max(1.0, a.cost()));
+  for (std::size_t i = 0; i < a.num_vertices(); ++i) {
+    const model::VertexId v{static_cast<std::uint32_t>(i)};
+    ASSERT_EQ(a.is_communication(v), b.is_communication(v));
+    if (a.is_communication(v)) {
+      EXPECT_EQ(a.comm_vertex(v).node, b.comm_vertex(v).node);
+      EXPECT_TRUE(geom::almost_equal(a.position(v), b.position(v), 1e-9));
+    }
+  }
+  for (std::size_t i = 0; i < a.num_link_arcs(); ++i) {
+    const model::ArcId arc{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.arc_source(arc), b.arc_source(arc));
+    EXPECT_EQ(a.arc_target(arc), b.arc_target(arc));
+    EXPECT_EQ(a.link_arc(arc).link, b.link_arc(arc).link);
+  }
+  for (model::ArcId ca : a.constraints().arcs()) {
+    const auto& pa = a.arc_implementation(ca);
+    const auto& pb = b.arc_implementation(ca);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t q = 0; q < pa.size(); ++q) {
+      EXPECT_EQ(pa[q].arcs, pb[q].arcs);
+    }
+  }
+}
+
+TEST(ImplFormat, RoundTripsWanSynthesis) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+
+  const std::string text = write_implementation(*result.implementation);
+  const auto parsed = read_implementation_from_string(text, cg, lib);
+  expect_equivalent(*result.implementation, *parsed);
+  EXPECT_TRUE(model::validate(*parsed).ok());
+}
+
+TEST(ImplFormat, RoundTripsSocSegmentation) {
+  const model::ConstraintGraph cg = workloads::mpeg4_soc();
+  const commlib::Library lib = commlib::soc_library(0.6);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const std::string text = write_implementation(*result.implementation);
+  const auto parsed = read_implementation_from_string(text, cg, lib);
+  expect_equivalent(*result.implementation, *parsed);
+  EXPECT_EQ(parsed->count_nodes(commlib::NodeKind::kRepeater), 55u);
+}
+
+TEST(ImplFormat, RoundTripsChainStructures) {
+  // A collinear bus instance synthesizes to a daisy chain; its materialized
+  // graph (drop junctions, shrinking trunk segments) must survive the
+  // serialization round trip.
+  model::ConstraintGraph cg;
+  const model::VertexId s = cg.add_port("s", {0, 0});
+  const model::VertexId t1 = cg.add_port("t1", {10, 0});
+  const model::VertexId t2 = cg.add_port("t2", {20, 0});
+  const model::VertexId t3 = cg.add_port("t3", {30, 0});
+  cg.add_channel(s, t1, 15.0);
+  cg.add_channel(s, t2, 15.0);
+  cg.add_channel(s, t3, 15.0);
+  const commlib::Library lib = commlib::wan_library();
+  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const auto parsed = read_implementation_from_string(
+      write_implementation(*result.implementation), cg, lib);
+  expect_equivalent(*result.implementation, *parsed);
+  EXPECT_TRUE(model::validate(*parsed).ok());
+}
+
+TEST(ImplFormat, RoundTripsTreeStructures) {
+  model::ConstraintGraph cg(geom::Norm::kManhattan);
+  const model::VertexId s = cg.add_port("s", {2, 0});
+  const model::VertexId t1 = cg.add_port("t1", {0, 4});
+  const model::VertexId t2 = cg.add_port("t2", {2, 6});
+  const model::VertexId t3 = cg.add_port("t3", {4, 4});
+  cg.add_channel(s, t1, 1.0);
+  cg.add_channel(s, t2, 1.0);
+  cg.add_channel(s, t3, 1.0);
+  const commlib::Library lib = commlib::noc_library(/*l_crit_mm=*/0.7);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  ASSERT_TRUE(result.validation.ok());
+  const auto parsed = read_implementation_from_string(
+      write_implementation(*result.implementation), cg, lib);
+  expect_equivalent(*result.implementation, *parsed);
+}
+
+TEST(ImplFormat, RejectsCorruptedInputs) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+
+  EXPECT_THROW(read_implementation_from_string("", cg, lib),
+               std::runtime_error);  // missing header
+  // Ports take indices 0..4, so the first comm vertex must be 5.
+  EXPECT_NO_THROW(read_implementation_from_string(
+      "implementation\ncomm_vertex 5 junction 0 0\n", cg, lib));
+  EXPECT_THROW(read_implementation_from_string(
+                   "implementation\ncomm_vertex 7 junction 0 0\n", cg, lib),
+               std::runtime_error);  // index skips ahead
+  EXPECT_THROW(read_implementation_from_string(
+                   "implementation\ncomm_vertex 5 gizmo 0 0\n", cg, lib),
+               std::runtime_error);  // unknown node name
+  EXPECT_THROW(read_implementation_from_string(
+                   "implementation\nlink_arc 0 0 99 radio\n", cg, lib),
+               std::runtime_error);  // endpoint out of range
+  EXPECT_THROW(read_implementation_from_string(
+                   "implementation\nlink_arc 0 0 1 fishing-line\n", cg, lib),
+               std::runtime_error);  // unknown link
+  EXPECT_THROW(read_implementation_from_string(
+                   "implementation\npath a1 0\n", cg, lib),
+               std::runtime_error);  // path over nonexistent arc
+  EXPECT_THROW(read_implementation_from_string(
+                   "implementation\nlink_arc 0 0 1 radio\npath zz 0\n", cg,
+                   lib),
+               std::runtime_error);  // unknown channel
+  EXPECT_THROW(read_implementation_from_string(
+                   "implementation\nlink_arc 0 1 0 radio\npath a1 0\n", cg,
+                   lib),
+               std::runtime_error);  // path direction mismatch (a1 is 0->1)
+}
+
+TEST(ImplFormat, HandRolledFileParses) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  // Implement a1 (A->B, vertices 0->1) with one radio link; leave others
+  // unimplemented (read_implementation does not enforce completeness; the
+  // validator does).
+  const auto impl = read_implementation_from_string(
+      "# hand-written\n"
+      "implementation\n"
+      "link_arc 0 0 1 radio\n"
+      "path a1 0\n",
+      cg, lib);
+  EXPECT_EQ(impl->num_link_arcs(), 1u);
+  EXPECT_EQ(impl->arc_implementation(model::ArcId{0}).size(), 1u);
+  EXPECT_FALSE(model::validate(*impl).ok());  // 7 channels unimplemented
+}
+
+}  // namespace
+}  // namespace cdcs::io

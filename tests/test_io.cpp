@@ -1,0 +1,124 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "io/dot.hpp"
+#include "io/text_format.hpp"
+#include "synth/synthesizer.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::io {
+namespace {
+
+TEST(TextFormat, ConstraintGraphRoundTrip) {
+  const model::ConstraintGraph original = workloads::wan2002();
+  const std::string text = write_constraint_graph(original);
+  const model::ConstraintGraph parsed =
+      read_constraint_graph_from_string(text);
+
+  ASSERT_EQ(parsed.num_ports(), original.num_ports());
+  ASSERT_EQ(parsed.num_channels(), original.num_channels());
+  EXPECT_EQ(parsed.norm(), original.norm());
+  for (model::VertexId v : original.ports()) {
+    EXPECT_EQ(parsed.port(v).name, original.port(v).name);
+    EXPECT_EQ(parsed.position(v), original.position(v));
+  }
+  for (model::ArcId a : original.arcs()) {
+    EXPECT_EQ(parsed.channel(a).name, original.channel(a).name);
+    EXPECT_DOUBLE_EQ(parsed.bandwidth(a), original.bandwidth(a));
+    EXPECT_DOUBLE_EQ(parsed.distance(a), original.distance(a));
+  }
+}
+
+TEST(TextFormat, ParsesCommentsAndBlanks) {
+  const model::ConstraintGraph cg = read_constraint_graph_from_string(
+      "# a comment\n"
+      "norm manhattan\n"
+      "\n"
+      "port a 0 0   # trailing comment\n"
+      "port b 1 2\n"
+      "channel c1 a b 5\n");
+  EXPECT_EQ(cg.norm(), geom::Norm::kManhattan);
+  EXPECT_EQ(cg.num_ports(), 2u);
+  EXPECT_DOUBLE_EQ(cg.distance(model::ArcId{0}), 3.0);
+}
+
+TEST(TextFormat, RejectsMalformedGraphs) {
+  EXPECT_THROW(read_constraint_graph_from_string("norm bogus\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_constraint_graph_from_string("port a 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_constraint_graph_from_string("channel c a b 1\n"),
+               std::runtime_error);  // unknown ports
+  EXPECT_THROW(read_constraint_graph_from_string(
+                   "port a 0 0\nport a 1 1\n"),
+               std::runtime_error);  // duplicate port
+  EXPECT_THROW(read_constraint_graph_from_string("frobnicate\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_constraint_graph_from_string(
+                   "norm euclidean\nnorm euclidean\n"),
+               std::runtime_error);  // duplicate norm
+  EXPECT_THROW(read_constraint_graph_from_string("port a x y\n"),
+               std::runtime_error);  // bad numbers
+}
+
+TEST(TextFormat, LibraryRoundTrip) {
+  for (const commlib::Library& original :
+       {commlib::wan_library(), commlib::soc_library(0.6),
+        commlib::lan_library()}) {
+    const commlib::Library parsed =
+        read_library_from_string(write_library(original));
+    EXPECT_EQ(parsed.name(), original.name());
+    ASSERT_EQ(parsed.links().size(), original.links().size());
+    ASSERT_EQ(parsed.nodes().size(), original.nodes().size());
+    for (std::size_t i = 0; i < original.links().size(); ++i) {
+      EXPECT_EQ(parsed.link(i).name, original.link(i).name);
+      EXPECT_EQ(parsed.link(i).max_span, original.link(i).max_span);
+      EXPECT_DOUBLE_EQ(parsed.link(i).bandwidth, original.link(i).bandwidth);
+      EXPECT_DOUBLE_EQ(parsed.link(i).fixed_cost, original.link(i).fixed_cost);
+      EXPECT_DOUBLE_EQ(parsed.link(i).cost_per_length,
+                       original.link(i).cost_per_length);
+    }
+    for (std::size_t i = 0; i < original.nodes().size(); ++i) {
+      EXPECT_EQ(parsed.node(i).name, original.node(i).name);
+      EXPECT_EQ(parsed.node(i).kind, original.node(i).kind);
+      EXPECT_DOUBLE_EQ(parsed.node(i).cost, original.node(i).cost);
+    }
+  }
+}
+
+TEST(TextFormat, LibraryParsesInfinityAndRejectsJunk) {
+  const commlib::Library lib = read_library_from_string(
+      "library x\nlink l inf 10 0 1\nnode n switch 2\n");
+  EXPECT_TRUE(std::isinf(lib.link(0).max_span));
+  EXPECT_EQ(lib.node(0).kind, commlib::NodeKind::kSwitch);
+  EXPECT_THROW(read_library_from_string("link l\n"), std::runtime_error);
+  EXPECT_THROW(read_library_from_string("node n gizmo 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_library_from_string("link l inf ten 0 1\n"),
+               std::runtime_error);
+}
+
+TEST(Dot, ConstraintGraphContainsPortsAndChannels) {
+  const std::string dot = to_dot(workloads::wan2002());
+  EXPECT_NE(dot.find("digraph constraints"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("a8"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Dot, ImplementationGraphShowsLinksAndNodes) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const std::string dot = to_dot(*result.implementation);
+  EXPECT_NE(dot.find("digraph implementation"), std::string::npos);
+  EXPECT_NE(dot.find("radio"), std::string::npos);
+  EXPECT_NE(dot.find("optical"), std::string::npos);
+  EXPECT_NE(dot.find("junction"), std::string::npos);   // the split node
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);  // comm vertices
+}
+
+}  // namespace
+}  // namespace cdcs::io

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "synth/latency_insensitive.hpp"
+#include "workloads/mpeg4_soc.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+TEST(DsmSegment, DegeneratesToPlainSegmentation) {
+  // Clock reach beyond the wire: no latches, repeaters = ceil(L/l)-1.
+  DsmParams p{.l_crit = 0.6, .clock_reach = 100.0};
+  const DsmSegmentation s = dsm_segment(2.45, p);
+  EXPECT_EQ(s.buffers, 4);
+  EXPECT_EQ(s.latches, 0);
+  EXPECT_EQ(s.pipeline_depth, 0);
+  EXPECT_DOUBLE_EQ(s.cost, 4.0);
+}
+
+TEST(DsmSegment, LatchesReplaceBuffersOneForOne) {
+  // L = 2.45, l_crit 0.6 -> 4 repeaters total; clock reach 1.0 -> crosses 2
+  // clock boundaries -> 2 latches + 2 buffers.
+  DsmParams p{.l_crit = 0.6, .clock_reach = 1.0, .buffer_cost = 1.0,
+              .latch_cost = 3.0};
+  const DsmSegmentation s = dsm_segment(2.45, p);
+  EXPECT_EQ(s.buffers + s.latches, 4);
+  EXPECT_EQ(s.latches, 2);
+  EXPECT_EQ(s.pipeline_depth, 2);
+  EXPECT_DOUBLE_EQ(s.cost, 2.0 * 1.0 + 2.0 * 3.0);
+}
+
+TEST(DsmSegment, LatchDemandCappedByRepeaterCount) {
+  // Pathological: clock reach shorter than l_crit would demand more latches
+  // than there are repeater sites; the cap keeps the model sane.
+  DsmParams p{.l_crit = 1.0, .clock_reach = 0.2};
+  const DsmSegmentation s = dsm_segment(2.5, p);
+  EXPECT_EQ(s.buffers, 0);
+  EXPECT_EQ(s.latches, 2);  // only ceil(2.5/1)-1 = 2 sites exist
+}
+
+TEST(DsmSegment, ShortWireNeedsNothing) {
+  DsmParams p{.l_crit = 0.6, .clock_reach = 5.0};
+  const DsmSegmentation s = dsm_segment(0.5, p);
+  EXPECT_EQ(s.buffers, 0);
+  EXPECT_EQ(s.latches, 0);
+  EXPECT_DOUBLE_EQ(s.cost, 0.0);
+}
+
+TEST(DsmSegment, ExactMultiplesHandled) {
+  DsmParams p{.l_crit = 0.6, .clock_reach = 1.2};
+  const DsmSegmentation s = dsm_segment(1.2, p);  // exactly 2 segments
+  EXPECT_EQ(s.buffers + s.latches, 1);
+  EXPECT_EQ(s.latches, 0);  // exactly one clock period: no boundary crossed
+}
+
+TEST(DsmSegment, RejectsBadInputs) {
+  EXPECT_THROW(dsm_segment(0.0, {}), std::invalid_argument);
+  EXPECT_THROW(dsm_segment(-1.0, {}), std::invalid_argument);
+  DsmParams bad;
+  bad.l_crit = 0.0;
+  EXPECT_THROW(dsm_segment(1.0, bad), std::invalid_argument);
+  bad = {};
+  bad.clock_reach = -1.0;
+  EXPECT_THROW(dsm_segment(1.0, bad), std::invalid_argument);
+}
+
+TEST(DsmPlan, Mpeg4At018MicronMatchesFigure5) {
+  // With a generous clock reach (0.18u), the DSM planner must reproduce the
+  // paper's 55 stateless repeaters with zero added latency.
+  const model::ConstraintGraph cg = workloads::mpeg4_soc();
+  const DsmPlan plan = dsm_plan(cg, {.l_crit = 0.6, .clock_reach = 12.0});
+  EXPECT_EQ(plan.total_buffers, 55);
+  EXPECT_EQ(plan.total_latches, 0);
+  EXPECT_DOUBLE_EQ(plan.total_cost, 55.0);
+  EXPECT_EQ(plan.rows.size(), cg.num_channels());
+}
+
+TEST(DsmPlan, ShrinkingTechnologyIntroducesLatches) {
+  const model::ConstraintGraph cg = workloads::mpeg4_soc();
+  const DsmPlan old_node = dsm_plan(cg, {.l_crit = 0.6, .clock_reach = 12.0});
+  const DsmPlan new_node = dsm_plan(cg, {.l_crit = 0.3, .clock_reach = 1.5});
+  EXPECT_EQ(old_node.total_latches, 0);
+  EXPECT_GT(new_node.total_latches, 0);
+  // Total repeater sites grow as l_crit shrinks.
+  EXPECT_GT(new_node.total_buffers + new_node.total_latches,
+            old_node.total_buffers);
+  // Latches are costlier, so total cost rises superlinearly.
+  EXPECT_GT(new_node.total_cost, 2.0 * old_node.total_cost);
+}
+
+}  // namespace
+}  // namespace cdcs::synth

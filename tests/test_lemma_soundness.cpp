@@ -1,0 +1,128 @@
+// Empirical soundness of the pruning lemmas against the actual pricers.
+//
+// Lemma 3.1 (and 3.2) promise that a pruned subset cannot be part of an
+// optimal merging under Assumption 2.1. The theory's proof lives in the
+// authors' technical report; here we validate the claim operationally: on
+// random instances, whenever a pair/triple is pruned, the best merged
+// realization our pricers can find (star, chain or tree) must not beat the
+// sum of the members' point-to-point optima.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "synth/candidate_generator.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+double best_merged_cost(const model::ConstraintGraph& cg,
+                        const commlib::Library& lib,
+                        const std::vector<model::ArcId>& subset) {
+  double best = std::numeric_limits<double>::infinity();
+  if (const auto star = price_merging(cg, lib, subset)) {
+    best = std::min(best, star->cost);
+  }
+  if (const auto chain = price_chain_merging(cg, lib, subset)) {
+    best = std::min(best, chain->cost);
+  }
+  if (const auto tree = price_tree_merging(cg, lib, subset)) {
+    best = std::min(best, tree->cost);
+  }
+  return best;
+}
+
+class LemmaSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(LemmaSoundness, PrunedPairsNeverSaveMoney) {
+  std::mt19937_64 rng(GetParam() * 6151 + 7);
+  std::uniform_real_distribution<double> coord(-60.0, 60.0);
+  std::uniform_real_distribution<double> bw(5.0, 11.0);  // radio-carriable
+
+  const commlib::Library lib = commlib::wan_library();
+  int pruned_pairs_checked = 0;
+  for (int instance = 0; instance < 6; ++instance) {
+    model::ConstraintGraph cg;
+    std::vector<model::VertexId> ports;
+    for (int i = 0; i < 6; ++i) {
+      ports.push_back(
+          cg.add_port("p" + std::to_string(i), {coord(rng), coord(rng)}));
+    }
+    std::uniform_int_distribution<int> pick(0, 5);
+    for (int c = 0; c < 5; ++c) {
+      int u = pick(rng);
+      int v = pick(rng);
+      if (u == v) v = (v + 1) % 6;
+      cg.add_channel(ports[u], ports[v], bw(rng));
+    }
+
+    const ArcPairMatrix gamma = gamma_matrix(cg);
+    const ArcPairMatrix delta = delta_matrix(cg);
+    const auto arcs = cg.arcs();
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      for (std::size_t j = i + 1; j < arcs.size(); ++j) {
+        if (!lemma31_prunes(gamma, delta, arcs[i], arcs[j])) continue;
+        ++pruned_pairs_checked;
+        const double merged = best_merged_cost(cg, lib, {arcs[i], arcs[j]});
+        const double separate =
+            best_point_to_point_cost(cg.distance(arcs[i]),
+                                     cg.bandwidth(arcs[i]), lib) +
+            best_point_to_point_cost(cg.distance(arcs[j]),
+                                     cg.bandwidth(arcs[j]), lib);
+        EXPECT_GE(merged, separate - 1e-6 * separate)
+            << "pruned pair saved money (instance " << instance << ")";
+      }
+    }
+  }
+  // The test must actually exercise pruned pairs to mean anything.
+  EXPECT_GT(pruned_pairs_checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaSoundness, ::testing::Range(0, 6));
+
+TEST(LemmaSoundness, PrunedTriplesOnWan) {
+  // Every WAN triple pruned by the (any-pivot) Lemma 3.2 must price at or
+  // above its members' point-to-point sum.
+  const commlib::Library lib = commlib::wan_library();
+  model::ConstraintGraph cg;
+  const model::VertexId a = cg.add_port("A", {0, 0});
+  const model::VertexId b = cg.add_port("B", {4, 3});
+  const model::VertexId c = cg.add_port("C", {9, 1});
+  const model::VertexId d = cg.add_port("D", {-2, -97});
+  const model::VertexId e = cg.add_port("E", {0, -100});
+  cg.add_channel(a, b, 10.0);
+  cg.add_channel(c, b, 10.0);
+  cg.add_channel(c, a, 10.0);
+  cg.add_channel(d, a, 10.0);
+  cg.add_channel(d, b, 10.0);
+  cg.add_channel(d, c, 10.0);
+  cg.add_channel(d, e, 10.0);
+  cg.add_channel(e, d, 10.0);
+
+  const ArcPairMatrix gamma = gamma_matrix(cg);
+  const ArcPairMatrix delta = delta_matrix(cg);
+  const auto arcs = cg.arcs();
+  int pruned_checked = 0;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < arcs.size(); ++j) {
+      for (std::size_t k = j + 1; k < arcs.size(); ++k) {
+        const std::vector<model::ArcId> triple = {arcs[i], arcs[j], arcs[k]};
+        if (!lemma32_prunes(cg, gamma, delta, triple, PivotRule::kAnyPivot)) {
+          continue;
+        }
+        ++pruned_checked;
+        const double merged = best_merged_cost(cg, lib, triple);
+        double separate = 0.0;
+        for (model::ArcId arc : triple) {
+          separate +=
+              best_point_to_point_cost(cg.distance(arc), cg.bandwidth(arc), lib);
+        }
+        EXPECT_GE(merged, separate - 1e-6 * separate);
+      }
+    }
+  }
+  EXPECT_GT(pruned_checked, 20);  // most of the 56 triples are pruned
+}
+
+}  // namespace
+}  // namespace cdcs::synth

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "synth/candidate_generator.hpp"
+#include "synth/mergeability.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+struct WanFixture : ::testing::Test {
+  model::ConstraintGraph cg = workloads::wan2002();
+  ArcPairMatrix gamma = gamma_matrix(cg);
+  ArcPairMatrix delta = delta_matrix(cg);
+  model::ArcId arc(int one_based) const {
+    return model::ArcId{static_cast<std::uint32_t>(one_based - 1)};
+  }
+};
+
+TEST_F(WanFixture, Lemma31PairsMatchPaper) {
+  // The 13 surviving pairs of the paper (Sec. 4); everything else pruned.
+  const std::pair<int, int> surviving[] = {{1, 2}, {1, 5}, {1, 6}, {2, 3},
+                                           {2, 5}, {3, 4}, {3, 5}, {4, 5},
+                                           {4, 6}, {4, 7}, {5, 6}, {5, 7},
+                                           {6, 7}};
+  std::size_t survivors = 0;
+  for (int i = 1; i <= 8; ++i) {
+    for (int j = i + 1; j <= 8; ++j) {
+      const bool pruned = lemma31_prunes(gamma, delta, arc(i), arc(j));
+      const bool expected_survivor =
+          std::find(std::begin(surviving), std::end(surviving),
+                    std::make_pair(i, j)) != std::end(surviving);
+      EXPECT_EQ(!pruned, expected_survivor)
+          << "pair (a" << i << ",a" << j << ")";
+      if (!pruned) ++survivors;
+    }
+  }
+  EXPECT_EQ(survivors, 13u);
+}
+
+TEST_F(WanFixture, Lemma31PrunesOnExactEquality) {
+  // Gamma(a6,a8) == Delta(a6,a8) exactly (both d6 + d7); the lemma's "<="
+  // must prune this degenerate pair.
+  EXPECT_DOUBLE_EQ(gamma(arc(6), arc(8)), delta(arc(6), arc(8)));
+  EXPECT_TRUE(lemma31_prunes(gamma, delta, arc(6), arc(8)));
+}
+
+TEST_F(WanFixture, Lemma32PivotEquivalenceAtK2) {
+  // At k = 2 Lemma 3.2 with either pivot reduces to Lemma 3.1.
+  for (int i = 1; i <= 8; ++i) {
+    for (int j = i + 1; j <= 8; ++j) {
+      const std::vector<model::ArcId> pair = {arc(i), arc(j)};
+      EXPECT_EQ(lemma31_prunes(gamma, delta, arc(i), arc(j)),
+                lemma32_prunes_with_pivot(gamma, delta, pair, arc(i)));
+      EXPECT_EQ(lemma31_prunes(gamma, delta, arc(i), arc(j)),
+                lemma32_prunes_with_pivot(gamma, delta, pair, arc(j)));
+    }
+  }
+}
+
+TEST_F(WanFixture, Lemma32TripleWithPrunedPairCanSurvive) {
+  // {a1,a2,a3} contains the pruned pair (a1,a3) yet survives the pivot test
+  // -- this is why the paper counts 21 3-way candidates, not 8 triangles.
+  const std::vector<model::ArcId> triple = {arc(1), arc(2), arc(3)};
+  EXPECT_TRUE(lemma31_prunes(gamma, delta, arc(1), arc(3)));
+  EXPECT_FALSE(
+      lemma32_prunes(cg, gamma, delta, triple, PivotRule::kMinDistance));
+}
+
+TEST_F(WanFixture, AnyPivotPrunesAtLeastAsMuchAsSinglePivot) {
+  // Soundness ordering: every subset pruned by the single-pivot rule is
+  // pruned by the any-pivot rule.
+  const std::vector<model::ArcId> arcs = cg.arcs();
+  std::vector<model::ArcId> subset(3);
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < arcs.size(); ++j) {
+      for (std::size_t k = j + 1; k < arcs.size(); ++k) {
+        subset = {arcs[i], arcs[j], arcs[k]};
+        if (lemma32_prunes(cg, gamma, delta, subset,
+                           PivotRule::kMinDistance)) {
+          EXPECT_TRUE(
+              lemma32_prunes(cg, gamma, delta, subset, PivotRule::kAnyPivot));
+        }
+      }
+    }
+  }
+}
+
+TEST(Theorem32, BandwidthSumTriggers) {
+  // max link bandwidth 100; three channels of 40 each: 120 >= 100 + 40 is
+  // false -> not pruned; four channels: 160 >= 140 -> pruned.
+  const std::vector<double> three = {40, 40, 40};
+  EXPECT_FALSE(theorem32_prunes(three, 100.0));
+  const std::vector<double> four = {40, 40, 40, 40};
+  EXPECT_TRUE(theorem32_prunes(four, 100.0));
+  // Boundary: equality prunes.
+  const std::vector<double> edge = {60, 40};
+  EXPECT_TRUE(theorem32_prunes(edge, 60.0));
+}
+
+TEST(Theorem32, NeverFiresOnWanExample) {
+  // 8 x 10 Mbps never reaches 1000 + 10.
+  const std::vector<double> all(8, 10.0);
+  EXPECT_FALSE(theorem32_prunes(all, 1000.0));
+}
+
+TEST_F(WanFixture, GeneratorReproducesPaperCounts) {
+  const commlib::Library lib = commlib::wan_library();
+  SynthesisOptions opts;  // defaults = paper-matching
+  const CandidateSet set = generate_candidates(cg, lib, opts);
+  const auto& s = set.stats;
+  EXPECT_EQ(s.survivors_per_k[2], 13u);
+  EXPECT_EQ(s.survivors_per_k[3], 21u);
+  EXPECT_EQ(s.survivors_per_k[4], 16u);
+  // Known divergence from the paper's "five": the published sufficient
+  // conditions leave six 5-subsets (see bench_fig3 header).
+  EXPECT_EQ(s.survivors_per_k[5], 6u);
+  EXPECT_EQ(s.survivors_per_k[6], 1u);
+  // a8 unmergeable (Theorem 3.1 at k=2); a7 dies after k=5.
+  EXPECT_EQ(s.arc_eliminated_after_k[7], 2);
+  EXPECT_EQ(s.arc_eliminated_after_k[6], 5);
+  // 8 singletons + 13 + 21 + 16 + 6 + 1 = 65 columns.
+  EXPECT_EQ(set.candidates.size(), 65u);
+}
+
+TEST_F(WanFixture, GeneratorAblationLemmaOff) {
+  const commlib::Library lib = commlib::wan_library();
+  SynthesisOptions opts;
+  opts.use_lemma31 = false;
+  opts.use_lemma32 = false;
+  opts.use_theorem31 = false;
+  opts.max_merge_k = 3;  // keep the unpruned explosion bounded
+  const CandidateSet set = generate_candidates(cg, lib, opts);
+  EXPECT_EQ(set.stats.survivors_per_k[2], 28u);  // C(8,2)
+  EXPECT_EQ(set.stats.survivors_per_k[3], 56u);  // C(8,3)
+}
+
+TEST_F(WanFixture, GeneratorRespectsMaxK) {
+  const commlib::Library lib = commlib::wan_library();
+  SynthesisOptions opts;
+  opts.max_merge_k = 2;
+  const CandidateSet set = generate_candidates(cg, lib, opts);
+  EXPECT_EQ(set.stats.survivors_per_k.size(), 3u);
+  EXPECT_EQ(set.candidates.size(), 8u + 13u);
+}
+
+TEST_F(WanFixture, DropUnprofitableShrinksColumnsOnly) {
+  const commlib::Library lib = commlib::wan_library();
+  SynthesisOptions lean;
+  lean.drop_unprofitable = true;
+  const CandidateSet lean_set = generate_candidates(cg, lib, lean);
+  const CandidateSet full_set = generate_candidates(cg, lib, {});
+  EXPECT_LT(lean_set.candidates.size(), full_set.candidates.size());
+  // Survivor statistics (the paper's counts) are unaffected.
+  EXPECT_EQ(lean_set.stats.survivors_per_k, full_set.stats.survivors_per_k);
+  // The profitable merging {a4,a5,a6} must survive the drop.
+  bool found = false;
+  for (const Candidate& c : lean_set.candidates) {
+    if (c.arcs.size() == 3 && c.arcs[0].index() == 3 &&
+        c.arcs[1].index() == 4 && c.arcs[2].index() == 5) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Generator, ThrowsOnUnimplementableArc) {
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  const model::VertexId u = cg.add_port("u", {0, 0});
+  const model::VertexId v = cg.add_port("v", {10, 0});
+  cg.add_channel(u, v, 5.0);
+  commlib::Library lib("weak");
+  lib.add_link(commlib::Link{
+      .name = "short", .max_span = 1.0, .bandwidth = 10.0, .fixed_cost = 1.0});
+  // No repeater: 10-unit span unreachable.
+  EXPECT_THROW(generate_candidates(cg, lib, {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cdcs::synth

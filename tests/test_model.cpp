@@ -1,0 +1,188 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "model/implementation_graph.hpp"
+
+namespace cdcs::model {
+namespace {
+
+ConstraintGraph simple_cg() {
+  ConstraintGraph cg(geom::Norm::kEuclidean);
+  const VertexId u = cg.add_port("u", {0, 0});
+  const VertexId v = cg.add_port("v", {3, 4});
+  cg.add_channel(u, v, 5.0, "ch");
+  return cg;
+}
+
+TEST(ConstraintGraph, DistanceDerivedFromPositions) {
+  const ConstraintGraph cg = simple_cg();
+  EXPECT_DOUBLE_EQ(cg.distance(ArcId{0}), 5.0);
+  EXPECT_DOUBLE_EQ(cg.bandwidth(ArcId{0}), 5.0);
+  EXPECT_EQ(cg.channel(ArcId{0}).name, "ch");
+}
+
+TEST(ConstraintGraph, ManhattanNormChangesDistances) {
+  ConstraintGraph cg(geom::Norm::kManhattan);
+  const VertexId u = cg.add_port("u", {0, 0});
+  const VertexId v = cg.add_port("v", {3, 4});
+  cg.add_channel(u, v, 1.0);
+  EXPECT_DOUBLE_EQ(cg.distance(ArcId{0}), 7.0);
+}
+
+TEST(ConstraintGraph, DefaultArcNamesArePaperStyle) {
+  ConstraintGraph cg;
+  const VertexId u = cg.add_port("u", {0, 0});
+  const VertexId v = cg.add_port("v", {1, 0});
+  cg.add_channel(u, v, 1.0);
+  cg.add_channel(v, u, 1.0);
+  EXPECT_EQ(cg.channel(ArcId{0}).name, "a1");
+  EXPECT_EQ(cg.channel(ArcId{1}).name, "a2");
+}
+
+TEST(ConstraintGraph, RejectsBadInputs) {
+  ConstraintGraph cg;
+  const VertexId u = cg.add_port("u", {0, 0});
+  const VertexId v = cg.add_port("v", {1, 0});
+  EXPECT_THROW(cg.add_channel(u, v, 0.0), std::invalid_argument);
+  EXPECT_THROW(cg.add_channel(u, v, -1.0), std::invalid_argument);
+  EXPECT_THROW(cg.add_channel(u, u, 1.0), std::invalid_argument);
+  EXPECT_THROW(cg.add_port("w", {std::nan(""), 0.0}), std::invalid_argument);
+}
+
+TEST(ConstraintGraph, ValidatePassesOnWellFormed) {
+  EXPECT_TRUE(simple_cg().validate().empty());
+}
+
+class ImplGraphTest : public ::testing::Test {
+ protected:
+  ImplGraphTest()
+      : cg_(simple_cg()),
+        lib_(commlib::wan_library()),
+        impl_(cg_, lib_),
+        radio_(*lib_.find_link("radio")),
+        optical_(*lib_.find_link("optical")),
+        junction_(*lib_.find_node("junction")) {}
+
+  ConstraintGraph cg_;
+  commlib::Library lib_;
+  ImplementationGraph impl_;
+  commlib::LinkIndex radio_;
+  commlib::LinkIndex optical_;
+  commlib::NodeIndex junction_;
+};
+
+TEST_F(ImplGraphTest, ChiMirrorsComputationalVertices) {
+  EXPECT_EQ(impl_.num_vertices(), 2u);
+  EXPECT_TRUE(impl_.is_computational(VertexId{0}));
+  EXPECT_TRUE(impl_.is_computational(VertexId{1}));
+  EXPECT_EQ(impl_.position(VertexId{1}), cg_.position(VertexId{1}));
+  EXPECT_THROW(impl_.comm_vertex(VertexId{0}), std::invalid_argument);
+}
+
+TEST_F(ImplGraphTest, MatchingCostAndClassification) {
+  const ArcId link = impl_.add_link_arc(VertexId{0}, VertexId{1}, radio_);
+  impl_.register_path(ArcId{0}, Path{{link}});
+  EXPECT_DOUBLE_EQ(impl_.arc_span(link), 5.0);
+  EXPECT_DOUBLE_EQ(impl_.arc_cost(link), 5.0 * 2000.0);
+  EXPECT_DOUBLE_EQ(impl_.cost(), 10000.0);
+  EXPECT_EQ(impl_.classify(ArcId{0}), ImplKind::kMatching);
+  EXPECT_DOUBLE_EQ(impl_.arc_implementation_cost(ArcId{0}), 10000.0);
+}
+
+TEST_F(ImplGraphTest, SegmentationThroughRepeater) {
+  const VertexId mid = impl_.add_comm_vertex(junction_, {1.5, 2.0});
+  const ArcId l1 = impl_.add_link_arc(VertexId{0}, mid, radio_);
+  const ArcId l2 = impl_.add_link_arc(mid, VertexId{1}, radio_);
+  impl_.register_path(ArcId{0}, Path{{l1, l2}});
+  EXPECT_EQ(impl_.classify(ArcId{0}), ImplKind::kSegmentation);
+  EXPECT_EQ(impl_.num_comm_vertices(), 1u);
+  EXPECT_DOUBLE_EQ(impl_.path_length(impl_.arc_implementation(ArcId{0})[0]),
+                   5.0);
+  EXPECT_DOUBLE_EQ(impl_.path_bandwidth(impl_.arc_implementation(ArcId{0})[0]),
+                   11.0);
+}
+
+TEST_F(ImplGraphTest, DuplicationClassification) {
+  const ArcId l1 = impl_.add_link_arc(VertexId{0}, VertexId{1}, radio_);
+  const ArcId l2 = impl_.add_link_arc(VertexId{0}, VertexId{1}, radio_);
+  impl_.register_path(ArcId{0}, Path{{l1}});
+  impl_.register_path(ArcId{0}, Path{{l2}});
+  EXPECT_EQ(impl_.classify(ArcId{0}), ImplKind::kDuplication);
+}
+
+TEST_F(ImplGraphTest, RegisterPathRejectsMalformed) {
+  const ArcId l1 = impl_.add_link_arc(VertexId{0}, VertexId{1}, radio_);
+  const ArcId back = impl_.add_link_arc(VertexId{1}, VertexId{0}, radio_);
+  EXPECT_THROW(impl_.register_path(ArcId{0}, Path{{}}), std::invalid_argument);
+  // Wrong direction: ends at chi(u), not chi(v).
+  EXPECT_THROW(impl_.register_path(ArcId{0}, Path{{back}}),
+               std::invalid_argument);
+  // Not contiguous.
+  EXPECT_THROW(impl_.register_path(ArcId{0}, Path{{l1, l1}}),
+               std::invalid_argument);
+}
+
+TEST_F(ImplGraphTest, RegisterPathRejectsThroughComputational) {
+  ConstraintGraph cg3(geom::Norm::kEuclidean);
+  const VertexId u = cg3.add_port("u", {0, 0});
+  const VertexId w = cg3.add_port("w", {1, 0});
+  const VertexId v = cg3.add_port("v", {2, 0});
+  cg3.add_channel(u, v, 1.0);
+  ImplementationGraph impl(cg3, lib_);
+  const ArcId l1 = impl.add_link_arc(u, w, radio_);
+  const ArcId l2 = impl.add_link_arc(w, v, radio_);
+  // Path u -> w -> v passes through computational vertex w: Def 2.4 forbids.
+  EXPECT_THROW(impl.register_path(ArcId{0}, Path{{l1, l2}}),
+               std::invalid_argument);
+}
+
+TEST_F(ImplGraphTest, LinkSpanLimitEnforced) {
+  const commlib::Library soc = commlib::soc_library(0.6);
+  ConstraintGraph cg(geom::Norm::kManhattan);
+  const VertexId u = cg.add_port("u", {0, 0});
+  const VertexId v = cg.add_port("v", {1.0, 0});
+  cg.add_channel(u, v, 1.0);
+  ImplementationGraph impl(cg, soc);
+  // 1.0 mm exceeds the 0.6 mm wire.
+  EXPECT_THROW(impl.add_link_arc(u, v, *soc.find_link("metal-wire")),
+               std::invalid_argument);
+}
+
+TEST_F(ImplGraphTest, MergedShareDetected) {
+  ConstraintGraph cg(geom::Norm::kEuclidean);
+  const VertexId u = cg.add_port("u", {0, 0});
+  const VertexId v = cg.add_port("v", {10, 0});
+  cg.add_channel(u, v, 5.0, "c1");
+  cg.add_channel(u, v, 5.0, "c2");
+  ImplementationGraph impl(cg, lib_);
+  const ArcId trunk = impl.add_link_arc(u, v, optical_);
+  impl.register_path(ArcId{0}, Path{{trunk}});
+  impl.register_path(ArcId{1}, Path{{trunk}});
+  EXPECT_EQ(impl.classify(ArcId{0}), ImplKind::kMergedShare);
+  EXPECT_EQ(impl.classify(ArcId{1}), ImplKind::kMergedShare);
+  // Def 2.5 counts the shared link once...
+  EXPECT_DOUBLE_EQ(impl.cost(), 10.0 * 4000.0);
+  // ...while the per-arc implementation costs double-count it (Eq. 2).
+  EXPECT_DOUBLE_EQ(impl.arc_implementation_cost(ArcId{0}) +
+                       impl.arc_implementation_cost(ArcId{1}),
+                   2 * 10.0 * 4000.0);
+}
+
+TEST_F(ImplGraphTest, CountNodesByKind) {
+  impl_.add_comm_vertex(junction_, {1, 1});
+  EXPECT_EQ(impl_.count_nodes(commlib::NodeKind::kSwitch), 1u);
+  EXPECT_EQ(impl_.count_nodes(commlib::NodeKind::kRepeater), 0u);
+}
+
+TEST(ImplKindNames, AllDistinct) {
+  EXPECT_EQ(to_string(ImplKind::kMatching), "matching");
+  EXPECT_EQ(to_string(ImplKind::kSegmentation), "segmentation");
+  EXPECT_EQ(to_string(ImplKind::kDuplication), "duplication");
+  EXPECT_EQ(to_string(ImplKind::kCompound), "compound");
+  EXPECT_EQ(to_string(ImplKind::kMergedShare), "merged");
+}
+
+}  // namespace
+}  // namespace cdcs::model

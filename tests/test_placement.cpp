@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "place/placement.hpp"
+
+namespace cdcs::place {
+namespace {
+
+TEST(Placement, SingleMovableGoesToWeightedBarycenter) {
+  PlacementProblem p;
+  const std::size_t pad_w = p.add_fixed("west", {0, 0});
+  const std::size_t pad_e = p.add_fixed("east", {10, 0});
+  const std::size_t m = p.add_module("core");
+  p.connect(m, pad_w, 1.0);
+  p.connect(m, pad_e, 3.0);  // pulled 3x harder east
+  const PlacementResult r = place(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.positions[m].x, 7.5, 1e-7);  // (1*0 + 3*10) / 4
+  EXPECT_NEAR(r.positions[m].y, 0.0, 1e-7);
+}
+
+TEST(Placement, ChainBetweenPadsSpacesEvenly) {
+  PlacementProblem p;
+  const std::size_t a = p.add_fixed("a", {0, 0});
+  const std::size_t m1 = p.add_module("m1");
+  const std::size_t m2 = p.add_module("m2");
+  const std::size_t m3 = p.add_module("m3");
+  const std::size_t b = p.add_fixed("b", {8, 4});
+  p.connect(a, m1);
+  p.connect(m1, m2);
+  p.connect(m2, m3);
+  p.connect(m3, b);
+  const PlacementResult r = place(p);
+  EXPECT_TRUE(r.converged);
+  // Equal springs -> equally spaced along the segment.
+  EXPECT_NEAR(r.positions[m1].x, 2.0, 1e-6);
+  EXPECT_NEAR(r.positions[m2].x, 4.0, 1e-6);
+  EXPECT_NEAR(r.positions[m3].x, 6.0, 1e-6);
+  EXPECT_NEAR(r.positions[m2].y, 2.0, 1e-6);
+}
+
+TEST(Placement, FixedModulesDoNotMove) {
+  PlacementProblem p;
+  const std::size_t a = p.add_fixed("a", {1, 2});
+  const std::size_t m = p.add_module("m");
+  p.connect(a, m);
+  const PlacementResult r = place(p);
+  EXPECT_EQ(r.positions[a], (geom::Point2D{1, 2}));
+  // A movable tied to a single fixed module collapses onto it.
+  EXPECT_NEAR(r.positions[m].x, 1.0, 1e-7);
+  EXPECT_NEAR(r.positions[m].y, 2.0, 1e-7);
+}
+
+TEST(Placement, WirelengthIsStationaryUnderPerturbation) {
+  // Property: at the CG solution, nudging any movable module in any
+  // direction must not decrease the quadratic wirelength.
+  PlacementProblem p;
+  const std::size_t pads[4] = {
+      p.add_fixed("p0", {0, 0}), p.add_fixed("p1", {10, 0}),
+      p.add_fixed("p2", {10, 10}), p.add_fixed("p3", {0, 10})};
+  const std::size_t m1 = p.add_module("m1");
+  const std::size_t m2 = p.add_module("m2");
+  p.connect(m1, pads[0], 2.0);
+  p.connect(m1, pads[1], 1.0);
+  p.connect(m1, m2, 4.0);
+  p.connect(m2, pads[2], 1.5);
+  p.connect(m2, pads[3], 0.5);
+  const PlacementResult r = place(p);
+  ASSERT_TRUE(r.converged);
+
+  auto phi = [&](const std::vector<geom::Point2D>& pos) {
+    double total = 0.0;
+    for (const Net& n : p.nets) {
+      total += n.weight * geom::squared_length(pos[n.a] - pos[n.b]);
+    }
+    return total;
+  };
+  const double base = phi(r.positions);
+  EXPECT_NEAR(base, r.quadratic_wirelength, 1e-9 * std::max(base, 1.0));
+  for (std::size_t m : {m1, m2}) {
+    for (const geom::Point2D d :
+         {geom::Point2D{0.01, 0}, geom::Point2D{-0.01, 0},
+          geom::Point2D{0, 0.01}, geom::Point2D{0, -0.01}}) {
+      std::vector<geom::Point2D> nudged = r.positions;
+      nudged[m] += d;
+      EXPECT_GE(phi(nudged), base - 1e-9);
+    }
+  }
+}
+
+TEST(Placement, ValidateCatchesProblems) {
+  PlacementProblem p;
+  const std::size_t m = p.add_module("floating");
+  EXPECT_FALSE(p.validate().empty());  // no anchor
+
+  PlacementProblem p2;
+  const std::size_t a = p2.add_fixed("a", {0, 0});
+  const std::size_t b = p2.add_module("b");
+  p2.connect(a, b, -1.0);
+  EXPECT_FALSE(p2.validate().empty());  // negative weight
+
+  PlacementProblem p3;
+  const std::size_t c = p3.add_fixed("c", {0, 0});
+  p3.connect(c, c);
+  EXPECT_FALSE(p3.validate().empty());  // self-net
+
+  PlacementProblem p4;
+  p4.add_fixed("x", {0, 0});
+  p4.nets.push_back(Net{0, 99, 1.0});
+  EXPECT_FALSE(p4.validate().empty());  // out of range
+
+  (void)m;
+  EXPECT_THROW(place(p), std::invalid_argument);
+}
+
+TEST(Placement, AllFixedIsTrivial) {
+  PlacementProblem p;
+  p.add_fixed("a", {0, 0});
+  p.add_fixed("b", {5, 5});
+  p.connect(0, 1, 2.0);
+  const PlacementResult r = place(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.quadratic_wirelength, 2.0 * 50.0);
+}
+
+}  // namespace
+}  // namespace cdcs::place

@@ -1,0 +1,125 @@
+// Cross-checks the matrix-free CG placement against a dense Gaussian-
+// elimination oracle on random anchored Laplacian systems.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "place/placement.hpp"
+
+namespace cdcs::place {
+namespace {
+
+/// Dense solve of the same quadratic placement: build the movable-submatrix
+/// Laplacian L and rhs, solve L x = b by Gaussian elimination.
+std::vector<geom::Point2D> dense_oracle(const PlacementProblem& p) {
+  std::vector<std::size_t> movable_index(p.modules.size(), SIZE_MAX);
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < p.modules.size(); ++i) {
+    if (!p.modules[i].fixed) {
+      movable_index[i] = movable.size();
+      movable.push_back(i);
+    }
+  }
+  const std::size_t m = movable.size();
+  std::vector<geom::Point2D> out(p.modules.size());
+  for (std::size_t i = 0; i < p.modules.size(); ++i) {
+    out[i] = p.modules[i].position;
+  }
+  if (m == 0) return out;
+
+  for (int axis = 0; axis < 2; ++axis) {
+    std::vector<double> A(m * m, 0.0);
+    std::vector<double> b(m, 0.0);
+    for (const Net& n : p.nets) {
+      const std::size_t ia = movable_index[n.a];
+      const std::size_t ib = movable_index[n.b];
+      auto coord = [&](std::size_t v) {
+        return axis == 0 ? p.modules[v].position.x : p.modules[v].position.y;
+      };
+      if (ia != SIZE_MAX) A[ia * m + ia] += n.weight;
+      if (ib != SIZE_MAX) A[ib * m + ib] += n.weight;
+      if (ia != SIZE_MAX && ib != SIZE_MAX) {
+        A[ia * m + ib] -= n.weight;
+        A[ib * m + ia] -= n.weight;
+      } else if (ia != SIZE_MAX) {
+        b[ia] += n.weight * coord(n.b);
+      } else if (ib != SIZE_MAX) {
+        b[ib] += n.weight * coord(n.a);
+      }
+    }
+    // Gaussian elimination with partial pivoting.
+    for (std::size_t col = 0; col < m; ++col) {
+      std::size_t pivot = col;
+      for (std::size_t r = col + 1; r < m; ++r) {
+        if (std::abs(A[r * m + col]) > std::abs(A[pivot * m + col])) {
+          pivot = r;
+        }
+      }
+      for (std::size_t c = 0; c < m; ++c) {
+        std::swap(A[col * m + c], A[pivot * m + c]);
+      }
+      std::swap(b[col], b[pivot]);
+      for (std::size_t r = col + 1; r < m; ++r) {
+        const double f = A[r * m + col] / A[col * m + col];
+        for (std::size_t c = col; c < m; ++c) A[r * m + c] -= f * A[col * m + c];
+        b[r] -= f * b[col];
+      }
+    }
+    std::vector<double> x(m);
+    for (std::size_t r = m; r-- > 0;) {
+      double acc = b[r];
+      for (std::size_t c = r + 1; c < m; ++c) acc -= A[r * m + c] * x[c];
+      x[r] = acc / A[r * m + r];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (axis == 0) {
+        out[movable[i]].x = x[i];
+      } else {
+        out[movable[i]].y = x[i];
+      }
+    }
+  }
+  return out;
+}
+
+class PlacementOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementOracle, CgMatchesDenseSolve) {
+  std::mt19937 rng(GetParam() * 7907 + 13);
+  std::uniform_real_distribution<double> coord(0.0, 50.0);
+  std::uniform_real_distribution<double> weight(0.2, 5.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  PlacementProblem p;
+  const int pads = 3 + GetParam() % 3;
+  const int blocks = 4 + GetParam() % 6;
+  for (int i = 0; i < pads; ++i) {
+    p.add_fixed("pad" + std::to_string(i), {coord(rng), coord(rng)});
+  }
+  for (int i = 0; i < blocks; ++i) {
+    p.add_module("m" + std::to_string(i));
+  }
+  // Spanning connectivity: each block ties to a random earlier module,
+  // guaranteeing an anchored system; plus random extra nets.
+  std::uniform_int_distribution<std::size_t> earlier(0, pads - 1);
+  for (int i = 0; i < blocks; ++i) {
+    const std::size_t self = pads + i;
+    std::uniform_int_distribution<std::size_t> prev(0, self - 1);
+    p.connect(self, prev(rng), weight(rng));
+    if (unit(rng) < 0.7) p.connect(self, earlier(rng), weight(rng));
+  }
+  ASSERT_TRUE(p.validate().empty());
+
+  const PlacementResult cg_result = place(p);
+  ASSERT_TRUE(cg_result.converged);
+  const std::vector<geom::Point2D> oracle = dense_oracle(p);
+  for (std::size_t i = 0; i < p.modules.size(); ++i) {
+    EXPECT_NEAR(cg_result.positions[i].x, oracle[i].x, 1e-5) << "module " << i;
+    EXPECT_NEAR(cg_result.positions[i].y, oracle[i].y, 1e-5) << "module " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementOracle, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace cdcs::place

@@ -1,0 +1,186 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "synth/ptp.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+TEST(Ptp, MatchingWhenOneLinkSuffices) {
+  const commlib::Library lib = commlib::wan_library();
+  const auto plan = best_point_to_point(5.0, 10.0, lib);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->is_matching());
+  EXPECT_EQ(lib.link(plan->link).name, "radio");
+  EXPECT_DOUBLE_EQ(plan->cost, 5.0 * 2000.0);
+}
+
+TEST(Ptp, PicksFasterLinkWhenBandwidthDemands) {
+  const commlib::Library lib = commlib::wan_library();
+  // 30 Mbps > 11 Mbps radio: either 3 parallel radios (6000/km + free
+  // junction mux/demux) or one optical (4000/km). Optical wins.
+  const auto plan = best_point_to_point(10.0, 30.0, lib);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(lib.link(plan->link).name, "optical");
+  EXPECT_TRUE(plan->is_matching());
+}
+
+TEST(Ptp, DuplicationWhenCheaperThanUpgrade) {
+  // 20 Mbps: 2 radios cost 4000/km, equal to optical's 4000/km; tie is
+  // broken by evaluation order (radio first), but force the interesting
+  // case at 21 Mbps where duplication still needs 2 radios.
+  const commlib::Library lib = commlib::wan_library();
+  const auto plan = best_point_to_point(10.0, 21.0, lib);
+  ASSERT_TRUE(plan.has_value());
+  // 2 radios = 4000/km == optical 4000/km; either is optimal.
+  EXPECT_DOUBLE_EQ(plan->cost, 40000.0);
+  if (plan->parallel == 2) {
+    EXPECT_EQ(lib.link(plan->link).name, "radio");
+    ASSERT_TRUE(plan->mux.has_value());
+    ASSERT_TRUE(plan->demux.has_value());
+  }
+}
+
+TEST(Ptp, SegmentationCountsRepeaters) {
+  const commlib::Library lib = commlib::soc_library(0.6);
+  const auto plan = best_point_to_point(2.0, 1.0, lib);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->segments, 4);  // ceil(2.0 / 0.6)
+  EXPECT_EQ(plan->parallel, 1);
+  ASSERT_TRUE(plan->repeater.has_value());
+  EXPECT_DOUBLE_EQ(plan->cost, 3.0);  // 3 repeaters, wires free
+}
+
+TEST(Ptp, ExactMultipleSpanAvoidsOffByOne) {
+  const commlib::Library lib = commlib::soc_library(0.6);
+  // 1.8 mm = exactly 3 wires; a naive ceil(1.8/0.6) with floating point
+  // noise could give 4.
+  const auto plan = best_point_to_point(1.8, 1.0, lib);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->segments, 3);
+  EXPECT_DOUBLE_EQ(plan->cost, 2.0);
+}
+
+TEST(Ptp, SegmentationAndDuplicationCombined) {
+  commlib::Library lib("grid");
+  lib.add_link(commlib::Link{.name = "short-slow",
+                             .max_span = 1.0,
+                             .bandwidth = 5.0,
+                             .fixed_cost = 1.0,
+                             .cost_per_length = 0.0});
+  lib.add_node(commlib::Node{
+      .name = "rep", .kind = commlib::NodeKind::kRepeater, .cost = 10.0});
+  lib.add_node(commlib::Node{
+      .name = "mux", .kind = commlib::NodeKind::kMux, .cost = 3.0});
+  lib.add_node(commlib::Node{
+      .name = "demux", .kind = commlib::NodeKind::kDemux, .cost = 3.0});
+  const auto plan = best_point_to_point(2.5, 12.0, lib);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->segments, 3);   // ceil(2.5/1)
+  EXPECT_EQ(plan->parallel, 3);   // ceil(12/5)
+  // 3 branches x 3 links x $1 + 3 branches x 2 repeaters x $10 + mux+demux.
+  EXPECT_DOUBLE_EQ(plan->cost, 9.0 + 60.0 + 6.0);
+}
+
+TEST(Ptp, InfeasibleWithoutRepeater) {
+  commlib::Library lib("norep");
+  lib.add_link(commlib::Link{
+      .name = "short", .max_span = 1.0, .bandwidth = 5.0, .fixed_cost = 1.0});
+  EXPECT_FALSE(best_point_to_point(2.0, 1.0, lib).has_value());
+  EXPECT_TRUE(std::isinf(best_point_to_point_cost(2.0, 1.0, lib)));
+  // Within reach it is feasible.
+  EXPECT_TRUE(best_point_to_point(0.9, 1.0, lib).has_value());
+}
+
+TEST(Ptp, InfeasibleWithoutMuxDemux) {
+  commlib::Library lib("nomux");
+  lib.add_link(commlib::Link{
+      .name = "slow", .max_span = 10.0, .bandwidth = 5.0, .fixed_cost = 1.0});
+  EXPECT_FALSE(best_point_to_point(1.0, 6.0, lib).has_value());
+  EXPECT_TRUE(best_point_to_point(1.0, 5.0, lib).has_value());
+}
+
+TEST(Ptp, ZeroSpanIsLegal) {
+  const commlib::Library lib = commlib::wan_library();
+  const auto plan = best_point_to_point(0.0, 10.0, lib);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->cost, 0.0);  // per-length links cost nothing at 0
+  EXPECT_EQ(plan->segments, 1);
+}
+
+TEST(Ptp, SkipsZeroBandwidthLinks) {
+  commlib::Library lib("zb");
+  lib.add_link(commlib::Link{.name = "broken", .bandwidth = 0.0});
+  lib.add_link(commlib::Link{
+      .name = "ok", .bandwidth = 1.0, .fixed_cost = 1.0});
+  const auto plan = best_point_to_point(1.0, 1.0, lib);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(lib.link(plan->link).name, "ok");
+}
+
+// Assumption 2.1 must hold on the paper's libraries: optimal point-to-point
+// cost is monotone in (distance, bandwidth) and positive.
+class Assumption21 : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Assumption21, HoldsOnStandardLibraries) {
+  const std::string which = GetParam();
+  commlib::Library lib =
+      which == "wan"   ? commlib::wan_library()
+      : which == "soc" ? commlib::soc_library(0.6)
+                       : commlib::lan_library();
+  // For the SoC library, channels shorter than l_crit cost zero repeaters,
+  // so C(P(a)) > 0 only holds on the paper instance's range d > l_crit
+  // (every MPEG-4 critical channel is); check the assumption there.
+  const std::vector<double> spans = which == "soc"
+                                        ? std::vector<double>{0.7, 1.0, 2.0,
+                                                              3.7, 5.0, 20.0}
+                                        : std::vector<double>{0.1, 0.5, 1.0,
+                                                              2.0, 5.0, 20.0,
+                                                              100.0};
+  const std::vector<double> bws = {0.5, 1.0, 5.0, 10.0, 25.0, 60.0};
+  EXPECT_TRUE(check_assumption_2_1(lib, spans, bws).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Libraries, Assumption21,
+                         ::testing::Values("wan", "soc", "lan"));
+
+TEST(Assumption21, DetectsViolatingLibrary) {
+  // A pathological library: a long-reach link CHEAPER than the short one,
+  // making cost non-monotone in distance (cost drops when d crosses 1.0).
+  commlib::Library lib("weird");
+  lib.add_link(commlib::Link{.name = "short-pricey",
+                             .max_span = 1.0,
+                             .bandwidth = 10.0,
+                             .fixed_cost = 100.0});
+  lib.add_link(commlib::Link{.name = "long-cheap",
+                             .max_span = 100.0,
+                             .bandwidth = 10.0,
+                             .fixed_cost = 100.0,
+                             .cost_per_length = 0.0});
+  // Monotone actually (equal costs). Make short strictly worse via usage:
+  // at d <= 1 both links cost 100 -> still monotone. Force violation with a
+  // fixed+per-length crossing instead:
+  commlib::Library lib2("crossing");
+  lib2.add_link(commlib::Link{.name = "per-meter",
+                              .max_span = 2.0,
+                              .bandwidth = 10.0,
+                              .cost_per_length = 50.0});
+  lib2.add_link(commlib::Link{.name = "flat-rate",
+                              .max_span = 100.0,
+                              .bandwidth = 10.0,
+                              .fixed_cost = 60.0});
+  // d=0.5 -> min(25, 60) = 25; d=2.0 -> min(100,60) = 60: monotone. The
+  // grid check should accordingly find no violation here...
+  EXPECT_TRUE(check_assumption_2_1(lib2, {0.5, 2.0}, {1.0}).empty());
+  // ...but a zero-cost point breaks positivity.
+  commlib::Library lib3("freebie");
+  lib3.add_link(commlib::Link{.name = "free-short",
+                              .max_span = 1.0,
+                              .bandwidth = 10.0});
+  EXPECT_FALSE(check_assumption_2_1(lib3, {0.5}, {1.0}).empty());
+}
+
+}  // namespace
+}  // namespace cdcs::synth

@@ -1,0 +1,269 @@
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "ucp/bnb.hpp"
+#include "ucp/dp.hpp"
+#include "ucp/greedy.hpp"
+
+namespace cdcs::ucp {
+namespace {
+
+TEST(Bitset, BasicOps) {
+  Bitset b(130);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_TRUE(b.test(64));
+  EXPECT_FALSE(b.test(63));
+  b.reset(64);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.first(), 0u);
+
+  Bitset c(130);
+  c.set(0);
+  EXPECT_TRUE(c.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(c));
+  EXPECT_TRUE(b.intersects(c));
+  EXPECT_EQ(b.intersection_count(c), 1u);
+
+  b.subtract(c);
+  EXPECT_FALSE(b.test(0));
+  EXPECT_TRUE(b.test(129));
+
+  std::vector<std::size_t> seen;
+  b.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{129}));
+}
+
+CoverProblem tiny_problem() {
+  // rows {0,1,2}; columns: A={0,1} w=3, B={1,2} w=3, C={0,1,2} w=5, D={2} w=1.
+  CoverProblem p(3);
+  p.add_column({0, 1}, 3.0);
+  p.add_column({1, 2}, 3.0);
+  p.add_column({0, 1, 2}, 5.0);
+  p.add_column({2}, 1.0);
+  return p;
+}
+
+TEST(CoverProblem, Construction) {
+  const CoverProblem p = tiny_problem();
+  EXPECT_EQ(p.num_rows(), 3u);
+  EXPECT_EQ(p.num_columns(), 4u);
+  EXPECT_TRUE(p.feasible());
+  EXPECT_TRUE(p.covers_all({2}));
+  EXPECT_FALSE(p.covers_all({0}));
+  EXPECT_DOUBLE_EQ(p.cost_of({0, 3}), 4.0);
+}
+
+TEST(CoverProblem, RejectsBadColumns) {
+  CoverProblem p(3);
+  EXPECT_THROW(p.add_column({0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(p.add_column({7}, 1.0), std::out_of_range);
+  EXPECT_THROW(p.add_column({}, 1.0), std::invalid_argument);
+}
+
+TEST(Exact, SolvesTinyProblem) {
+  const CoverSolution s = solve_exact(tiny_problem());
+  // Optimum: A {0,1} + D {2} = 4.
+  EXPECT_TRUE(s.optimal);
+  EXPECT_DOUBLE_EQ(s.cost, 4.0);
+  EXPECT_EQ(s.chosen, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(Exact, EssentialColumnIsForced) {
+  CoverProblem p(2);
+  p.add_column({0}, 10.0);  // only column covering row 0
+  p.add_column({1}, 1.0);
+  p.add_column({1}, 2.0);
+  const CoverSolution s = solve_exact(p);
+  EXPECT_DOUBLE_EQ(s.cost, 11.0);
+}
+
+TEST(Exact, InfeasibleReported) {
+  CoverProblem p(2);
+  p.add_column({0}, 1.0);  // row 1 uncoverable
+  const CoverSolution s = solve_exact(p);
+  EXPECT_TRUE(s.chosen.empty());
+  EXPECT_FALSE(s.optimal);
+  EXPECT_TRUE(std::isinf(s.cost));
+}
+
+TEST(Exact, EmptyProblemIsTrivial) {
+  CoverProblem p(0);
+  const CoverSolution s = solve_exact(p);
+  EXPECT_TRUE(s.optimal);
+  EXPECT_DOUBLE_EQ(s.cost, 0.0);
+  EXPECT_TRUE(s.chosen.empty());
+}
+
+TEST(Greedy, CanBeSuboptimal) {
+  // Classic greedy trap: the big column's ratio (0.9) beats the optimum's
+  // blocks (1.0 each), but taking it strands row 3 with an expensive
+  // singleton: greedy = 2.7 + 1.5 = 4.2 > optimum 4.0.
+  CoverProblem p(4);
+  p.add_column({0, 1, 2}, 2.7);  // ratio 0.9 -- greedy picks this
+  p.add_column({0, 1}, 2.0);     // optimum: {0,1} + {2,3} = 4.0
+  p.add_column({2, 3}, 2.0);
+  p.add_column({3}, 1.5);
+  const CoverSolution g = solve_greedy(p);
+  const CoverSolution e = solve_exact(p);
+  EXPECT_TRUE(e.optimal);
+  EXPECT_DOUBLE_EQ(e.cost, 4.0);
+  EXPECT_GT(g.cost, e.cost);
+  EXPECT_TRUE(p.covers_all(g.chosen));
+}
+
+TEST(Greedy, InfeasibleGivesInfiniteCost) {
+  CoverProblem p(2);
+  p.add_column({0}, 1.0);
+  EXPECT_TRUE(std::isinf(solve_greedy(p).cost));
+}
+
+/// Brute-force oracle: tries all 2^columns subsets.
+double brute_force_optimum(const CoverProblem& p) {
+  const std::size_t n = p.num_columns();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<std::size_t> chosen;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask & (std::size_t{1} << j)) chosen.push_back(j);
+    }
+    if (p.covers_all(chosen)) best = std::min(best, p.cost_of(chosen));
+  }
+  return best;
+}
+
+class ExactVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactVsBruteForce, RandomMatrices) {
+  std::mt19937 rng(GetParam() * 1000 + 17);
+  std::uniform_int_distribution<int> rows_dist(3, 9);
+  std::uniform_real_distribution<double> w(0.5, 10.0);
+  std::uniform_real_distribution<double> density(0.0, 1.0);
+
+  const int rows = rows_dist(rng);
+  const int cols = std::uniform_int_distribution<int>(rows, 14)(rng);
+  CoverProblem p(rows);
+  int added = 0;
+  for (int j = 0; j < cols; ++j) {
+    std::vector<std::size_t> covered;
+    for (int r = 0; r < rows; ++r) {
+      if (density(rng) < 0.4) covered.push_back(r);
+    }
+    if (covered.empty()) covered.push_back(j % rows);
+    p.add_column(covered, w(rng));
+    ++added;
+  }
+  // Ensure feasibility with per-row singletons.
+  for (int r = 0; r < rows; ++r) p.add_column({static_cast<std::size_t>(r)}, 8.0);
+
+  const double oracle = brute_force_optimum(p);
+
+  // Default dispatch (dense DP for these row counts).
+  const CoverSolution s = solve_exact(p);
+  EXPECT_TRUE(s.optimal);
+  EXPECT_TRUE(p.covers_all(s.chosen));
+  EXPECT_NEAR(s.cost, oracle, 1e-9);
+  EXPECT_NEAR(p.cost_of(s.chosen), s.cost, 1e-9);
+
+  // Forced branch-and-bound must agree.
+  BnbOptions branch_only;
+  branch_only.dense_dp_max_rows = 0;
+  const CoverSolution b = solve_exact(p, branch_only);
+  EXPECT_TRUE(b.optimal);
+  EXPECT_TRUE(p.covers_all(b.chosen));
+  EXPECT_NEAR(b.cost, oracle, 1e-9);
+
+  // The DP entry point directly.
+  const CoverSolution d = solve_dp(p);
+  EXPECT_TRUE(d.optimal);
+  EXPECT_NEAR(d.cost, oracle, 1e-9);
+
+  const CoverSolution g = solve_greedy(p);
+  EXPECT_GE(g.cost, s.cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBruteForce, ::testing::Range(0, 12));
+
+TEST(DenseDp, EdgeCases) {
+  // Zero rows: trivially optimal and empty.
+  const CoverSolution empty = solve_dp(CoverProblem(0));
+  EXPECT_TRUE(empty.optimal);
+  EXPECT_DOUBLE_EQ(empty.cost, 0.0);
+
+  // Infeasible: row 1 uncoverable.
+  CoverProblem p(2);
+  p.add_column({0}, 1.0);
+  const CoverSolution inf = solve_dp(p);
+  EXPECT_FALSE(inf.optimal);
+  EXPECT_TRUE(std::isinf(inf.cost));
+
+  // Row-count guard.
+  EXPECT_THROW(solve_dp(CoverProblem(kDenseDpMaxRows + 1)),
+               std::invalid_argument);
+
+  // A column may cover rows redundantly with another; dedup must keep the
+  // cheaper and still find the optimum.
+  CoverProblem q(2);
+  q.add_column({0, 1}, 5.0);
+  q.add_column({0, 1}, 3.0);  // same mask, cheaper
+  const CoverSolution s = solve_dp(q);
+  EXPECT_DOUBLE_EQ(s.cost, 3.0);
+  EXPECT_EQ(s.chosen, (std::vector<std::size_t>{1}));
+}
+
+TEST(Exact, ReductionAblationsAgree) {
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> w(0.5, 10.0);
+  std::uniform_real_distribution<double> density(0.0, 1.0);
+  CoverProblem p(8);
+  for (int j = 0; j < 18; ++j) {
+    std::vector<std::size_t> covered;
+    for (int r = 0; r < 8; ++r) {
+      if (density(rng) < 0.35) covered.push_back(r);
+    }
+    if (covered.empty()) covered.push_back(j % 8);
+    p.add_column(covered, w(rng));
+  }
+  for (int r = 0; r < 8; ++r) p.add_column({static_cast<std::size_t>(r)}, 9.0);
+
+  BnbOptions all;
+  BnbOptions no_dom;
+  no_dom.use_row_dominance = false;
+  no_dom.use_column_dominance = false;
+  BnbOptions no_lb;
+  no_lb.use_mis_lower_bound = false;
+  const double c1 = solve_exact(p, all).cost;
+  const double c2 = solve_exact(p, no_dom).cost;
+  const double c3 = solve_exact(p, no_lb).cost;
+  EXPECT_NEAR(c1, c2, 1e-9);
+  EXPECT_NEAR(c1, c3, 1e-9);
+}
+
+TEST(Exact, NodeBudgetReturnsIncumbent) {
+  CoverProblem p(6);
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> w(0.5, 10.0);
+  for (int j = 0; j < 30; ++j) {
+    std::vector<std::size_t> covered;
+    for (int r = 0; r < 6; ++r) {
+      if ((rng() & 3) == 0) covered.push_back(r);
+    }
+    if (covered.empty()) covered.push_back(j % 6);
+    p.add_column(covered, w(rng));
+  }
+  for (int r = 0; r < 6; ++r) p.add_column({static_cast<std::size_t>(r)}, 9.0);
+  BnbOptions tight;
+  tight.max_nodes = 1;
+  tight.dense_dp_max_rows = 0;  // force the branching path under test
+  const CoverSolution s = solve_exact(p, tight);
+  EXPECT_FALSE(s.optimal);           // budget exhausted
+  EXPECT_TRUE(p.covers_all(s.chosen));  // but still feasible (greedy incumbent)
+}
+
+}  // namespace
+}  // namespace cdcs::ucp

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "model/validator.hpp"
+#include "sim/flow.hpp"
+
+namespace cdcs {
+namespace {
+
+using model::ArcId;
+using model::CapacityPolicy;
+using model::ConstraintGraph;
+using model::ImplementationGraph;
+using model::Path;
+using model::VertexId;
+
+struct Fixture {
+  ConstraintGraph cg{geom::Norm::kEuclidean};
+  commlib::Library lib = commlib::wan_library();
+  commlib::LinkIndex radio = *lib.find_link("radio");
+  commlib::LinkIndex optical = *lib.find_link("optical");
+};
+
+TEST(Validator, PassesSimpleMatching) {
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 10.0);
+  ImplementationGraph impl(f.cg, f.lib);
+  impl.register_path(ArcId{0}, Path{{impl.add_link_arc(u, v, f.radio)}});
+  EXPECT_TRUE(model::validate(impl, CapacityPolicy::kSharedSum).ok());
+  EXPECT_TRUE(model::validate(impl, CapacityPolicy::kMaxPerConstraint).ok());
+}
+
+TEST(Validator, FlagsMissingImplementation) {
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 10.0);
+  const ImplementationGraph impl(f.cg, f.lib);
+  const auto report = model::validate(impl);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.problems.front().find("no implementation"),
+            std::string::npos);
+}
+
+TEST(Validator, FlagsInsufficientBandwidthUnderMaxPolicy) {
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 50.0);  // > 11 Mbps radio
+  ImplementationGraph impl(f.cg, f.lib);
+  impl.register_path(ArcId{0}, Path{{impl.add_link_arc(u, v, f.radio)}});
+  EXPECT_FALSE(model::validate(impl, CapacityPolicy::kMaxPerConstraint).ok());
+  EXPECT_FALSE(model::validate(impl, CapacityPolicy::kSharedSum).ok());
+}
+
+TEST(Validator, PolicyDifferenceOnSharedTrunk) {
+  // Two 10 Mbps channels share one 11 Mbps radio trunk: legal under the
+  // literal Def 2.4 (each constraint individually fits) but a 9 Mbps
+  // oversubscription physically.
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 10.0, "c1");
+  f.cg.add_channel(u, v, 10.0, "c2");
+  ImplementationGraph impl(f.cg, f.lib);
+  const ArcId trunk = impl.add_link_arc(u, v, f.radio);
+  impl.register_path(ArcId{0}, Path{{trunk}});
+  impl.register_path(ArcId{1}, Path{{trunk}});
+  EXPECT_TRUE(model::validate(impl, CapacityPolicy::kMaxPerConstraint).ok());
+  EXPECT_FALSE(model::validate(impl, CapacityPolicy::kSharedSum).ok());
+
+  // An optical trunk carries both sums comfortably.
+  ImplementationGraph impl2(f.cg, f.lib);
+  const ArcId trunk2 = impl2.add_link_arc(u, v, f.optical);
+  impl2.register_path(ArcId{0}, Path{{trunk2}});
+  impl2.register_path(ArcId{1}, Path{{trunk2}});
+  EXPECT_TRUE(model::validate(impl2, CapacityPolicy::kSharedSum).ok());
+}
+
+TEST(Flow, SplitsAcrossParallelPaths) {
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 20.0);  // needs two 11 Mbps radios
+  ImplementationGraph impl(f.cg, f.lib);
+  const ArcId l1 = impl.add_link_arc(u, v, f.radio);
+  const ArcId l2 = impl.add_link_arc(u, v, f.radio);
+  impl.register_path(ArcId{0}, Path{{l1}});
+  impl.register_path(ArcId{0}, Path{{l2}});
+  const sim::FlowAssignment flows = sim::assign_flows(impl);
+  EXPECT_TRUE(flows.feasible());
+  EXPECT_DOUBLE_EQ(flows.arc_load[0] + flows.arc_load[1], 20.0);
+  EXPECT_LE(flows.arc_load[0], 11.0 + 1e-9);
+  EXPECT_LE(flows.arc_load[1], 11.0 + 1e-9);
+  EXPECT_TRUE(sim::capacity_violations(impl, flows).empty());
+}
+
+TEST(Flow, ReportsUnroutedDemand) {
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 25.0);
+  ImplementationGraph impl(f.cg, f.lib);
+  const ArcId l1 = impl.add_link_arc(u, v, f.radio);
+  const ArcId l2 = impl.add_link_arc(u, v, f.radio);
+  impl.register_path(ArcId{0}, Path{{l1}});
+  impl.register_path(ArcId{0}, Path{{l2}});
+  const sim::FlowAssignment flows = sim::assign_flows(impl);
+  EXPECT_FALSE(flows.feasible());
+  EXPECT_NEAR(flows.unrouted[0], 3.0, 1e-9);  // 25 - 2*11
+  EXPECT_FALSE(sim::capacity_violations(impl, flows).empty());
+}
+
+TEST(Flow, SharedTrunkLoadsSum) {
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 10.0, "c1");
+  f.cg.add_channel(u, v, 10.0, "c2");
+  ImplementationGraph impl(f.cg, f.lib);
+  const ArcId trunk = impl.add_link_arc(u, v, f.optical);
+  impl.register_path(ArcId{0}, Path{{trunk}});
+  impl.register_path(ArcId{1}, Path{{trunk}});
+  const sim::FlowAssignment flows = sim::assign_flows(impl);
+  EXPECT_TRUE(flows.feasible());
+  EXPECT_DOUBLE_EQ(flows.arc_load[trunk.index()], 20.0);
+}
+
+TEST(Flow, EmptyGraphIsTriviallyFeasible) {
+  Fixture f;
+  const ImplementationGraph impl(f.cg, f.lib);
+  const sim::FlowAssignment flows = sim::assign_flows(impl);
+  EXPECT_TRUE(flows.feasible());
+  EXPECT_TRUE(sim::capacity_violations(impl, flows).empty());
+}
+
+}  // namespace
+}  // namespace cdcs
