@@ -35,7 +35,7 @@ int main() {
        {synth::PivotRule::kMinDistance, synth::PivotRule::kAnyPivot}) {
     synth::SynthesisOptions opts;
     opts.pivot_rule = rule;
-    const synth::CandidateSet set = synth::generate_candidates(cg, lib, opts);
+    const synth::CandidateSet set = synth::generate_candidates(cg, lib, opts).value();
     const auto& s = set.stats;
 
     std::printf("--- Lemma 3.2 pivot rule: %s ---\n",

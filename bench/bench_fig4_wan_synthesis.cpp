@@ -24,7 +24,7 @@ int main() {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
 
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   std::fputs(io::describe(result, cg, lib).c_str(), stdout);
 
   const baseline::BaselineResult ptp =

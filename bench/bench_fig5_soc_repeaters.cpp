@@ -19,7 +19,7 @@ int main() {
   const model::ConstraintGraph cg = workloads::mpeg4_soc();
   const commlib::Library lib = commlib::soc_library(l_crit);
 
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
 
   std::puts("=== Figure 5: MPEG-4 decoder repeater insertion ===");
   std::printf("%-22s %10s %12s %12s\n", "channel", "d [mm]", "paper-cost",

@@ -59,7 +59,7 @@ BENCHMARK(BM_WanCandidateGeneration);
 void BM_WanUcpSolve(benchmark::State& state) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const synth::CandidateSet set = synth::generate_candidates(cg, lib, {});
+  const synth::CandidateSet set = synth::generate_candidates(cg, lib, {}).value();
   ucp::CoverProblem cover(cg.num_channels());
   for (const synth::Candidate& c : set.candidates) {
     std::vector<std::size_t> rows;

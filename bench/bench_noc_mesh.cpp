@@ -60,7 +60,7 @@ int main() {
     opts.max_merge_k = 4;           // bus4 carries at most 4 unit channels
 
     const auto t0 = std::chrono::steady_clock::now();
-    const synth::SynthesisResult result = synth::synthesize(cg, lib, opts);
+    const synth::SynthesisResult result = synth::synthesize(cg, lib, opts).value();
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

@@ -37,7 +37,7 @@ int main() {
     const baseline::BaselineResult exact =
         baseline::exhaustive_partition_optimum(cg, lib);
     const auto t0 = std::chrono::steady_clock::now();
-    const synth::SynthesisResult pipeline = synth::synthesize(cg, lib);
+    const synth::SynthesisResult pipeline = synth::synthesize(cg, lib).value();
     const double t_pipe =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)

@@ -35,8 +35,9 @@ int main() {
     synth::SynthesisOptions opts;
     opts.delay_budget = {{m, budget}};
     opts.drop_unprofitable = true;
-    try {
-      const synth::SynthesisResult result = synth::synthesize(cg, lib, opts);
+    const auto synthesis = synth::synthesize(cg, lib, opts);
+    if (synthesis.ok()) {
+      const synth::SynthesisResult& result = *synthesis;
       const sim::DelayReport delays =
           sim::analyze_delays(*result.implementation, m);
       std::size_t merged = 0;
@@ -57,7 +58,7 @@ int main() {
         ++failures;
       }
       prev_cost = result.total_cost;
-    } catch (const std::runtime_error&) {
+    } else {
       std::printf("%10.1f | %12s | %12s | infeasible\n", budget, "-", "-");
     }
   }
@@ -66,13 +67,9 @@ int main() {
   {
     synth::SynthesisOptions opts;
     opts.delay_budget = {{m, 95.0}};
-    bool threw = false;
-    try {
-      (void)synth::synthesize(cg, lib, opts);
-    } catch (const std::runtime_error&) {
-      threw = true;
-    }
-    if (!threw) {
+    const auto synthesis = synth::synthesize(cg, lib, opts);
+    if (synthesis.ok() ||
+        synthesis.status().code() != support::ErrorCode::kInfeasible) {
       std::puts("FAIL: sub-direct budget should be infeasible");
       ++failures;
     } else {

@@ -32,7 +32,7 @@ Run run(const model::ConstraintGraph& cg, const commlib::Library& lib,
   synth::SynthesisOptions opts;
   opts.policy = policy;
   opts.drop_unprofitable = true;
-  const synth::SynthesisResult result = synth::synthesize(cg, lib, opts);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib, opts).value();
   Run r;
   r.cost = result.total_cost;
   r.valid = result.validation.ok();

@@ -33,7 +33,7 @@ Row run(const cdcs::model::ConstraintGraph& cg,
         const cdcs::synth::SynthesisOptions& opts) {
   const auto t0 = Clock::now();
   const cdcs::synth::SynthesisResult result =
-      cdcs::synth::synthesize(cg, lib, opts);
+      cdcs::synth::synthesize(cg, lib, opts).value();
   const auto t1 = Clock::now();
   return Row{result.candidates().size(),
              result.candidate_set.stats.subsets_examined, result.total_cost,
@@ -115,7 +115,7 @@ int main() {
       synth::SynthesisOptions opts;
       opts.pivot_rule = rule;
       const synth::CandidateSet set =
-          synth::generate_candidates(cg, lib, opts);
+          synth::generate_candidates(cg, lib, opts).value();
       std::printf("%14s:", name);
       for (std::size_t k = 2; k < set.stats.survivors_per_k.size(); ++k) {
         std::printf(" k%zu=%zu", k, set.stats.survivors_per_k[k]);

@@ -46,7 +46,7 @@ int main() {
 
     synth::SynthesisOptions opts;
     opts.drop_unprofitable = true;
-    const synth::SynthesisResult result = synth::synthesize(cg, lib, opts);
+    const synth::SynthesisResult result = synth::synthesize(cg, lib, opts).value();
     if (!result.validation.ok()) {
       std::printf("FAIL: $%.1f/m result does not validate\n", dollars_per_m);
       ++failures;

@@ -26,7 +26,7 @@ std::unique_ptr<model::ImplementationGraph> ptp_architecture(
     const model::ConstraintGraph& cg, const commlib::Library& lib) {
   synth::SynthesisOptions opts;
   opts.max_merge_k = 1;  // no mergings: singletons only
-  const synth::CandidateSet set = synth::generate_candidates(cg, lib, opts);
+  const synth::CandidateSet set = synth::generate_candidates(cg, lib, opts).value();
   std::vector<std::size_t> all;
   for (std::size_t i = 0; i < set.candidates.size(); ++i) all.push_back(i);
   return synth::assemble(cg, lib, set.candidates, all);
@@ -70,7 +70,7 @@ int main() {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
 
-  const synth::SynthesisResult merged = synth::synthesize(cg, lib);
+  const synth::SynthesisResult merged = synth::synthesize(cg, lib).value();
   const auto ptp = ptp_architecture(cg, lib);
 
   std::puts(

@@ -19,7 +19,7 @@ int main() {
   const model::ConstraintGraph cg = workloads::mcm_board();
   const commlib::Library lib = commlib::mcm_library();
 
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   std::cout << io::describe(result, cg, lib);
 
   const baseline::BaselineResult ptp =

@@ -14,9 +14,21 @@
 //                            prints per-channel worst-path delays and flags
 //                            budget violations (the paper's clock-period
 //                            assumption check)
+//   --deadline-ms MS         wall-clock budget; on expiry the synthesizer
+//                            degrades to the best anytime cover and reports
+//                            the stage + optimality gap (never fails)
+//   --repair                 sanitize-and-repair the constraint graph
+//                            (merge parallel channels by summing bandwidth)
+//                            instead of rejecting it; defects the parser
+//                            itself rejects (duplicate channel names, bad
+//                            numbers) still fail at read time
 //   --dot FILE               write the result as Graphviz DOT
 //   --save FILE              write the implementation graph (io format)
 //   --quiet                  suppress the full report (exit code only)
+//
+// Exit codes (stable; see docs/robustness.md):
+//   0 success, 1 validation failure, 2 usage error, 3 parse error,
+//   4 invalid input, 5 deadline exceeded, 6 infeasible, 7 internal error.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,6 +38,7 @@
 #include "io/report.hpp"
 #include "io/tables.hpp"
 #include "io/text_format.hpp"
+#include "model/sanitize.hpp"
 #include "sim/delay.hpp"
 #include "synth/synthesizer.hpp"
 
@@ -41,10 +54,19 @@ int usage(const char* argv0) {
          "  --lean             drop unprofitable mergings\n"
          "  --no-chains        star structures only\n"
          "  --tables           print Gamma/Delta matrices\n"
+         "  --deadline-ms MS   wall-clock budget (degrades, never fails)\n"
+         "  --repair           repair invalid constraint graphs\n"
          "  --dot FILE         write Graphviz DOT\n"
          "  --save FILE        write the implementation graph\n"
          "  --quiet            suppress the report\n";
   return 2;
+}
+
+/// Structured-diagnostic exit: prints the status chain and maps its code to
+/// the documented exit status.
+int fail(const cdcs::support::Status& status) {
+  std::cerr << "error: " << status.to_string() << '\n';
+  return cdcs::support::exit_code(status.code());
 }
 
 }  // namespace
@@ -54,6 +76,7 @@ int main(int argc, char** argv) {
 
   synth::SynthesisOptions options;
   bool print_tables = false;
+  bool repair = false;
   bool quiet = false;
   bool check_delay = false;
   sim::DelayModel delay_model;
@@ -99,6 +122,10 @@ int main(int argc, char** argv) {
       options.enable_chain_topology = false;
     } else if (arg == "--tables") {
       print_tables = true;
+    } else if (arg == "--deadline-ms") {
+      options.deadline = support::Deadline::after_ms(std::atof(next()));
+    } else if (arg == "--repair") {
+      repair = true;
     } else if (arg == "--delay") {
       delay_model.link_delay_per_length = std::atof(next());
       delay_model.node_delay = std::atof(next());
@@ -129,57 +156,71 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  try {
-    const model::ConstraintGraph cg = io::read_constraint_graph(graph_file);
-    const commlib::Library lib = io::read_library(lib_file);
+  auto graph_read = io::read_constraint_graph(graph_file);
+  if (!graph_read.ok()) {
+    return fail(std::move(graph_read)
+                    .take_status()
+                    .with_context("reading '" + positional[0] + "'"));
+  }
+  model::ConstraintGraph cg = *std::move(graph_read);
 
-    for (const std::string& problem : cg.validate()) {
-      std::cerr << "constraint graph: " << problem << '\n';
-    }
-    for (const std::string& problem : lib.validate()) {
-      std::cerr << "library: " << problem << '\n';
-    }
+  auto lib_read = io::read_library(lib_file);
+  if (!lib_read.ok()) {
+    return fail(std::move(lib_read)
+                    .take_status()
+                    .with_context("reading '" + positional[1] + "'"));
+  }
+  const commlib::Library lib = *std::move(lib_read);
 
-    if (print_tables) {
-      std::cout << "Gamma (Constrained Distance Sum):\n"
-                << io::format_arc_pair_matrix(cg, synth::gamma_matrix(cg))
-                << "\nDelta (Merging Distance Sum):\n"
-                << io::format_arc_pair_matrix(cg, synth::delta_matrix(cg))
+  if (repair) {
+    model::SanitizeReport report;
+    auto repaired =
+        model::sanitize(cg, model::SanitizeOptions{.repair = true}, &report);
+    if (!repaired.ok()) return fail(std::move(repaired).take_status());
+    for (const std::string& note : report.repairs) {
+      std::cerr << "repair: " << note << '\n';
+    }
+    cg = *std::move(repaired);
+  }
+
+  if (print_tables) {
+    std::cout << "Gamma (Constrained Distance Sum):\n"
+              << io::format_arc_pair_matrix(cg, synth::gamma_matrix(cg))
+              << "\nDelta (Merging Distance Sum):\n"
+              << io::format_arc_pair_matrix(cg, synth::delta_matrix(cg))
+              << '\n';
+  }
+
+  auto synthesis = synth::synthesize(cg, lib, options);
+  if (!synthesis.ok()) return fail(synthesis.status());
+  const synth::SynthesisResult& result = *synthesis;
+  if (!quiet) std::cout << io::describe(result, cg, lib);
+
+  if (check_delay) {
+    const sim::DelayReport delays =
+        sim::analyze_delays(*result.implementation, delay_model);
+    std::cout << "\nChannel delays (worst path):\n";
+    for (const sim::ChannelDelay& c : delays.channels) {
+      std::cout << "  " << c.name << ": " << c.worst_path_delay << " ("
+                << c.hops << " hops)"
+                << (c.worst_path_delay > delay_budget ? "  ** OVER BUDGET"
+                                                      : "")
                 << '\n';
     }
-
-    const synth::SynthesisResult result = synth::synthesize(cg, lib, options);
-    if (!quiet) std::cout << io::describe(result, cg, lib);
-
-    if (check_delay) {
-      const sim::DelayReport delays =
-          sim::analyze_delays(*result.implementation, delay_model);
-      std::cout << "\nChannel delays (worst path):\n";
-      for (const sim::ChannelDelay& c : delays.channels) {
-        std::cout << "  " << c.name << ": " << c.worst_path_delay << " ("
-                  << c.hops << " hops)"
-                  << (c.worst_path_delay > delay_budget ? "  ** OVER BUDGET"
-                                                        : "")
-                  << '\n';
-      }
-      const auto violations = delays.violations(delay_budget);
-      std::cout << violations.size() << " channel(s) over the "
-                << delay_budget << " budget\n";
-    }
-
-    if (!dot_file.empty()) {
-      std::ofstream dot(dot_file);
-      dot << io::to_dot(*result.implementation);
-      if (!quiet) std::cout << "wrote " << dot_file << '\n';
-    }
-    if (!save_file.empty()) {
-      std::ofstream save(save_file);
-      save << io::write_implementation(*result.implementation);
-      if (!quiet) std::cout << "wrote " << save_file << '\n';
-    }
-    return result.validation.ok() ? 0 : 1;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 2;
+    const auto violations = delays.violations(delay_budget);
+    std::cout << violations.size() << " channel(s) over the "
+              << delay_budget << " budget\n";
   }
+
+  if (!dot_file.empty()) {
+    std::ofstream dot(dot_file);
+    dot << io::to_dot(*result.implementation);
+    if (!quiet) std::cout << "wrote " << dot_file << '\n';
+  }
+  if (!save_file.empty()) {
+    std::ofstream save(save_file);
+    save << io::write_implementation(*result.implementation);
+    if (!quiet) std::cout << "wrote " << save_file << '\n';
+  }
+  return result.validation.ok() ? 0 : 1;
 }

@@ -16,7 +16,7 @@ int main() {
   const model::ConstraintGraph cg = workloads::campus_lan();
   const commlib::Library lib = commlib::lan_library();
 
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   std::cout << io::describe(result, cg, lib);
 
   // How much did exploring mergings/segmentations buy over naive

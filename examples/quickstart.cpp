@@ -39,7 +39,7 @@ int main() {
   lib.add_node(commlib::Node{
       .name = "junction", .kind = commlib::NodeKind::kSwitch, .cost = 50.0});
 
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
 
   std::cout << io::describe(result, cg, lib);
   std::cout << "\nImplementation graph: " << result.implementation->num_vertices()

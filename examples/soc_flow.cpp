@@ -84,7 +84,7 @@ int main() {
 
   // --- 3. Synthesis with the paper's 0.18u repeater library. ---
   const commlib::Library lib = commlib::soc_library(0.6);
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   std::printf("Synthesized repeaters: %zu (cost %.0f), validation %s\n",
               result.implementation->count_nodes(commlib::NodeKind::kRepeater),
               result.total_cost, result.validation.ok() ? "PASS" : "FAIL");

@@ -16,7 +16,7 @@ int main() {
   const commlib::Library lib =
       commlib::soc_library(workloads::kMpeg4CritLengthMm);
 
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
 
   std::puts("Per-channel segmentation (repeaters = floor(manhattan/l_crit)):");
   std::size_t repeaters = 0;

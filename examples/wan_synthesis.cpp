@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
 
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   std::cout << io::describe(result, cg, lib);
 
   if (argc > 1 && std::string_view(argv[1]) == "--dot") {

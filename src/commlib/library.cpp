@@ -30,6 +30,45 @@ NodeIndex Library::add_node(Node node) {
   return nodes_.size() - 1;
 }
 
+support::Expected<LinkIndex> Library::try_add_link(Link link) {
+  if (find_link(link.name)) {
+    return support::Status::InvalidInput("duplicate link name '" + link.name +
+                                         "'");
+  }
+  if (!std::isfinite(link.bandwidth) || link.bandwidth <= 0.0) {
+    return support::Status::InvalidInput(
+        "link '" + link.name + "' has invalid bandwidth " +
+        std::to_string(link.bandwidth) + " (must be finite and positive)");
+  }
+  if (std::isnan(link.max_span) || link.max_span <= 0.0) {
+    return support::Status::InvalidInput(
+        "link '" + link.name + "' has invalid max span " +
+        std::to_string(link.max_span) + " (must be positive or infinite)");
+  }
+  if (!std::isfinite(link.fixed_cost) || link.fixed_cost < 0.0 ||
+      !std::isfinite(link.cost_per_length) || link.cost_per_length < 0.0) {
+    return support::Status::InvalidInput(
+        "link '" + link.name +
+        "' has an invalid cost term (must be finite and nonnegative)");
+  }
+  links_.push_back(std::move(link));
+  return links_.size() - 1;
+}
+
+support::Expected<NodeIndex> Library::try_add_node(Node node) {
+  if (find_node(node.name)) {
+    return support::Status::InvalidInput("duplicate node name '" + node.name +
+                                         "'");
+  }
+  if (!std::isfinite(node.cost) || node.cost < 0.0) {
+    return support::Status::InvalidInput(
+        "node '" + node.name + "' has invalid cost " +
+        std::to_string(node.cost) + " (must be finite and nonnegative)");
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
 std::optional<LinkIndex> Library::find_link(std::string_view name) const {
   for (LinkIndex i = 0; i < links_.size(); ++i) {
     if (links_[i].name == name) return i;
@@ -78,14 +117,17 @@ std::vector<std::string> Library::validate() const {
     problems.push_back("library has no links; no channel can be implemented");
   }
   for (const Link& l : links_) {
-    if (l.bandwidth <= 0.0) {
-      problems.push_back("link '" + l.name + "' has non-positive bandwidth");
+    if (!std::isfinite(l.bandwidth) || l.bandwidth <= 0.0) {
+      problems.push_back("link '" + l.name +
+                         "' has non-positive or non-finite bandwidth");
     }
-    if (l.max_span <= 0.0) {
+    if (std::isnan(l.max_span) || l.max_span <= 0.0) {
       problems.push_back("link '" + l.name + "' has non-positive max span");
     }
-    if (l.fixed_cost < 0.0 || l.cost_per_length < 0.0) {
-      problems.push_back("link '" + l.name + "' has a negative cost term");
+    if (!std::isfinite(l.fixed_cost) || l.fixed_cost < 0.0 ||
+        !std::isfinite(l.cost_per_length) || l.cost_per_length < 0.0) {
+      problems.push_back("link '" + l.name +
+                         "' has a negative or non-finite cost term");
     }
     if (std::isinf(l.max_span) && l.cost_per_length == 0.0 &&
         l.fixed_cost == 0.0) {
@@ -95,8 +137,9 @@ std::vector<std::string> Library::validate() const {
     }
   }
   for (const Node& n : nodes_) {
-    if (n.cost < 0.0) {
-      problems.push_back("node '" + n.name + "' has negative cost");
+    if (!std::isfinite(n.cost) || n.cost < 0.0) {
+      problems.push_back("node '" + n.name +
+                         "' has negative or non-finite cost");
     }
   }
   return problems;

@@ -8,6 +8,7 @@
 
 #include "commlib/link.hpp"
 #include "commlib/node.hpp"
+#include "support/status.hpp"
 
 namespace cdcs::commlib {
 
@@ -23,6 +24,14 @@ class Library {
 
   const std::string& name() const { return name_; }
 
+  /// Validated element insertion: rejects (kInvalidInput) non-finite or
+  /// non-positive bandwidths, non-positive spans, non-finite or negative
+  /// costs, and duplicate names. The primary mutation API.
+  support::Expected<LinkIndex> try_add_link(Link link);
+  support::Expected<NodeIndex> try_add_node(Node node);
+
+  /// Legacy unchecked append (kept for hand-built test fixtures that probe
+  /// validate()); prefer try_add_link / try_add_node.
   LinkIndex add_link(Link link);
   NodeIndex add_node(Node node);
 

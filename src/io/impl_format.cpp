@@ -1,15 +1,20 @@
 #include "io/impl_format.hpp"
 
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 namespace cdcs::io {
+
+using support::Expected;
+using support::Status;
+
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw std::runtime_error("line " + std::to_string(line) + ": " + message);
+Status parse_error(int line, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line) + ": " + message);
 }
 
 bool tokenize(const std::string& line, std::vector<std::string>& tokens) {
@@ -20,19 +25,26 @@ bool tokenize(const std::string& line, std::vector<std::string>& tokens) {
   return !tokens.empty();
 }
 
-std::size_t parse_index(const std::string& tok, int line) {
+std::optional<std::size_t> parse_index(const std::string& tok) {
+  if (tok.empty() || tok[0] == '-' || tok[0] == '+') return std::nullopt;
   try {
-    return std::stoul(tok);
+    std::size_t used = 0;
+    const unsigned long v = std::stoul(tok, &used);
+    if (used != tok.size()) return std::nullopt;
+    return v;
   } catch (const std::exception&) {
-    fail(line, "bad index '" + tok + "'");
+    return std::nullopt;
   }
 }
 
-double parse_num(const std::string& tok, int line) {
+std::optional<double> parse_num(const std::string& tok) {
   try {
-    return std::stod(tok);
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) return std::nullopt;
+    return v;
   } catch (const std::exception&) {
-    fail(line, "bad number '" + tok + "'");
+    return std::nullopt;
   }
 }
 
@@ -66,7 +78,7 @@ std::string write_implementation(const model::ImplementationGraph& impl) {
   return os.str();
 }
 
-std::unique_ptr<model::ImplementationGraph> read_implementation(
+Expected<std::unique_ptr<model::ImplementationGraph>> read_implementation(
     std::istream& in, const model::ConstraintGraph& cg,
     const commlib::Library& library) {
   auto impl = std::make_unique<model::ImplementationGraph>(cg, library);
@@ -88,69 +100,92 @@ std::unique_ptr<model::ImplementationGraph> read_implementation(
     if (t[0] == "implementation") {
       header_seen = true;
     } else if (t[0] == "comm_vertex") {
-      if (t.size() != 5) fail(lineno, "comm_vertex takes: index node x y");
-      if (parse_index(t[1], lineno) != next_vertex) {
-        fail(lineno, "comm_vertex index mismatch (expected " +
-                         std::to_string(next_vertex) + ")");
+      if (t.size() != 5) {
+        return parse_error(lineno, "comm_vertex takes: index node x y");
+      }
+      const std::optional<std::size_t> idx = parse_index(t[1]);
+      if (!idx) return parse_error(lineno, "bad index '" + t[1] + "'");
+      if (*idx != next_vertex) {
+        return parse_error(lineno, "comm_vertex index mismatch (expected " +
+                                       std::to_string(next_vertex) + ")");
       }
       const auto node = library.find_node(t[2]);
-      if (!node) fail(lineno, "unknown node '" + t[2] + "'");
-      impl->add_comm_vertex(
-          *node, {parse_num(t[3], lineno), parse_num(t[4], lineno)});
+      if (!node) return parse_error(lineno, "unknown node '" + t[2] + "'");
+      const std::optional<double> x = parse_num(t[3]);
+      const std::optional<double> y = parse_num(t[4]);
+      if (!x || !y) {
+        return parse_error(lineno, "bad coordinates '" + t[3] + "' '" + t[4] +
+                                       "'");
+      }
+      impl->add_comm_vertex(*node, {*x, *y});
       ++next_vertex;
     } else if (t[0] == "link_arc") {
-      if (t.size() != 5) fail(lineno, "link_arc takes: index src dst link");
-      if (parse_index(t[1], lineno) != next_arc) {
-        fail(lineno, "link_arc index mismatch (expected " +
-                         std::to_string(next_arc) + ")");
+      if (t.size() != 5) {
+        return parse_error(lineno, "link_arc takes: index src dst link");
       }
-      const std::size_t src = parse_index(t[2], lineno);
-      const std::size_t dst = parse_index(t[3], lineno);
-      if (src >= impl->num_vertices() || dst >= impl->num_vertices()) {
-        fail(lineno, "link_arc endpoint out of range");
+      const std::optional<std::size_t> idx = parse_index(t[1]);
+      if (!idx) return parse_error(lineno, "bad index '" + t[1] + "'");
+      if (*idx != next_arc) {
+        return parse_error(lineno, "link_arc index mismatch (expected " +
+                                       std::to_string(next_arc) + ")");
+      }
+      const std::optional<std::size_t> src = parse_index(t[2]);
+      const std::optional<std::size_t> dst = parse_index(t[3]);
+      if (!src || !dst) return parse_error(lineno, "bad endpoint index");
+      if (*src >= impl->num_vertices() || *dst >= impl->num_vertices()) {
+        return parse_error(lineno, "link_arc endpoint out of range");
       }
       const auto link = library.find_link(t[4]);
-      if (!link) fail(lineno, "unknown link '" + t[4] + "'");
+      if (!link) return parse_error(lineno, "unknown link '" + t[4] + "'");
       try {
-        impl->add_link_arc(model::VertexId{static_cast<std::uint32_t>(src)},
-                           model::VertexId{static_cast<std::uint32_t>(dst)},
+        impl->add_link_arc(model::VertexId{static_cast<std::uint32_t>(*src)},
+                           model::VertexId{static_cast<std::uint32_t>(*dst)},
                            *link);
-      } catch (const std::invalid_argument& e) {
-        fail(lineno, e.what());
+      } catch (const std::exception& e) {
+        return parse_error(lineno, e.what());
       }
       ++next_arc;
     } else if (t[0] == "path") {
-      if (t.size() < 3) fail(lineno, "path takes: channel arc-indices...");
+      if (t.size() < 3) {
+        return parse_error(lineno, "path takes: channel arc-indices...");
+      }
       const auto channel = channel_by_name.find(t[1]);
       if (channel == channel_by_name.end()) {
-        fail(lineno, "unknown channel '" + t[1] + "'");
+        return parse_error(lineno, "unknown channel '" + t[1] + "'");
       }
       model::Path path;
       for (std::size_t i = 2; i < t.size(); ++i) {
-        const std::size_t idx = parse_index(t[i], lineno);
-        if (idx >= impl->num_link_arcs()) {
-          fail(lineno, "path references unknown link arc");
+        const std::optional<std::size_t> idx = parse_index(t[i]);
+        if (!idx) return parse_error(lineno, "bad index '" + t[i] + "'");
+        if (*idx >= impl->num_link_arcs()) {
+          return parse_error(lineno, "path references unknown link arc");
         }
-        path.arcs.push_back(model::ArcId{static_cast<std::uint32_t>(idx)});
+        path.arcs.push_back(model::ArcId{static_cast<std::uint32_t>(*idx)});
       }
       try {
         impl->register_path(channel->second, std::move(path));
-      } catch (const std::invalid_argument& e) {
-        fail(lineno, e.what());
+      } catch (const std::exception& e) {
+        return parse_error(lineno, e.what());
       }
     } else {
-      fail(lineno, "unknown directive '" + t[0] + "'");
+      return parse_error(lineno, "unknown directive '" + t[0] + "'");
     }
   }
+  if (in.bad()) {
+    return Status::ParseError(
+        "I/O error after line " + std::to_string(lineno) +
+        "; the input stream is truncated or unreadable");
+  }
   if (!header_seen) {
-    throw std::runtime_error("missing 'implementation' header");
+    return Status::ParseError("missing 'implementation' header");
   }
   return impl;
 }
 
-std::unique_ptr<model::ImplementationGraph> read_implementation_from_string(
-    const std::string& text, const model::ConstraintGraph& cg,
-    const commlib::Library& library) {
+Expected<std::unique_ptr<model::ImplementationGraph>>
+read_implementation_from_string(const std::string& text,
+                                const model::ConstraintGraph& cg,
+                                const commlib::Library& library) {
   std::istringstream is(text);
   return read_implementation(is, cg, library);
 }

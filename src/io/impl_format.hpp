@@ -22,21 +22,23 @@
 #include <string>
 
 #include "model/implementation_graph.hpp"
+#include "support/status.hpp"
 
 namespace cdcs::io {
 
 std::string write_implementation(const model::ImplementationGraph& impl);
 
 /// Parses and reconstructs an implementation graph over (cg, library).
-/// Throws std::runtime_error with a line-numbered message on malformed
-/// input, unknown element names, index mismatches, or paths that violate
-/// the Def 2.4 shape checks enforced by register_path.
-std::unique_ptr<model::ImplementationGraph> read_implementation(
-    std::istream& in, const model::ConstraintGraph& cg,
-    const commlib::Library& library);
+/// Returns a line-numbered kParseError on malformed input, unknown element
+/// names, index mismatches, or paths that violate the Def 2.4 shape checks
+/// enforced by register_path. Never throws.
+support::Expected<std::unique_ptr<model::ImplementationGraph>>
+read_implementation(std::istream& in, const model::ConstraintGraph& cg,
+                    const commlib::Library& library);
 
-std::unique_ptr<model::ImplementationGraph> read_implementation_from_string(
-    const std::string& text, const model::ConstraintGraph& cg,
-    const commlib::Library& library);
+support::Expected<std::unique_ptr<model::ImplementationGraph>>
+read_implementation_from_string(const std::string& text,
+                                const model::ConstraintGraph& cg,
+                                const commlib::Library& library);
 
 }  // namespace cdcs::io

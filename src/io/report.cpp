@@ -89,6 +89,13 @@ std::string describe(const synth::SynthesisResult& result,
   }
   os << "UCP: " << (result.cover.optimal ? "proven optimal" : "incumbent")
      << " in " << result.cover.nodes_explored << " nodes\n";
+  const synth::DegradationReport& deg = result.degradation;
+  os << "Stage: " << synth::to_string(deg.stage);
+  if (deg.degraded()) {
+    os << " (" << deg.reason << "; lower bound " << deg.lower_bound
+       << ", optimality gap " << deg.optimality_gap * 100.0 << "%)";
+  }
+  os << '\n';
   os << "Validation: "
      << (result.validation.ok() ? "PASS" : "FAIL") << '\n';
   for (const std::string& p : result.validation.problems) {

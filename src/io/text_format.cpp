@@ -3,14 +3,19 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <optional>
+#include <set>
 #include <sstream>
-#include <stdexcept>
 
 namespace cdcs::io {
+
+using support::Expected;
+using support::Status;
+
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw std::runtime_error("line " + std::to_string(line) + ": " + message);
+Status parse_error(int line, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line) + ": " + message);
 }
 
 /// Strips comments/whitespace; returns false for blank lines.
@@ -22,33 +27,43 @@ bool tokenize(const std::string& line, std::vector<std::string>& tokens) {
   return !tokens.empty();
 }
 
-double parse_span(const std::string& tok, int line) {
-  if (tok == "inf" || tok == "infinity") {
-    return std::numeric_limits<double>::infinity();
-  }
+/// Parses a finite double; rejects junk, overflow ("1e999"), NaN and
+/// infinity.
+std::optional<double> parse_finite(const std::string& tok) {
   try {
-    return std::stod(tok);
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size() || !std::isfinite(v)) return std::nullopt;
+    return v;
   } catch (const std::exception&) {
-    fail(line, "bad span '" + tok + "'");
+    return std::nullopt;
   }
 }
 
-double parse_num(const std::string& tok, int line, const char* what) {
+std::optional<double> parse_span(const std::string& tok) {
+  if (tok == "inf" || tok == "infinity") {
+    return std::numeric_limits<double>::infinity();
+  }
+  return parse_finite(tok);
+}
+
+std::optional<geom::Norm> parse_norm(const std::string& tok) {
   try {
-    return std::stod(tok);
+    return geom::norm_from_string(tok);
   } catch (const std::exception&) {
-    fail(line, std::string("bad ") + what + " '" + tok + "'");
+    return std::nullopt;
   }
 }
 
 }  // namespace
 
-model::ConstraintGraph read_constraint_graph(std::istream& in) {
+Expected<model::ConstraintGraph> read_constraint_graph(std::istream& in) {
   geom::Norm norm = geom::Norm::kEuclidean;
   bool norm_seen = false;
   struct PendingPort {
     std::string name;
     geom::Point2D pos;
+    int line;
   };
   std::vector<PendingPort> ports;
   struct PendingChannel {
@@ -65,43 +80,89 @@ model::ConstraintGraph read_constraint_graph(std::istream& in) {
     std::vector<std::string> t;
     if (!tokenize(line, t)) continue;
     if (t[0] == "norm") {
-      if (t.size() != 2) fail(lineno, "norm takes one argument");
-      if (norm_seen) fail(lineno, "duplicate norm directive");
-      norm = geom::norm_from_string(t[1]);
+      if (t.size() != 2) return parse_error(lineno, "norm takes one argument");
+      if (norm_seen) return parse_error(lineno, "duplicate norm directive");
+      const std::optional<geom::Norm> n = parse_norm(t[1]);
+      if (!n) return parse_error(lineno, "unknown norm '" + t[1] + "'");
+      norm = *n;
       norm_seen = true;
     } else if (t[0] == "port") {
-      if (t.size() != 4) fail(lineno, "port takes: name x y");
-      ports.push_back({t[1],
-                       {parse_num(t[2], lineno, "x coordinate"),
-                        parse_num(t[3], lineno, "y coordinate")}});
+      if (t.size() != 4) return parse_error(lineno, "port takes: name x y");
+      const std::optional<double> x = parse_finite(t[2]);
+      const std::optional<double> y = parse_finite(t[3]);
+      if (!x) {
+        return parse_error(lineno, "bad x coordinate '" + t[2] +
+                                       "' (must be a finite number)");
+      }
+      if (!y) {
+        return parse_error(lineno, "bad y coordinate '" + t[3] +
+                                       "' (must be a finite number)");
+      }
+      ports.push_back({t[1], {*x, *y}, lineno});
     } else if (t[0] == "channel") {
-      if (t.size() != 5) fail(lineno, "channel takes: name src dst bandwidth");
-      channels.push_back(
-          {t[1], t[2], t[3], parse_num(t[4], lineno, "bandwidth"), lineno});
+      if (t.size() != 5) {
+        return parse_error(lineno, "channel takes: name src dst bandwidth");
+      }
+      const std::optional<double> bw = parse_finite(t[4]);
+      if (!bw || *bw <= 0.0) {
+        return parse_error(lineno, "bad bandwidth '" + t[4] +
+                                       "' for channel '" + t[1] +
+                                       "' (must be a finite positive number)");
+      }
+      channels.push_back({t[1], t[2], t[3], *bw, lineno});
     } else {
-      fail(lineno, "unknown directive '" + t[0] + "'");
+      return parse_error(lineno, "unknown directive '" + t[0] + "'");
     }
+  }
+  if (in.bad()) {
+    return Status::ParseError(
+        "I/O error after line " + std::to_string(lineno) +
+        "; the input stream is truncated or unreadable");
   }
 
   model::ConstraintGraph cg(norm);
   std::map<std::string, model::VertexId> by_name;
   for (const PendingPort& p : ports) {
     if (by_name.contains(p.name)) {
-      throw std::runtime_error("duplicate port name '" + p.name + "'");
+      return parse_error(p.line, "duplicate port name '" + p.name + "'");
     }
-    by_name.emplace(p.name, cg.add_port(p.name, p.pos));
+    auto added = cg.try_add_port(p.name, p.pos);
+    if (!added.ok()) {
+      return std::move(added).take_status().with_context(
+          "line " + std::to_string(p.line));
+    }
+    by_name.emplace(p.name, *added);
   }
+  std::set<std::string> channel_names;
   for (const PendingChannel& c : channels) {
+    if (!channel_names.insert(c.name).second) {
+      return parse_error(c.line, "duplicate channel definition '" + c.name +
+                                     "' (channel names must be unique)");
+    }
     const auto su = by_name.find(c.src);
     const auto sv = by_name.find(c.dst);
-    if (su == by_name.end()) fail(c.line, "unknown port '" + c.src + "'");
-    if (sv == by_name.end()) fail(c.line, "unknown port '" + c.dst + "'");
-    cg.add_channel(su->second, sv->second, c.bandwidth, c.name);
+    if (su == by_name.end()) {
+      return parse_error(c.line, "unknown port '" + c.src + "'");
+    }
+    if (sv == by_name.end()) {
+      return parse_error(c.line, "unknown port '" + c.dst + "'");
+    }
+    if (su->second == sv->second) {
+      return parse_error(c.line, "channel '" + c.name +
+                                     "' is a self-loop on port '" + c.src +
+                                     "'; channels are point-to-point");
+    }
+    auto added = cg.try_add_channel(su->second, sv->second, c.bandwidth,
+                                    c.name);
+    if (!added.ok()) {
+      return std::move(added).take_status().with_context(
+          "line " + std::to_string(c.line));
+    }
   }
   return cg;
 }
 
-model::ConstraintGraph read_constraint_graph_from_string(
+Expected<model::ConstraintGraph> read_constraint_graph_from_string(
     const std::string& text) {
   std::istringstream is(text);
   return read_constraint_graph(is);
@@ -123,32 +184,64 @@ std::string write_constraint_graph(const model::ConstraintGraph& cg) {
   return os.str();
 }
 
-commlib::Library read_library(std::istream& in) {
+Expected<commlib::Library> read_library(std::istream& in) {
   commlib::Library lib;
   std::string line;
   int lineno = 0;
   std::string name;
   std::vector<commlib::Link> links;
   std::vector<commlib::Node> nodes;
+  std::set<std::string> link_names, node_names;
   while (std::getline(in, line)) {
     ++lineno;
     std::vector<std::string> t;
     if (!tokenize(line, t)) continue;
     if (t[0] == "library") {
-      if (t.size() != 2) fail(lineno, "library takes one argument");
+      if (t.size() != 2) {
+        return parse_error(lineno, "library takes one argument");
+      }
       name = t[1];
     } else if (t[0] == "link") {
       if (t.size() != 6) {
-        fail(lineno, "link takes: name max_span bandwidth fixed per_length");
+        return parse_error(lineno,
+                           "link takes: name max_span bandwidth fixed "
+                           "per_length");
       }
-      links.push_back(commlib::Link{
-          .name = t[1],
-          .max_span = parse_span(t[2], lineno),
-          .bandwidth = parse_num(t[3], lineno, "bandwidth"),
-          .fixed_cost = parse_num(t[4], lineno, "fixed cost"),
-          .cost_per_length = parse_num(t[5], lineno, "per-length cost")});
+      if (!link_names.insert(t[1]).second) {
+        return parse_error(lineno, "duplicate link name '" + t[1] + "'");
+      }
+      const std::optional<double> span = parse_span(t[2]);
+      const std::optional<double> bw = parse_finite(t[3]);
+      const std::optional<double> fixed = parse_finite(t[4]);
+      const std::optional<double> per_len = parse_finite(t[5]);
+      if (!span || *span <= 0.0) {
+        return parse_error(lineno, "bad span '" + t[2] +
+                                       "' (must be positive or 'inf')");
+      }
+      if (!bw || *bw <= 0.0) {
+        return parse_error(lineno,
+                           "bad bandwidth '" + t[3] + "' for link '" + t[1] +
+                               "' (must be a finite positive number)");
+      }
+      if (!fixed || *fixed < 0.0) {
+        return parse_error(lineno, "bad fixed cost '" + t[4] + "' for link '" +
+                                       t[1] + "' (must be finite and >= 0)");
+      }
+      if (!per_len || *per_len < 0.0) {
+        return parse_error(lineno, "bad per-length cost '" + t[5] +
+                                       "' for link '" + t[1] +
+                                       "' (must be finite and >= 0)");
+      }
+      links.push_back(commlib::Link{.name = t[1],
+                                    .max_span = *span,
+                                    .bandwidth = *bw,
+                                    .fixed_cost = *fixed,
+                                    .cost_per_length = *per_len});
     } else if (t[0] == "node") {
-      if (t.size() != 4) fail(lineno, "node takes: name kind cost");
+      if (t.size() != 4) return parse_error(lineno, "node takes: name kind cost");
+      if (!node_names.insert(t[1]).second) {
+        return parse_error(lineno, "duplicate node name '" + t[1] + "'");
+      }
       commlib::NodeKind kind;
       if (t[2] == "repeater") {
         kind = commlib::NodeKind::kRepeater;
@@ -159,21 +252,41 @@ commlib::Library read_library(std::istream& in) {
       } else if (t[2] == "switch") {
         kind = commlib::NodeKind::kSwitch;
       } else {
-        fail(lineno, "unknown node kind '" + t[2] + "'");
+        return parse_error(lineno, "unknown node kind '" + t[2] + "'");
       }
-      nodes.push_back(commlib::Node{
-          .name = t[1], .kind = kind, .cost = parse_num(t[3], lineno, "cost")});
+      const std::optional<double> cost = parse_finite(t[3]);
+      if (!cost || *cost < 0.0) {
+        return parse_error(lineno, "bad cost '" + t[3] + "' for node '" +
+                                       t[1] + "' (must be finite and >= 0)");
+      }
+      nodes.push_back(
+          commlib::Node{.name = t[1], .kind = kind, .cost = *cost});
     } else {
-      fail(lineno, "unknown directive '" + t[0] + "'");
+      return parse_error(lineno, "unknown directive '" + t[0] + "'");
     }
   }
+  if (in.bad()) {
+    return Status::ParseError(
+        "I/O error after line " + std::to_string(lineno) +
+        "; the input stream is truncated or unreadable");
+  }
   commlib::Library out(name);
-  for (commlib::Link& l : links) out.add_link(std::move(l));
-  for (commlib::Node& n : nodes) out.add_node(std::move(n));
+  for (commlib::Link& l : links) {
+    auto added = out.try_add_link(std::move(l));
+    if (!added.ok()) {
+      return std::move(added).take_status().with_context("reading library");
+    }
+  }
+  for (commlib::Node& n : nodes) {
+    auto added = out.try_add_node(std::move(n));
+    if (!added.ok()) {
+      return std::move(added).take_status().with_context("reading library");
+    }
+  }
   return out;
 }
 
-commlib::Library read_library_from_string(const std::string& text) {
+Expected<commlib::Library> read_library_from_string(const std::string& text) {
   std::istringstream is(text);
   return read_library(is);
 }

@@ -11,6 +11,12 @@
 //     library <name>
 //     link <name> <max_span|inf> <bandwidth> <fixed_cost> <cost_per_length>
 //     node <name> repeater|mux|demux|switch <cost>
+//
+// The readers never throw: malformed input -- unknown directives, wrong
+// field counts, unparseable or out-of-range numbers, non-finite coordinates
+// or bandwidths, duplicate port/channel/link/node names, references to
+// undefined ports, self-loop channels, I/O errors on truncated streams --
+// comes back as a kParseError Status with a line-numbered message.
 #pragma once
 
 #include <iosfwd>
@@ -18,18 +24,20 @@
 
 #include "commlib/library.hpp"
 #include "model/constraint_graph.hpp"
+#include "support/status.hpp"
 
 namespace cdcs::io {
 
-/// Parses the constraint-graph format; throws std::runtime_error with a
-/// line-numbered message on malformed input.
-model::ConstraintGraph read_constraint_graph(std::istream& in);
-model::ConstraintGraph read_constraint_graph_from_string(const std::string& text);
+support::Expected<model::ConstraintGraph> read_constraint_graph(
+    std::istream& in);
+support::Expected<model::ConstraintGraph> read_constraint_graph_from_string(
+    const std::string& text);
 
 std::string write_constraint_graph(const model::ConstraintGraph& cg);
 
-commlib::Library read_library(std::istream& in);
-commlib::Library read_library_from_string(const std::string& text);
+support::Expected<commlib::Library> read_library(std::istream& in);
+support::Expected<commlib::Library> read_library_from_string(
+    const std::string& text);
 
 std::string write_library(const commlib::Library& lib);
 

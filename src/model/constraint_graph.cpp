@@ -1,31 +1,53 @@
 #include "model/constraint_graph.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 namespace cdcs::model {
 
-VertexId ConstraintGraph::add_port(std::string name, geom::Point2D position) {
+using support::Expected;
+using support::Status;
+
+Expected<VertexId> ConstraintGraph::try_add_port(std::string name,
+                                                 geom::Point2D position) {
   if (!std::isfinite(position.x) || !std::isfinite(position.y)) {
-    throw std::invalid_argument("ConstraintGraph::add_port: non-finite position");
+    return Status::InvalidInput("port '" + name + "' has a non-finite position (" +
+                                std::to_string(position.x) + ", " +
+                                std::to_string(position.y) + ")");
   }
   return g_.add_vertex(Port{std::move(name), position});
 }
 
-ArcId ConstraintGraph::add_channel(VertexId u, VertexId v, double bandwidth,
-                                   std::string name) {
-  if (bandwidth <= 0.0) {
-    throw std::invalid_argument(
-        "ConstraintGraph::add_channel: bandwidth must be positive");
+Expected<ArcId> ConstraintGraph::try_add_channel(VertexId u, VertexId v,
+                                                 double bandwidth,
+                                                 std::string name) {
+  if (u.index() >= g_.num_vertices() || v.index() >= g_.num_vertices()) {
+    return Status::InvalidInput("channel '" + name +
+                                "' references an unknown port");
+  }
+  if (!std::isfinite(bandwidth) || bandwidth <= 0.0) {
+    return Status::InvalidInput(
+        "channel '" +
+        (name.empty() ? port(u).name + "->" + port(v).name : name) +
+        "' requires a finite positive bandwidth, got " +
+        std::to_string(bandwidth));
   }
   if (u == v) {
-    throw std::invalid_argument(
-        "ConstraintGraph::add_channel: self-loop channels are not "
-        "point-to-point communications");
+    return Status::InvalidInput(
+        "channel '" + name + "' is a self-loop on port '" + port(u).name +
+        "'; channels are point-to-point communications");
   }
   const double d = vertex_distance(u, v);
   if (name.empty()) name = "a" + std::to_string(g_.num_arcs() + 1);
   return g_.add_arc(u, v, Channel{std::move(name), bandwidth, d});
+}
+
+VertexId ConstraintGraph::add_port(std::string name, geom::Point2D position) {
+  return try_add_port(std::move(name), position).value();
+}
+
+ArcId ConstraintGraph::add_channel(VertexId u, VertexId v, double bandwidth,
+                                   std::string name) {
+  return try_add_channel(u, v, bandwidth, std::move(name)).value();
 }
 
 std::vector<ArcId> ConstraintGraph::arcs() const {
@@ -46,8 +68,10 @@ std::vector<std::string> ConstraintGraph::validate() const {
   std::vector<std::string> problems;
   g_.for_each_arc([&](ArcId a) {
     const Channel& c = channel(a);
-    if (c.bandwidth <= 0.0) {
-      problems.push_back("channel '" + c.name + "' has non-positive bandwidth");
+    if (!(c.bandwidth > 0.0) || !std::isfinite(c.bandwidth)) {
+      problems.push_back("channel '" + c.name +
+                         "' has non-positive or non-finite bandwidth " +
+                         std::to_string(c.bandwidth));
     }
     const double geometric = vertex_distance(source(a), target(a));
     if (std::abs(geometric - c.distance) > 1e-9 * std::max(1.0, geometric)) {

@@ -13,6 +13,7 @@
 #include "geom/norm.hpp"
 #include "geom/point.hpp"
 #include "graph/digraph.hpp"
+#include "support/status.hpp"
 
 namespace cdcs::model {
 
@@ -37,11 +38,26 @@ class ConstraintGraph {
 
   geom::Norm norm() const { return norm_; }
 
+  /// Non-throwing construction: rejects non-finite positions with a
+  /// structured kInvalidInput diagnosis. Primary API for code fed by
+  /// external input (parsers, sanitization).
+  support::Expected<VertexId> try_add_port(std::string name,
+                                           geom::Point2D position);
+
+  /// Non-throwing construction: rejects non-finite or non-positive
+  /// bandwidths, out-of-range vertex ids, and self-loops.
+  support::Expected<ArcId> try_add_channel(VertexId u, VertexId v,
+                                           double bandwidth,
+                                           std::string name = {});
+
+  /// Legacy convenience wrapper over try_add_port; throws StatusError on a
+  /// rejected port. Prefer try_add_port when the input is untrusted.
   VertexId add_port(std::string name, geom::Point2D position);
 
   /// Adds a channel u -> v with required bandwidth b(a) > 0. The distance
   /// d(a) is computed from the endpoint positions. `name` defaults to
-  /// "a<k>" with k the 1-based arc index (the paper's numbering).
+  /// "a<k>" with k the 1-based arc index (the paper's numbering). Legacy
+  /// wrapper over try_add_channel; throws StatusError on rejection.
   ArcId add_channel(VertexId u, VertexId v, double bandwidth,
                     std::string name = {});
 

@@ -1,0 +1,182 @@
+#include "model/sanitize.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace cdcs::model {
+
+using support::Expected;
+using support::Status;
+
+Status check_graph(const ConstraintGraph& cg) {
+  for (VertexId v : cg.ports()) {
+    const geom::Point2D p = cg.position(v);
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status::InvalidInput("port '" + cg.port(v).name +
+                                  "' has a non-finite position (" +
+                                  std::to_string(p.x) + ", " +
+                                  std::to_string(p.y) + ")");
+    }
+  }
+  std::set<std::string> names;
+  for (ArcId a : cg.arcs()) {
+    const Channel& c = cg.channel(a);
+    if (!std::isfinite(c.bandwidth) || c.bandwidth <= 0.0) {
+      return Status::InvalidInput("channel '" + c.name +
+                                  "' has invalid bandwidth " +
+                                  std::to_string(c.bandwidth) +
+                                  "; bandwidths must be finite and positive");
+    }
+    const double geometric = cg.vertex_distance(cg.source(a), cg.target(a));
+    if (std::abs(geometric - c.distance) >
+        1e-9 * std::max(1.0, geometric)) {
+      return Status::InvalidInput(
+          "channel '" + c.name + "' cached distance " +
+          std::to_string(c.distance) +
+          " disagrees with its endpoint positions (" +
+          std::to_string(geometric) + ")");
+    }
+    if (!names.insert(c.name).second) {
+      return Status::InvalidInput("duplicate channel name '" + c.name +
+                                  "'; channel names identify covering rows "
+                                  "and must be unique");
+    }
+  }
+  return Status::Ok();
+}
+
+Status check_library(const commlib::Library& library) {
+  // Library::validate() already names the offending element in each
+  // message; surface the first problem as the diagnosis and the rest as
+  // context.
+  std::vector<std::string> problems = library.validate();
+  if (problems.empty()) return Status::Ok();
+  Status s = Status::InvalidInput(std::move(problems.front()));
+  for (std::size_t i = 1; i < problems.size(); ++i) {
+    s.add_context("also: " + problems[i]);
+  }
+  return std::move(s).with_context("library '" + library.name() + "'");
+}
+
+Status check_inputs(const ConstraintGraph& cg,
+                    const commlib::Library& library) {
+  if (Status s = check_graph(cg); !s.ok()) {
+    return std::move(s).with_context("constraint graph");
+  }
+  return check_library(library);
+}
+
+Expected<ConstraintGraph> sanitize(const ConstraintGraph& cg,
+                                   const SanitizeOptions& options,
+                                   SanitizeReport* report) {
+  SanitizeReport local;
+  SanitizeReport& rep = report ? *report : local;
+
+  // Non-finite geometry cannot be repaired: there is no defensible guess.
+  for (VertexId v : cg.ports()) {
+    const geom::Point2D p = cg.position(v);
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status::InvalidInput("port '" + cg.port(v).name +
+                                  "' has a non-finite position (" +
+                                  std::to_string(p.x) + ", " +
+                                  std::to_string(p.y) + ")");
+    }
+  }
+
+  ConstraintGraph out(cg.norm());
+  for (VertexId v : cg.ports()) {
+    auto added = out.try_add_port(cg.port(v).name, cg.position(v));
+    if (!added.ok()) return std::move(added).take_status();
+  }
+
+  // Screen channels in input order (so a clean graph copies over with
+  // identical arc numbering).
+  struct Pending {
+    VertexId u, v;
+    double bandwidth;
+    std::string name;
+  };
+  std::vector<Pending> pending;
+  std::set<std::string> seen_names;
+  for (ArcId a : cg.arcs()) {
+    const Channel& c = cg.channel(a);
+    if (!std::isfinite(c.bandwidth) || c.bandwidth <= 0.0) {
+      if (!options.repair) {
+        return Status::InvalidInput("channel '" + c.name +
+                                    "' has invalid bandwidth " +
+                                    std::to_string(c.bandwidth) +
+                                    "; bandwidths must be finite and positive");
+      }
+      if (std::isnan(c.bandwidth)) {
+        // NaN is unrecoverable even in repair mode: dropping a constraint
+        // would silently under-build the network.
+        return Status::InvalidInput(
+            "channel '" + c.name +
+            "' has NaN bandwidth; cannot repair (no defensible demand)");
+      }
+      rep.repairs.push_back("dropped channel '" + c.name +
+                            "' with non-positive bandwidth " +
+                            std::to_string(c.bandwidth));
+      continue;
+    }
+    std::string name = c.name;
+    if (!seen_names.insert(name).second) {
+      if (!options.repair) {
+        return Status::InvalidInput("duplicate channel name '" + name +
+                                    "'; channel names identify covering rows "
+                                    "and must be unique");
+      }
+      std::string unique = name;
+      int suffix = 2;
+      while (!seen_names.insert(unique = name + "#" +
+                                         std::to_string(suffix)).second) {
+        ++suffix;
+      }
+      rep.repairs.push_back("renamed duplicate channel '" + name + "' to '" +
+                            unique + "'");
+      name = unique;
+    }
+    pending.push_back(
+        Pending{cg.source(a), cg.target(a), c.bandwidth, std::move(name)});
+  }
+
+  // Repair-mode normalization: merge parallel channels (same ordered port
+  // pair) into the first occurrence, summing bandwidth.
+  if (options.repair && options.merge_parallel_channels) {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> first_at;
+    std::vector<Pending> merged;
+    std::map<std::size_t, std::vector<std::string>> absorbed;
+    for (Pending& p : pending) {
+      const auto key = std::make_pair(p.u.value, p.v.value);
+      const auto it = first_at.find(key);
+      if (it == first_at.end()) {
+        first_at.emplace(key, merged.size());
+        merged.push_back(std::move(p));
+      } else {
+        merged[it->second].bandwidth += p.bandwidth;
+        absorbed[it->second].push_back(p.name);
+      }
+    }
+    for (const auto& [idx, names] : absorbed) {
+      std::string members = "'" + merged[idx].name + "'";
+      for (const std::string& n : names) members += ", '" + n + "'";
+      rep.repairs.push_back(
+          "merged " + std::to_string(names.size() + 1) +
+          " parallel channels (" + members + ") from '" +
+          cg.port(merged[idx].u).name + "' to '" + cg.port(merged[idx].v).name +
+          "' into one channel of bandwidth " +
+          std::to_string(merged[idx].bandwidth));
+    }
+    pending = std::move(merged);
+  }
+
+  for (Pending& p : pending) {
+    auto added = out.try_add_channel(p.u, p.v, p.bandwidth, std::move(p.name));
+    if (!added.ok()) return std::move(added).take_status();
+  }
+  return out;
+}
+
+}  // namespace cdcs::model

@@ -1,0 +1,61 @@
+// Input sanitization for the synthesis pipeline (run by synthesize() before
+// any enumeration): catches defective instances -- NaN/negative bandwidths,
+// non-finite positions, duplicate arc definitions, empty or inconsistent
+// libraries -- at the front door with structured diagnostics, instead of
+// letting them surface as deep-stack failures inside pricers or the solver.
+//
+// Two modes:
+//   * strict (default): any defect is a kInvalidInput Status naming the
+//     offending element;
+//   * repair: benign defects are fixed on a copy of the graph (parallel
+//     duplicate arcs merged by summing bandwidth, duplicate channel names
+//     uniquified) with every action recorded in the SanitizeReport;
+//     unrecoverable defects (non-finite numbers) are still rejected.
+//
+// Note parallel channels between the same port pair are legal inputs (the
+// covering formulation treats them as independent rows); repair merges them
+// only because a merged row is synthesized at equal-or-lower cost.
+#pragma once
+
+#include "commlib/library.hpp"
+#include "model/constraint_graph.hpp"
+#include "support/status.hpp"
+
+namespace cdcs::model {
+
+struct SanitizeOptions {
+  /// Repair what can be repaired instead of rejecting. Unrecoverable
+  /// defects are rejected either way.
+  bool repair = false;
+  /// With repair: merge parallel channels (same source and target port)
+  /// into one channel carrying the bandwidth sum.
+  bool merge_parallel_channels = true;
+};
+
+struct SanitizeReport {
+  /// Human-readable description of every repair performed, in order.
+  std::vector<std::string> repairs;
+  bool clean() const { return repairs.empty(); }
+};
+
+/// Strict structural check of a constraint graph: finite positions, finite
+/// positive bandwidths, consistent cached distances, unique channel names.
+support::Status check_graph(const ConstraintGraph& cg);
+
+/// Strict structural check of a communication library: nonempty link set,
+/// finite positive link bandwidths/spans, nonnegative costs.
+support::Status check_library(const commlib::Library& library);
+
+/// check_graph + check_library; the gate synthesize() runs on entry.
+support::Status check_inputs(const ConstraintGraph& cg,
+                             const commlib::Library& library);
+
+/// Sanitizes `cg` per `options`. Returns the graph to synthesize: a repaired
+/// copy when repairs were performed (arc/vertex ids are renumbered!), or an
+/// equivalent copy of the input when already clean. Appends one entry per
+/// repair to `report` when given.
+support::Expected<ConstraintGraph> sanitize(const ConstraintGraph& cg,
+                                            const SanitizeOptions& options = {},
+                                            SanitizeReport* report = nullptr);
+
+}  // namespace cdcs::model

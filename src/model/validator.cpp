@@ -67,16 +67,21 @@ ValidationReport validate(const ImplementationGraph& impl,
     const auto& la = impl.link_arc(a);
     const commlib::Link& l = lib.link(la.link);
     if (la.span > l.max_span * (1.0 + 1e-9) + 1e-12) {
-      report.problems.push_back("link arc #" + std::to_string(i) +
-                                " exceeds the max span of link '" + l.name +
-                                "'");
+      report.problems.push_back(
+          "link arc #" + std::to_string(i) + " ('" + l.name + "') spans " +
+          std::to_string(la.span) + " over the link's max span " +
+          std::to_string(l.max_span) + " (excess " +
+          std::to_string(la.span - l.max_span) + ")");
     }
     const double geometric = geom::distance(impl.position(impl.arc_source(a)),
                                             impl.position(impl.arc_target(a)),
                                             cg.norm());
     if (std::abs(geometric - la.span) > 1e-6 * std::max(1.0, geometric)) {
-      report.problems.push_back("link arc #" + std::to_string(i) +
-                                " span disagrees with endpoint positions");
+      report.problems.push_back(
+          "link arc #" + std::to_string(i) + " ('" + l.name +
+          "') records span " + std::to_string(la.span) +
+          " but its endpoints are " + std::to_string(geometric) +
+          " apart (difference " + std::to_string(geometric - la.span) + ")");
     }
   }
 
@@ -97,7 +102,8 @@ ValidationReport validate(const ImplementationGraph& impl,
         report.problems.push_back(
             "constraint arc '" + cg.channel(ca).name +
             "' bandwidth not covered: " + std::to_string(total) + " < " +
-            std::to_string(cg.bandwidth(ca)));
+            std::to_string(cg.bandwidth(ca)) + " (shortfall " +
+            std::to_string(cg.bandwidth(ca) - total) + ")");
       }
     }
   }

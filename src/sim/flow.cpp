@@ -44,7 +44,9 @@ std::vector<std::string> capacity_violations(
       problems.push_back("link arc #" + std::to_string(i) + " ('" +
                          impl.library().link(impl.link_arc(a).link).name +
                          "') carries " + std::to_string(flows.arc_load[i]) +
-                         " over capacity " + std::to_string(cap));
+                         " over capacity " + std::to_string(cap) +
+                         " (excess " +
+                         std::to_string(flows.arc_load[i] - cap) + ")");
     }
   }
   const auto arcs = impl.constraints().arcs();
@@ -52,8 +54,9 @@ std::vector<std::string> capacity_violations(
     if (flows.unrouted[i] > tolerance) {
       problems.push_back(
           "constraint arc '" + impl.constraints().channel(arcs[i]).name +
-          "' has " + std::to_string(flows.unrouted[i]) +
-          " of its bandwidth unrouted");
+          "' has " + std::to_string(flows.unrouted[i]) + " of its " +
+          std::to_string(impl.constraints().bandwidth(arcs[i])) +
+          " bandwidth unrouted");
     }
   }
   return problems;

@@ -1,0 +1,128 @@
+// Wall-clock deadlines with cooperative cancellation for the synthesis
+// pipeline. A Deadline is threaded (by value, copies share the cancel
+// token) through candidate generation, the merging pricers, and the UCP
+// branch-and-bound; each hot loop polls expired() and degrades gracefully
+// instead of running unbounded (docs/robustness.md describes the ladder).
+//
+// expired() latches: once a Deadline has reported expiry it keeps doing so,
+// so a caller observing "expired" mid-stage can rely on every later stage
+// observing the same.
+//
+// Deterministic testing: expire_after_checks(n) builds a Deadline that
+// ignores the clock and expires on the (n+1)-th expired() poll, so every
+// degradation edge is unit-testable without timing races.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace cdcs::support {
+
+/// Shared cancellation flag: copies observe (and trigger) the same cancel.
+/// Safe to cancel() from another thread while a solver polls expired().
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default: never expires (and polls are two branch instructions).
+  Deadline() = default;
+
+  static Deadline never() { return Deadline(); }
+
+  static Deadline after(Clock::duration budget) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() + budget;
+    return d;
+  }
+
+  static Deadline after_ms(double ms) {
+    return after(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms < 0.0 ? 0.0 : ms)));
+  }
+
+  static Deadline at(Clock::time_point when) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = when;
+    return d;
+  }
+
+  /// Fault injection: expires on the (n+1)-th expired() call regardless of
+  /// the clock. n = 0 expires on the first poll.
+  static Deadline expire_after_checks(long n) {
+    Deadline d;
+    d.checks_left_ = n < 0 ? 0 : n;
+    return d;
+  }
+
+  /// Attaches a cooperative cancellation token; cancel() makes every copy
+  /// of this Deadline report expiry at its next poll.
+  Deadline& attach(CancelToken token) {
+    cancel_ = std::move(token);
+    has_token_ = true;
+    return *this;
+  }
+
+  bool unlimited() const {
+    return !has_deadline_ && !has_token_ && checks_left_ < 0 && !expired_;
+  }
+
+  bool expired() const {
+    if (expired_) return true;
+    if (checks_left_ >= 0) {
+      if (checks_left_ == 0) {
+        expired_ = true;
+        return true;
+      }
+      --checks_left_;
+    }
+    if (has_token_ && cancel_.cancelled()) {
+      expired_ = true;
+      return true;
+    }
+    if (has_deadline_ && Clock::now() >= at_) {
+      expired_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Milliseconds left; +infinity when unlimited, 0 when expired. Does not
+  /// consume a fault-injection poll.
+  double remaining_ms() const {
+    if (expired_) return 0.0;
+    if (!has_deadline_) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const auto left = std::chrono::duration<double, std::milli>(
+        at_ - Clock::now());
+    return left.count() < 0.0 ? 0.0 : left.count();
+  }
+
+ private:
+  Clock::time_point at_{};
+  CancelToken cancel_{};
+  bool has_deadline_{false};
+  bool has_token_{false};
+  /// Fault-injection poll budget; -1 = disabled. Mutable so const hot-path
+  /// polls can count; copies take a snapshot of the remaining budget.
+  mutable long checks_left_{-1};
+  mutable bool expired_{false};
+};
+
+}  // namespace cdcs::support

@@ -1,0 +1,242 @@
+// Structured diagnostics for the synthesis pipeline: a Status code plus a
+// message-context chain and the source location of the original failure,
+// and an Expected<T> carrier so entry points can return either a value or a
+// diagnosis without throwing across the public API boundary.
+//
+// Conventions (see docs/robustness.md):
+//   * kParseError        -- malformed textual input (line-numbered message);
+//   * kInvalidInput      -- structurally invalid graph/library (NaN
+//                           bandwidth, empty library, duplicate arcs, ...);
+//   * kDeadlineExceeded  -- a wall-clock budget expired before any usable
+//                           result existed (the synthesizer usually degrades
+//                           instead of returning this; see DegradationReport);
+//   * kInfeasible        -- no valid implementation exists for the instance;
+//   * kInternal          -- an invariant broke: a bug in this code, never a
+//                           user error.
+// Each code maps to a stable process exit status via exit_code() so shell
+// callers can triage failures without parsing messages.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace cdcs::support {
+
+enum class ErrorCode {
+  kOk = 0,
+  kParseError,
+  kInvalidInput,
+  kDeadlineExceeded,
+  kInfeasible,
+  kInternal,
+};
+
+constexpr std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kParseError:
+      return "parse-error";
+    case ErrorCode::kInvalidInput:
+      return "invalid-input";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kInfeasible:
+      return "infeasible";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+/// Stable CLI exit statuses (documented in docs/robustness.md). 0 is
+/// success; 1 is reserved for "ran but the result failed validation"; 2 for
+/// usage errors -- neither is produced by a Status.
+constexpr int exit_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return 0;
+    case ErrorCode::kParseError:
+      return 3;
+    case ErrorCode::kInvalidInput:
+      return 4;
+    case ErrorCode::kDeadlineExceeded:
+      return 5;
+    case ErrorCode::kInfeasible:
+      return 6;
+    case ErrorCode::kInternal:
+      return 7;
+  }
+  return 7;
+}
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+
+  static Status Error(
+      ErrorCode code, std::string message,
+      std::source_location loc = std::source_location::current()) {
+    Status s;
+    s.code_ = code == ErrorCode::kOk ? ErrorCode::kInternal : code;
+    s.message_ = std::move(message);
+    s.file_ = loc.file_name();
+    s.line_ = static_cast<int>(loc.line());
+    return s;
+  }
+
+  static Status ParseError(
+      std::string message,
+      std::source_location loc = std::source_location::current()) {
+    return Error(ErrorCode::kParseError, std::move(message), loc);
+  }
+  static Status InvalidInput(
+      std::string message,
+      std::source_location loc = std::source_location::current()) {
+    return Error(ErrorCode::kInvalidInput, std::move(message), loc);
+  }
+  static Status DeadlineExceeded(
+      std::string message,
+      std::source_location loc = std::source_location::current()) {
+    return Error(ErrorCode::kDeadlineExceeded, std::move(message), loc);
+  }
+  static Status Infeasible(
+      std::string message,
+      std::source_location loc = std::source_location::current()) {
+    return Error(ErrorCode::kInfeasible, std::move(message), loc);
+  }
+  static Status Internal(
+      std::string message,
+      std::source_location loc = std::source_location::current()) {
+    return Error(ErrorCode::kInternal, std::move(message), loc);
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+
+  /// The innermost failure message, without context or location.
+  const std::string& message() const { return message_; }
+
+  /// Context notes, innermost first (the order they were attached while the
+  /// failure propagated outward).
+  const std::vector<std::string>& context() const { return context_; }
+
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+
+  /// Attaches an outer context note ("while parsing 'x.graph'"). Chainable.
+  Status& add_context(std::string note) & {
+    if (!ok()) context_.push_back(std::move(note));
+    return *this;
+  }
+  Status&& with_context(std::string note) && {
+    add_context(std::move(note));
+    return std::move(*this);
+  }
+
+  /// "[parse-error] reading file: line 3: bad bandwidth 'x' (io/text.cpp:12)"
+  std::string to_string() const {
+    if (ok()) return "ok";
+    std::string out = "[";
+    out += support::to_string(code_);
+    out += "] ";
+    for (auto it = context_.rbegin(); it != context_.rend(); ++it) {
+      out += *it;
+      out += ": ";
+    }
+    out += message_;
+    if (file_ != nullptr && *file_ != '\0') {
+      out += " (";
+      out += file_;
+      out += ":";
+      out += std::to_string(line_);
+      out += ")";
+    }
+    return out;
+  }
+
+ private:
+  ErrorCode code_{ErrorCode::kOk};
+  std::string message_;
+  std::vector<std::string> context_;
+  const char* file_{""};
+  int line_{0};
+};
+
+/// Thrown only by Expected<T>::value() -- an explicit caller opt-in for
+/// contexts (tests, examples) where failure is fatal anyway. Library entry
+/// points never throw it.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Either a T or a non-OK Status. Implicitly constructible from both so
+/// `return Status::ParseError(...)` and `return value` both work.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : payload_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Status status)
+      : payload_(std::in_place_index<1>, std::move(status)) {
+    if (std::get<1>(payload_).ok()) {
+      payload_.template emplace<1>(Status::Internal(
+          "Expected constructed from an OK status without a value"));
+    }
+  }
+
+  bool ok() const { return payload_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// OK status when holding a value.
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<1>(payload_);
+  }
+
+  /// Moves the status out (for `return std::move(e).status().with_context(...)`).
+  Status&& take_status() && { return std::move(std::get<1>(payload_)); }
+
+  // Unchecked accessors (UB when !ok(), like std::expected).
+  T& operator*() & { return std::get<0>(payload_); }
+  const T& operator*() const& { return std::get<0>(payload_); }
+  T&& operator*() && { return std::move(std::get<0>(payload_)); }
+  T* operator->() { return &std::get<0>(payload_); }
+  const T* operator->() const { return &std::get<0>(payload_); }
+
+  /// Checked accessor: throws StatusError when holding an error.
+  T& value() & {
+    if (!ok()) throw StatusError(std::get<1>(payload_));
+    return std::get<0>(payload_);
+  }
+  const T& value() const& {
+    if (!ok()) throw StatusError(std::get<1>(payload_));
+    return std::get<0>(payload_);
+  }
+  T&& value() && {
+    if (!ok()) throw StatusError(std::get<1>(payload_));
+    return std::move(std::get<0>(payload_));
+  }
+
+  T value_or(T fallback) && {
+    return ok() ? std::move(std::get<0>(payload_)) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace cdcs::support

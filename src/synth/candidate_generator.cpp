@@ -1,13 +1,12 @@
 #include "synth/candidate_generator.hpp"
 
 #include <functional>
-#include <stdexcept>
 
 namespace cdcs::synth {
 
-CandidateSet generate_candidates(const model::ConstraintGraph& cg,
-                                 const commlib::Library& library,
-                                 const SynthesisOptions& options) {
+support::Expected<CandidateSet> generate_candidates(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options) {
   CandidateSet out;
   const std::vector<model::ArcId> arcs = cg.arcs();
   const std::size_t n = arcs.size();
@@ -37,11 +36,11 @@ CandidateSet generate_candidates(const model::ConstraintGraph& cg,
     std::optional<PtpPlan> plan =
         best_point_to_point(cg.distance(a), cg.bandwidth(a), library, delay);
     if (!plan) {
-      throw std::runtime_error(
-          "generate_candidates: constraint arc '" + cg.channel(a).name +
+      return support::Status::Infeasible(
+          "constraint arc '" + cg.channel(a).name +
           "' has no feasible point-to-point implementation in library '" +
-          library.name() + (options.delay_budget ? "' within the delay budget"
-                                                 : "'"));
+          library.name() +
+          (options.delay_budget ? "' within the delay budget" : "'"));
     }
     ptp_cost[a.index()] = plan->cost;
     out.candidates.push_back(
@@ -69,11 +68,15 @@ CandidateSet generate_candidates(const model::ConstraintGraph& cg,
 
     const std::function<void(std::size_t, int)> recurse =
         [&](std::size_t start, int depth) {
-          if (stats.enumeration_truncated) return;
+          if (stats.enumeration_truncated || stats.deadline_expired) return;
           if (depth == k) {
             ++stats.subsets_examined;
             if (++enumerated_this_k > options.max_subsets_per_k) {
               stats.enumeration_truncated = true;
+              return;
+            }
+            if (options.deadline.expired()) {
+              stats.deadline_expired = true;
               return;
             }
             for (int i = 0; i < k; ++i) subset_bw[i] = bw[subset[i].index()];
@@ -94,15 +97,21 @@ CandidateSet generate_candidates(const model::ConstraintGraph& cg,
             ++survivors_this_k;
             for (model::ArcId a : subset) participates[a.index()] = true;
 
-            std::optional<MergingPlan> star =
-                price_merging(cg, library, subset, options.policy);
+            if (options.fault_injection.fail_merging_pricers) {
+              ++stats.unpriceable_per_k[k];
+              return;
+            }
+            std::optional<MergingPlan> star = price_merging(
+                cg, library, subset, options.policy, &options.deadline);
             std::optional<ChainPlan> chain =
                 options.enable_chain_topology
-                    ? price_chain_merging(cg, library, subset, options.policy)
+                    ? price_chain_merging(cg, library, subset, options.policy,
+                                          {}, &options.deadline)
                     : std::nullopt;
             std::optional<TreePlan> tree =
                 options.enable_tree_topology
-                    ? price_tree_merging(cg, library, subset, options.policy)
+                    ? price_tree_merging(cg, library, subset, options.policy,
+                                         &options.deadline)
                     : std::nullopt;
             // Delay-constrained synthesis: a merged structure whose slowest
             // channel busts the budget is not a candidate.
@@ -156,6 +165,7 @@ CandidateSet generate_candidates(const model::ConstraintGraph& cg,
         };
     recurse(0, 0);
     stats.survivors_per_k[k] = survivors_this_k;
+    if (stats.deadline_expired) break;
 
     // Theorem 3.1: an arc in no surviving k-subset can join no larger
     // merging either; drop its Gamma-matrix column for all following k.

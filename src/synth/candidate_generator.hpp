@@ -10,6 +10,8 @@
 #include <optional>
 #include <vector>
 
+#include "support/deadline.hpp"
+#include "support/status.hpp"
 #include "synth/chain_pricer.hpp"
 #include "synth/mergeability.hpp"
 #include "synth/merging_pricer.hpp"
@@ -17,6 +19,24 @@
 #include "synth/tree_pricer.hpp"
 
 namespace cdcs::synth {
+
+/// Deterministic fault-injection hooks for robustness testing. Each switch
+/// forces one failure edge of the pipeline so the corresponding degradation
+/// path can be exercised without timing races. All off in production.
+struct FaultInjection {
+  /// Every merging/chain/tree pricer call returns nullopt: candidate
+  /// generation yields only the point-to-point singletons.
+  bool fail_merging_pricers = false;
+  /// The cover solver sees an already-expired deadline even when the
+  /// caller's deadline is unlimited.
+  bool expire_solver_deadline = false;
+  /// Discard the solver's incumbent (as if branch-and-bound had not found
+  /// one yet), forcing the greedy-cover fallback stage.
+  bool drop_incumbent = false;
+  /// Make the greedy cover report failure, forcing the final
+  /// point-to-point-only fallback stage.
+  bool fail_greedy_cover = false;
+};
 
 struct SynthesisOptions {
   model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum;
@@ -60,6 +80,16 @@ struct SynthesisOptions {
     double budget{0.0};
   };
   std::optional<DelayBudget> delay_budget;
+
+  /// Wall-clock budget for the whole synthesis run (generation + covering).
+  /// Point-to-point singletons are ALWAYS generated in full -- they are the
+  /// last-resort cover -- but merging enumeration stops once the deadline
+  /// expires (stats.deadline_expired records this) and the remaining budget
+  /// is handed to the cover solver.
+  support::Deadline deadline;
+
+  /// Deterministic failure forcing for tests; see FaultInjection.
+  FaultInjection fault_injection;
 };
 
 /// One column of the covering problem: a single arc's point-to-point
@@ -87,6 +117,7 @@ struct GenerationStats {
   std::vector<int> arc_eliminated_after_k;
   std::size_t subsets_examined{0};
   bool enumeration_truncated{false};  ///< hit max_subsets_per_k
+  bool deadline_expired{false};  ///< merging enumeration cut short by deadline
 };
 
 struct CandidateSet {
@@ -94,11 +125,13 @@ struct CandidateSet {
   GenerationStats stats;
 };
 
-/// Runs Fig. 2. Throws std::runtime_error when some constraint arc has no
-/// feasible point-to-point implementation (the problem is unsatisfiable with
-/// this library, since merging legs rely on the same plans).
-CandidateSet generate_candidates(const model::ConstraintGraph& cg,
-                                 const commlib::Library& library,
-                                 const SynthesisOptions& options = {});
+/// Runs Fig. 2. Returns kInfeasible when some constraint arc has no feasible
+/// point-to-point implementation (the problem is unsatisfiable with this
+/// library, since merging legs rely on the same plans). Never throws.
+/// Singletons are emitted first (candidate i covers arc i for i < |A|) and
+/// are never deadline-gated; see SynthesisOptions::deadline.
+support::Expected<CandidateSet> generate_candidates(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options = {});
 
 }  // namespace cdcs::synth

@@ -109,7 +109,9 @@ std::optional<ChainPlan> price_chain_merging(const model::ConstraintGraph& cg,
                                              const commlib::Library& library,
                                              std::vector<model::ArcId> subset,
                                              model::CapacityPolicy policy,
-                                             const ChainPricerOptions& options) {
+                                             const ChainPricerOptions& options,
+                                             const support::Deadline* deadline) {
+  if (deadline && deadline->expired()) return std::nullopt;
   if (subset.size() < 2) return std::nullopt;
   std::sort(subset.begin(), subset.end());
   const geom::Norm norm = cg.norm();
@@ -167,6 +169,7 @@ std::optional<ChainPlan> price_chain_merging(const model::ConstraintGraph& cg,
   OrderEvaluation best;
   std::vector<std::size_t> best_order;
   auto consider = [&](const std::vector<std::size_t>& perm) {
+    if (deadline && deadline->expired()) return;
     OrderEvaluation eval = evaluate_permutation(perm);
     if (eval.cost < best.cost) {
       best = std::move(eval);

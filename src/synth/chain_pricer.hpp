@@ -64,11 +64,13 @@ struct ChainPricerOptions {
 /// Prices the best daisy-chain realization of `subset` (|subset| >= 2).
 /// Returns nullopt when the subset has no common endpoint side, when the
 /// library lacks the required drop node, or when some segment/leg is
-/// unimplementable.
+/// unimplementable. An expired `deadline` (when non-null) is also polled
+/// between candidate drop orders, abandoning the remaining orders.
 std::optional<ChainPlan> price_chain_merging(
     const model::ConstraintGraph& cg, const commlib::Library& library,
     std::vector<model::ArcId> subset,
     model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum,
-    const ChainPricerOptions& options = {});
+    const ChainPricerOptions& options = {},
+    const support::Deadline* deadline = nullptr);
 
 }  // namespace cdcs::synth

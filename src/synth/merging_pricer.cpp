@@ -41,7 +41,9 @@ double length_slope(double b, const commlib::Library& lib, bool can_bundle) {
 std::optional<MergingPlan> price_merging(const model::ConstraintGraph& cg,
                                          const commlib::Library& library,
                                          std::vector<model::ArcId> subset,
-                                         model::CapacityPolicy policy) {
+                                         model::CapacityPolicy policy,
+                                         const support::Deadline* deadline) {
+  if (deadline && deadline->expired()) return std::nullopt;
   if (subset.size() < 2) return std::nullopt;
   std::sort(subset.begin(), subset.end());
 

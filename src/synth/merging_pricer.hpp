@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "model/validator.hpp"
+#include "support/deadline.hpp"
 #include "synth/ptp.hpp"
 
 namespace cdcs::synth {
@@ -61,10 +62,13 @@ struct MergingPlan {
 /// Prices the best hub--trunk--split realization of `subset` (|subset| >= 2).
 /// Returns nullopt when the library lacks a required element (no mux-capable
 /// node while sources differ, no demux-capable node while targets differ, or
-/// some leg/trunk has no feasible point-to-point plan).
+/// some leg/trunk has no feasible point-to-point plan). A non-null `deadline`
+/// that has expired makes the pricer bail out immediately with nullopt, so
+/// candidate generation degrades to the already-priced structures.
 std::optional<MergingPlan> price_merging(
     const model::ConstraintGraph& cg, const commlib::Library& library,
     std::vector<model::ArcId> subset,
-    model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum);
+    model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum,
+    const support::Deadline* deadline = nullptr);
 
 }  // namespace cdcs::synth

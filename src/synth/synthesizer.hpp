@@ -1,22 +1,76 @@
 // Top-level constraint-driven communication synthesis (Problem 2.1).
 //
 // Pipeline, exactly as Sec. 3 describes:
-//   1. generate_candidates  -- Fig. 2: point-to-point optima + non-pruned
+//   1. sanitize             -- reject structurally invalid inputs up front
+//                              (model/sanitize.hpp);
+//   2. generate_candidates  -- Fig. 2: point-to-point optima + non-pruned
 //                              k-way mergings, each priced by the placement
 //                              optimizer;
-//   2. weighted UCP         -- rows = constraint arcs, columns = candidates,
+//   3. weighted UCP         -- rows = constraint arcs, columns = candidates,
 //                              solved exactly by branch-and-bound;
-//   3. assemble             -- materialize the winning columns into the
+//   4. assemble             -- materialize the winning columns into the
 //                              final implementation graph;
-//   4. validate             -- independent Def 2.4 / flow check.
+//   5. validate             -- independent Def 2.4 / flow check.
+//
+// Resilience: synthesize() never throws and always returns a *valid* cover
+// when one exists, even under a wall-clock deadline. On resource exhaustion
+// it degrades along an explicit anytime ladder (docs/robustness.md):
+//
+//   exact optimum  ->  best incumbent  ->  greedy cover  ->  per-arc
+//                                                            point-to-point
+//
+// and reports which rung it landed on (plus a lower bound and optimality
+// gap) in SynthesisResult::degradation.
 #pragma once
 
 #include <memory>
+#include <string>
 
+#include "support/status.hpp"
 #include "synth/assemble.hpp"
 #include "ucp/bnb.hpp"
 
 namespace cdcs::synth {
+
+/// The rung of the anytime ladder that produced the returned cover.
+enum class SynthesisStage {
+  kExact,         ///< proven-optimal cover over the full candidate set
+  kIncumbent,     ///< solver's best feasible cover (budget/deadline cut off)
+  kGreedy,        ///< ln(n) greedy cover (solver returned nothing usable)
+  kPointToPoint,  ///< every arc on its own optimum point-to-point link
+};
+
+constexpr std::string_view to_string(SynthesisStage stage) {
+  switch (stage) {
+    case SynthesisStage::kExact:
+      return "exact";
+    case SynthesisStage::kIncumbent:
+      return "incumbent";
+    case SynthesisStage::kGreedy:
+      return "greedy";
+    case SynthesisStage::kPointToPoint:
+      return "point-to-point";
+  }
+  return "unknown";
+}
+
+/// How (and how far) the run degraded from the exact algorithm.
+struct DegradationReport {
+  SynthesisStage stage{SynthesisStage::kExact};
+  /// Human-readable cause when stage != kExact ("deadline expired in the
+  /// cover solver", ...). Empty for exact runs.
+  std::string reason;
+  /// Lower bound on the optimal cover cost over the generated candidate
+  /// set (== achieved cost for exact runs; the independent-rows root bound
+  /// otherwise). When candidate enumeration itself was cut short the true
+  /// optimum over the full set could be lower still.
+  double lower_bound{0.0};
+  /// (achieved - lower_bound) / lower_bound; 0 for exact runs or when the
+  /// bound is degenerate (<= 0).
+  double optimality_gap{0.0};
+
+  bool degraded() const { return stage != SynthesisStage::kExact; }
+};
 
 struct SynthesisResult {
   CandidateSet candidate_set;
@@ -24,6 +78,7 @@ struct SynthesisResult {
   double total_cost{0.0};           ///< Def 2.5 cost of `implementation`
   std::unique_ptr<model::ImplementationGraph> implementation;
   model::ValidationReport validation;
+  DegradationReport degradation;    ///< which ladder rung produced `cover`
 
   const std::vector<Candidate>& candidates() const {
     return candidate_set.candidates;
@@ -40,10 +95,16 @@ struct SynthesisResult {
 
 /// Solves Problem 2.1 for (cg, library). The returned implementation graph
 /// keeps references to `cg` and `library`; both must outlive the result.
-/// Throws std::runtime_error when some arc cannot be implemented at all.
-SynthesisResult synthesize(const model::ConstraintGraph& cg,
-                           const commlib::Library& library,
-                           const SynthesisOptions& options = {},
-                           const ucp::BnbOptions& solver_options = {});
+///
+/// Never throws. Error statuses:
+///   * kInvalidInput -- cg/library fail the model::check_inputs gate;
+///   * kInfeasible   -- some arc has no point-to-point implementation at all;
+///   * kInternal     -- an invariant broke downstream (a bug, not bad input).
+/// A deadline (SynthesisOptions::deadline) is NOT an error: the result
+/// degrades along the anytime ladder and `result.degradation` says how.
+support::Expected<SynthesisResult> synthesize(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options = {},
+    const ucp::BnbOptions& solver_options = {});
 
 }  // namespace cdcs::synth

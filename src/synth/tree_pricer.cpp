@@ -83,7 +83,9 @@ void contract_passthrough(Oriented& t, const std::vector<bool>& is_terminal,
 std::optional<TreePlan> price_tree_merging(const model::ConstraintGraph& cg,
                                            const commlib::Library& library,
                                            std::vector<model::ArcId> subset,
-                                           model::CapacityPolicy policy) {
+                                           model::CapacityPolicy policy,
+                                           const support::Deadline* deadline) {
+  if (deadline && deadline->expired()) return std::nullopt;
   if (subset.size() < 2 || subset.size() > 9) return std::nullopt;
   std::sort(subset.begin(), subset.end());
   const geom::Norm norm = cg.norm();

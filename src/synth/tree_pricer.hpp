@@ -60,9 +60,12 @@ struct TreePlan {
 /// Prices the Steiner-tree realization of `subset` (common source or common
 /// target required; both-common and mixed subsets return nullopt, as do
 /// subsets whose library lacks the junction node or a feasible edge plan).
+/// An expired `deadline` (when non-null) makes the pricer return nullopt
+/// before starting the Hanan-grid search.
 std::optional<TreePlan> price_tree_merging(
     const model::ConstraintGraph& cg, const commlib::Library& library,
     std::vector<model::ArcId> subset,
-    model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum);
+    model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum,
+    const support::Deadline* deadline = nullptr);
 
 }  // namespace cdcs::synth

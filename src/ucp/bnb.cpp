@@ -40,6 +40,7 @@ class Solver {
     sol.cost = best_cost_;
     sol.optimal = complete_ && best_cost_ < kInf;
     sol.nodes_explored = nodes_;
+    sol.deadline_expired = deadline_hit_;
     return sol;
   }
 
@@ -174,6 +175,11 @@ class Solver {
       complete_ = false;
       return;
     }
+    if (opt_.deadline.expired()) {
+      complete_ = false;
+      deadline_hit_ = true;
+      return;
+    }
     ++nodes_;
 
     if (!reduce(s, cost, chosen, depth)) return;
@@ -232,18 +238,37 @@ class Solver {
   std::vector<std::size_t> best_;
   std::size_t nodes_{0};
   bool complete_{true};
+  bool deadline_hit_{false};
 };
 
 }  // namespace
 
 CoverSolution solve_exact(const CoverProblem& problem,
                           const BnbOptions& options) {
+  CoverSolution sol;
   if (problem.num_rows() <=
       std::min(options.dense_dp_max_rows, kDenseDpMaxRows)) {
-    return solve_dp(problem);
+    if (!options.deadline.expired()) {
+      sol = solve_dp(problem, options.deadline);
+    } else {
+      sol.deadline_expired = true;
+    }
+    if (!sol.optimal && sol.deadline_expired) {
+      // DP abandoned (or never started) under the deadline: hand back the
+      // greedy incumbent instead of nothing.
+      const std::size_t dp_states = sol.nodes_explored;
+      sol = solve_greedy(problem);
+      sol.optimal = false;
+      sol.deadline_expired = true;
+      sol.nodes_explored = dp_states;
+    }
+  } else {
+    Solver solver(problem, options);
+    sol = solver.run();
   }
-  Solver solver(problem, options);
-  return solver.run();
+  sol.lower_bound =
+      sol.optimal ? sol.cost : independent_rows_lower_bound(problem);
+  return sol;
 }
 
 }  // namespace cdcs::ucp

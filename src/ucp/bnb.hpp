@@ -18,12 +18,18 @@
 // `optimal` flag reports this.
 #pragma once
 
+#include "support/deadline.hpp"
 #include "ucp/cover.hpp"
 
 namespace cdcs::ucp {
 
 struct BnbOptions {
   std::size_t max_nodes = 10'000'000;
+  /// Wall-clock budget (plus cooperative cancellation); polled once per
+  /// branch node and periodically inside the dense DP. On expiry the best
+  /// incumbent so far is returned with `optimal = false` and
+  /// `deadline_expired = true`.
+  support::Deadline deadline;
   bool use_row_dominance = true;
   bool use_column_dominance = true;
   bool use_mis_lower_bound = true;

@@ -1,5 +1,7 @@
 #include "ucp/cover.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace cdcs::ucp {
@@ -39,6 +41,28 @@ bool CoverProblem::covers_all(const std::vector<std::size_t>& chosen) const {
   Bitset covered(num_rows_);
   for (std::size_t j : chosen) covered.unite(columns_.at(j).rows);
   return covered.count() == num_rows_;
+}
+
+double independent_rows_lower_bound(const CoverProblem& problem) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double bound = 0.0;
+  std::vector<char> blocked(problem.num_columns(), 0);
+  for (std::size_t r = 0; r < problem.num_rows(); ++r) {
+    double cheapest = kInf;
+    bool independent = true;
+    for (std::size_t j = 0; j < problem.num_columns(); ++j) {
+      if (!problem.column(j).rows.test(r)) continue;
+      if (blocked[j]) independent = false;
+      cheapest = std::min(cheapest, problem.column(j).weight);
+    }
+    if (independent && cheapest < kInf) {
+      bound += cheapest;
+      for (std::size_t j = 0; j < problem.num_columns(); ++j) {
+        if (problem.column(j).rows.test(r)) blocked[j] = 1;
+      }
+    }
+  }
+  return bound;
 }
 
 }  // namespace cdcs::ucp

@@ -56,6 +56,19 @@ struct CoverSolution {
   double cost{0.0};
   bool optimal{false};   ///< proven optimal (bnb completed within node budget)
   std::size_t nodes_explored{0};
+  /// Proven lower bound on the optimal cost: equals `cost` when `optimal`,
+  /// otherwise the root independent-rows bound. Lets callers report an
+  /// optimality gap for incumbents returned under a budget.
+  double lower_bound{0.0};
+  /// True when the solver stopped because its wall-clock deadline expired
+  /// (as opposed to completing or exhausting the node budget).
+  bool deadline_expired{false};
 };
+
+/// Root lower bound on the optimal cover cost: greedily collects rows that
+/// pairwise share no column (each needs a distinct column, so the sum of
+/// their cheapest covers is a valid bound). 0 for an empty row set; also a
+/// valid (vacuous) bound when some row is uncoverable.
+double independent_rows_lower_bound(const CoverProblem& problem);
 
 }  // namespace cdcs::ucp

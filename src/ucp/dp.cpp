@@ -9,7 +9,8 @@
 
 namespace cdcs::ucp {
 
-CoverSolution solve_dp(const CoverProblem& problem) {
+CoverSolution solve_dp(const CoverProblem& problem,
+                       const support::Deadline& deadline) {
   const std::size_t rows = problem.num_rows();
   if (rows > kDenseDpMaxRows) {
     throw std::invalid_argument("solve_dp: too many rows for the dense DP");
@@ -53,6 +54,12 @@ CoverSolution solve_dp(const CoverProblem& problem) {
   dp[0] = 0.0;
 
   for (std::size_t m = 1; m <= full; ++m) {
+    if ((m & 0xFFF) == 0 && deadline.expired()) {
+      sol.cost = kInf;
+      sol.nodes_explored = m;
+      sol.deadline_expired = true;
+      return sol;
+    }
     const int r = std::countr_zero(m);  // lowest uncovered row must be covered
     double best = kInf;
     std::uint32_t best_col = UINT32_MAX;

@@ -15,6 +15,7 @@
 // automatically below the row threshold (see BnbOptions::dense_dp_max_rows).
 #pragma once
 
+#include "support/deadline.hpp"
 #include "ucp/cover.hpp"
 
 namespace cdcs::ucp {
@@ -25,6 +26,10 @@ inline constexpr std::size_t kDenseDpMaxRows = 24;
 /// Exact minimum-weight cover via subset DP. Throws std::invalid_argument
 /// when num_rows exceeds kDenseDpMaxRows. Infeasible -> cost = +infinity,
 /// empty chosen, optimal = false. `nodes_explored` counts DP states.
-CoverSolution solve_dp(const CoverProblem& problem);
+/// The deadline is polled every 4096 states; on expiry the DP abandons the
+/// table and returns an empty solution flagged `deadline_expired` (the
+/// caller falls back to the greedy incumbent).
+CoverSolution solve_dp(const CoverProblem& problem,
+                       const support::Deadline& deadline = {});
 
 }  // namespace cdcs::ucp

@@ -18,7 +18,7 @@ TEST(Assemble, SegmentationPlacesRepeatersEvenly) {
   const VertexId v = cg.add_port("v", {1.5, 0.3});  // 1.8 mm -> 3 wires
   cg.add_channel(u, v, 1.0);
   const commlib::Library lib = commlib::soc_library(0.6);
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   const auto& impl = *result.implementation;
   ASSERT_EQ(impl.num_comm_vertices(), 2u);  // 2 repeaters
   // Repeaters at 1/3 and 2/3 of the straight segment.
@@ -51,7 +51,7 @@ TEST(Assemble, DuplicationRegistersParallelPathsAndAccounting) {
       .name = "mux", .kind = commlib::NodeKind::kMux, .cost = 5.0});
   lib.add_node(commlib::Node{
       .name = "demux", .kind = commlib::NodeKind::kDemux, .cost = 5.0});
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   const auto& impl = *result.implementation;
   // 3 parallel links, plus mux+demux accounting vertices.
   EXPECT_EQ(impl.num_link_arcs(), 3u);
@@ -74,7 +74,7 @@ TEST(Assemble, MergingSharesTrunkArcsAcrossConstraints) {
   cg.add_channel(d, a, 10.0);
   cg.add_channel(d, b, 10.0);
   cg.add_channel(d, c, 10.0);
-  const SynthesisResult result = synthesize(cg, commlib::wan_library());
+  const SynthesisResult result = synthesize(cg, commlib::wan_library()).value();
   const auto& impl = *result.implementation;
   const auto& p0 = impl.arc_implementation(ArcId{0});
   const auto& p1 = impl.arc_implementation(ArcId{1});
@@ -94,7 +94,7 @@ TEST(Assemble, ThrowsWhenCoverIncomplete) {
   cg.add_channel(u, v, 1.0);
   cg.add_channel(v, u, 1.0);
   const commlib::Library lib = commlib::wan_library();
-  const CandidateSet set = generate_candidates(cg, lib, {});
+  const CandidateSet set = generate_candidates(cg, lib, {}).value();
   // Select only the first singleton: arc 2 uncovered.
   EXPECT_THROW(assemble(cg, lib, set.candidates, {0}), std::invalid_argument);
 }
@@ -106,7 +106,7 @@ TEST(Assemble, OverlappingCoverIsLegalIfWasteful) {
   cg.add_channel(u, v, 10.0);
   cg.add_channel(u, v, 10.0);
   const commlib::Library lib = commlib::wan_library();
-  const CandidateSet set = generate_candidates(cg, lib, {});
+  const CandidateSet set = generate_candidates(cg, lib, {}).value();
   // Take both singletons AND the 2-way merging: arcs covered twice.
   std::vector<std::size_t> chosen;
   for (std::size_t i = 0; i < set.candidates.size(); ++i) chosen.push_back(i);
@@ -130,7 +130,7 @@ TEST(Report, DescribeCandidateMentionsStructure) {
     return g;
   }();
   const commlib::Library lib = commlib::wan_library();
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   const std::string report = io::describe(result, cg, lib);
   EXPECT_NE(report.find("Selected implementation"), std::string::npos);
   EXPECT_NE(report.find("Validation: PASS"), std::string::npos);

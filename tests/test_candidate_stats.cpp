@@ -10,7 +10,7 @@ namespace {
 TEST(CandidateStats, PrunedCountsAddUp) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const CandidateSet set = generate_candidates(cg, lib, {});
+  const CandidateSet set = generate_candidates(cg, lib, {}).value();
   const auto& s = set.stats;
   // At k=2 the 28 pairs split into survivors + geometric prunes (no
   // bandwidth prunes fire on this instance).
@@ -31,7 +31,7 @@ TEST(CandidateStats, TruncationFlagFires) {
   const commlib::Library lib = commlib::wan_library();
   SynthesisOptions opts;
   opts.max_subsets_per_k = 5;  // absurdly small budget
-  const CandidateSet set = generate_candidates(cg, lib, opts);
+  const CandidateSet set = generate_candidates(cg, lib, opts).value();
   EXPECT_TRUE(set.stats.enumeration_truncated);
   // Point-to-point candidates are always present regardless.
   EXPECT_GE(set.candidates.size(), cg.num_channels());
@@ -51,7 +51,7 @@ TEST(CandidateStats, BandwidthPruningFires) {
       .name = "only", .bandwidth = 10.0, .cost_per_length = 1.0});
   lib.add_node(commlib::Node{
       .name = "sw", .kind = commlib::NodeKind::kSwitch, .cost = 0.1});
-  const CandidateSet set = generate_candidates(cg, lib, {});
+  const CandidateSet set = generate_candidates(cg, lib, {}).value();
   EXPECT_EQ(set.stats.pruned_bandwidth_per_k[2], 1u);
   EXPECT_EQ(set.stats.survivors_per_k[2], 0u);
   EXPECT_EQ(set.candidates.size(), 2u);  // singletons only
@@ -71,7 +71,7 @@ TEST(CandidateStats, UnpriceableSurvivorsCounted) {
   commlib::Library lib("nonodes");
   lib.add_link(commlib::Link{
       .name = "wire", .bandwidth = 100.0, .cost_per_length = 1.0});
-  const CandidateSet set = generate_candidates(cg, lib, {});
+  const CandidateSet set = generate_candidates(cg, lib, {}).value();
   EXPECT_EQ(set.stats.survivors_per_k[2], 1u);
   EXPECT_EQ(set.stats.unpriceable_per_k[2], 1u);
   EXPECT_EQ(set.candidates.size(), 2u);
@@ -84,7 +84,7 @@ TEST(CandidateStats, MaxIndexPivotDiffersFromMinDistance) {
   const commlib::Library lib = commlib::wan_library();
   SynthesisOptions max_idx;
   max_idx.pivot_rule = PivotRule::kMaxIndex;
-  const CandidateSet a = generate_candidates(cg, lib, max_idx);
+  const CandidateSet a = generate_candidates(cg, lib, max_idx).value();
   EXPECT_EQ(a.stats.survivors_per_k[2], 13u);
   EXPECT_EQ(a.stats.survivors_per_k[3], 21u);
   EXPECT_EQ(a.stats.survivors_per_k[4], 16u);

@@ -116,7 +116,7 @@ TEST(ChainPricer, RequiresDropNode) {
 TEST(ChainSynthesis, EndToEndSelectsChainAndValidates) {
   const ConstraintGraph cg = bus_instance();
   const commlib::Library lib = commlib::wan_library();
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   ASSERT_TRUE(result.cover.optimal);
   EXPECT_TRUE(result.validation.ok()) << (result.validation.problems.empty()
                                               ? ""
@@ -144,7 +144,7 @@ TEST(ChainSynthesis, TargetRootedEndToEndValidates) {
   cg.add_channel(s1, t, 15.0);
   cg.add_channel(s2, t, 15.0);
   cg.add_channel(s3, t, 15.0);
-  const SynthesisResult result = synthesize(cg, commlib::wan_library());
+  const SynthesisResult result = synthesize(cg, commlib::wan_library()).value();
   EXPECT_TRUE(result.validation.ok()) << (result.validation.problems.empty()
                                               ? ""
                                               : result.validation.problems[0]);
@@ -163,8 +163,8 @@ TEST(ChainSynthesis, DisablingChainsFallsBackToStar) {
   // The Steiner tree of collinear targets IS the chain, so it must be
   // disabled too for a genuine star-only run.
   star_only_opts.enable_tree_topology = false;
-  const SynthesisResult star_only = synthesize(cg, lib, star_only_opts);
-  const SynthesisResult with_chain = synthesize(cg, lib);
+  const SynthesisResult star_only = synthesize(cg, lib, star_only_opts).value();
+  const SynthesisResult with_chain = synthesize(cg, lib).value();
   EXPECT_TRUE(star_only.validation.ok());
   EXPECT_GT(star_only.total_cost, with_chain.total_cost);
   for (const Candidate* c : star_only.selected()) {
@@ -175,7 +175,7 @@ TEST(ChainSynthesis, DisablingChainsFallsBackToStar) {
   // With only chains disabled, the tree structure recovers the same cost.
   SynthesisOptions no_chain;
   no_chain.enable_chain_topology = false;
-  const SynthesisResult tree_fallback = synthesize(cg, lib, no_chain);
+  const SynthesisResult tree_fallback = synthesize(cg, lib, no_chain).value();
   EXPECT_TRUE(tree_fallback.validation.ok());
   EXPECT_NEAR(tree_fallback.total_cost, with_chain.total_cost,
               1e-6 * with_chain.total_cost);

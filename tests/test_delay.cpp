@@ -29,7 +29,7 @@ TEST(Delay, MatchingIsPureWireDelay) {
 TEST(Delay, SegmentationAddsNodeDelays) {
   const model::ConstraintGraph cg = workloads::mpeg4_soc();
   const commlib::Library lib = commlib::soc_library(0.6);
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   // 80 ps/mm wire (post-repeatering), 30 ps per repeater.
   const DelayReport r = analyze_delays(
       *result.implementation, {.link_delay_per_length = 80.0,
@@ -55,7 +55,7 @@ TEST(Delay, SegmentationAddsNodeDelays) {
 TEST(Delay, MergedChannelsSeeTrunkDetour) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   const DelayReport r =
       analyze_delays(*result.implementation, {.link_delay_per_length = 5.0});
   ASSERT_EQ(r.channels.size(), 8u);

@@ -26,7 +26,7 @@ TEST(PlanDelay, MatchesMaterializedDelays) {
   // graph -- star, chain and tree alike.
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   const sim::DelayModel m{.link_delay_per_length = 5.0, .node_delay = 2.0};
   const sim::DelayReport report =
       sim::analyze_delays(*result.implementation, m);
@@ -92,7 +92,7 @@ TEST(DelayBudget, TightBudgetDissolvesTheWanMerging) {
   // Generous budget: Figure 4's merging survives.
   SynthesisOptions loose;
   loose.delay_budget = {{m, 150.0}};
-  const SynthesisResult merged = synthesize(cg, lib, loose);
+  const SynthesisResult merged = synthesize(cg, lib, loose).value();
   bool has_merging = false;
   for (const Candidate* c : merged.selected()) {
     if (!c->ptp) has_merging = true;
@@ -108,7 +108,7 @@ TEST(DelayBudget, TightBudgetDissolvesTheWanMerging) {
   // guarantees.)
   SynthesisOptions tight;
   tight.delay_budget = {{m, 100.4}};
-  const SynthesisResult direct = synthesize(cg, lib, tight);
+  const SynthesisResult direct = synthesize(cg, lib, tight).value();
   const baseline::BaselineResult ptp =
       baseline::point_to_point_baseline(cg, lib);
   EXPECT_NEAR(direct.total_cost, ptp.cost, 1e-6 * ptp.cost);
@@ -121,7 +121,9 @@ TEST(DelayBudget, TightBudgetDissolvesTheWanMerging) {
   // A budget below the longest channel's direct line is unsatisfiable.
   SynthesisOptions impossible;
   impossible.delay_budget = {{m, 90.0}};
-  EXPECT_THROW(synthesize(cg, lib, impossible), std::runtime_error);
+  const auto infeasible = synthesize(cg, lib, impossible);
+  ASSERT_FALSE(infeasible.ok());
+  EXPECT_EQ(infeasible.status().code(), support::ErrorCode::kInfeasible);
 }
 
 TEST(DelayBudget, BudgetNeverBreaksValidation) {
@@ -131,7 +133,7 @@ TEST(DelayBudget, BudgetNeverBreaksValidation) {
   for (double budget : {102.0, 110.0, 130.0, 200.0}) {
     SynthesisOptions opts;
     opts.delay_budget = {{m, budget}};
-    const SynthesisResult result = synthesize(cg, lib, opts);
+    const SynthesisResult result = synthesize(cg, lib, opts).value();
     EXPECT_TRUE(result.validation.ok()) << "budget " << budget;
     const sim::DelayReport report =
         sim::analyze_delays(*result.implementation, m);

@@ -9,7 +9,11 @@
 //     candidates' costs (no double counting, nothing dropped);
 //   * re-validating under the weaker literal policy also passes when the
 //     sum policy was used for synthesis;
-//   * infeasible instances throw cleanly rather than crash.
+//   * infeasible instances produce a typed kInfeasible status, not a crash.
+//
+// Plus a malformed-input corpus: every hostile file in kMalformedCorpus must
+// come back as a structured parse/input diagnostic -- never an exception,
+// never a crash (the CI sanitizer job runs this test under ASan+UBSan).
 //
 // Note these hold regardless of Assumption 2.1 (random libraries may
 // violate it; the pruning lemmas then lose their optimality guarantee but
@@ -20,6 +24,7 @@
 
 #include "baseline/baselines.hpp"
 #include "commlib/library.hpp"
+#include "io/text_format.hpp"
 #include "model/validator.hpp"
 #include "synth/synthesizer.hpp"
 #include "workloads/random_gen.hpp"
@@ -88,15 +93,15 @@ TEST_P(PipelineFuzz, InvariantsHoldOnRandomInstances) {
   if (unit(rng) < 0.2) opts.enable_chain_topology = false;
   if (unit(rng) < 0.2) opts.enable_tree_topology = false;
 
-  synth::SynthesisResult result;
-  try {
-    result = synth::synthesize(cg, lib, opts);
-  } catch (const std::runtime_error&) {
+  auto synthesis = synth::synthesize(cg, lib, opts);
+  if (!synthesis.ok()) {
     // Unimplementable instance for this library (e.g. demand above every
     // link with no mux): a clean, typed failure is the contract.
-    SUCCEED();
+    EXPECT_EQ(synthesis.status().code(), support::ErrorCode::kInfeasible)
+        << synthesis.status().to_string();
     return;
   }
+  const synth::SynthesisResult result = *std::move(synthesis);
 
   // 1. Validity under the synthesis policy and the weaker literal policy.
   EXPECT_TRUE(result.validation.ok())
@@ -134,6 +139,89 @@ TEST_P(PipelineFuzz, InvariantsHoldOnRandomInstances) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(0, 40));
+
+// --- Malformed-input corpus -------------------------------------------------
+
+struct MalformedCase {
+  const char* label;
+  const char* text;
+};
+
+constexpr MalformedCase kMalformedGraphs[] = {
+    {"empty-directive", "port\n"},
+    {"port-missing-coordinate", "port a 0\n"},
+    {"port-junk-coordinates", "port a x y\n"},
+    {"port-nan-coordinate", "port a nan 0\n"},
+    {"port-inf-coordinate", "port a inf 0\n"},
+    {"duplicate-port", "port a 0 0\nport a 1 1\n"},
+    {"channel-unknown-port", "channel c a b 1\n"},
+    {"channel-missing-bandwidth", "port a 0 0\nport b 1 1\nchannel c a b\n"},
+    {"channel-zero-bandwidth", "port a 0 0\nport b 1 1\nchannel c a b 0\n"},
+    {"channel-negative-bandwidth",
+     "port a 0 0\nport b 1 1\nchannel c a b -5\n"},
+    {"channel-nan-bandwidth", "port a 0 0\nport b 1 1\nchannel c a b nan\n"},
+    {"channel-overflow-bandwidth",
+     "port a 0 0\nport b 1 1\nchannel c a b 1e999\n"},
+    {"channel-self-loop", "port a 0 0\nchannel c a a 1\n"},
+    {"duplicate-channel-name",
+     "port a 0 0\nport b 1 1\nchannel c a b 1\nchannel c a b 2\n"},
+    {"unknown-directive", "frobnicate\n"},
+    {"duplicate-norm", "norm euclidean\nnorm euclidean\n"},
+    {"bogus-norm", "norm bogus\n"},
+    {"trailing-junk-after-port", "port a 0 0 extra\n"},
+    {"binary-garbage", "\x01\x02\x03\xff\xfe graph\n"},
+};
+
+constexpr MalformedCase kMalformedLibraries[] = {
+    {"link-missing-fields", "link l\n"},
+    {"link-junk-bandwidth", "link l inf ten 0 1\n"},
+    {"link-zero-bandwidth", "link l inf 0 0 1\n"},
+    {"link-negative-cost", "link l inf 10 -3 1\n"},
+    {"link-nan-span", "link l nan 10 0 1\n"},
+    {"link-zero-span", "link l 0 10 0 1\n"},
+    {"duplicate-link", "link l inf 10 0 1\nlink l inf 20 0 2\n"},
+    {"node-unknown-kind", "node n gizmo 1\n"},
+    {"node-negative-cost", "node n switch -2\n"},
+    {"duplicate-node", "node n switch 1\nnode n mux 2\n"},
+    {"unknown-directive", "frobnicate 1 2\n"},
+    {"binary-garbage", "\x7f\x45\x4c\x46 library\n"},
+};
+
+TEST(MalformedCorpus, GraphsFailWithStructuredDiagnostics) {
+  for (const MalformedCase& c : kMalformedGraphs) {
+    const auto result = io::read_constraint_graph_from_string(c.text);
+    ASSERT_FALSE(result.ok()) << c.label;
+    EXPECT_EQ(result.status().code(), support::ErrorCode::kParseError)
+        << c.label << ": " << result.status().to_string();
+    EXPECT_FALSE(result.status().message().empty()) << c.label;
+  }
+}
+
+TEST(MalformedCorpus, LibrariesFailWithStructuredDiagnostics) {
+  for (const MalformedCase& c : kMalformedLibraries) {
+    const auto result = io::read_library_from_string(c.text);
+    ASSERT_FALSE(result.ok()) << c.label;
+    EXPECT_EQ(result.status().code(), support::ErrorCode::kParseError)
+        << c.label << ": " << result.status().to_string();
+    EXPECT_FALSE(result.status().message().empty()) << c.label;
+  }
+}
+
+TEST(MalformedCorpus, DefectiveGraphObjectsAreGatedBySynthesize) {
+  // Structurally defective instances that parse-level checks cannot see
+  // (built through the legacy unchecked API) still get a typed diagnosis
+  // from the synthesize() input gate instead of a deep-stack failure.
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  const auto u = cg.add_port("u", {0, 0});
+  const auto v = cg.add_port("v", {1, 0});
+  cg.add_channel(u, v, 1.0, "dup");
+  cg.add_channel(u, v, 2.0, "dup2");
+  commlib::Library lib("empty");  // no links at all
+  const auto result = synth::synthesize(cg, lib);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), support::ErrorCode::kInvalidInput)
+      << result.status().to_string();
+}
 
 }  // namespace
 }  // namespace cdcs

@@ -42,10 +42,10 @@ void expect_equivalent(const model::ImplementationGraph& a,
 TEST(ImplFormat, RoundTripsWanSynthesis) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
 
   const std::string text = write_implementation(*result.implementation);
-  const auto parsed = read_implementation_from_string(text, cg, lib);
+  const auto parsed = read_implementation_from_string(text, cg, lib).value();
   expect_equivalent(*result.implementation, *parsed);
   EXPECT_TRUE(model::validate(*parsed).ok());
 }
@@ -53,9 +53,9 @@ TEST(ImplFormat, RoundTripsWanSynthesis) {
 TEST(ImplFormat, RoundTripsSocSegmentation) {
   const model::ConstraintGraph cg = workloads::mpeg4_soc();
   const commlib::Library lib = commlib::soc_library(0.6);
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   const std::string text = write_implementation(*result.implementation);
-  const auto parsed = read_implementation_from_string(text, cg, lib);
+  const auto parsed = read_implementation_from_string(text, cg, lib).value();
   expect_equivalent(*result.implementation, *parsed);
   EXPECT_EQ(parsed->count_nodes(commlib::NodeKind::kRepeater), 55u);
 }
@@ -73,9 +73,9 @@ TEST(ImplFormat, RoundTripsChainStructures) {
   cg.add_channel(s, t2, 15.0);
   cg.add_channel(s, t3, 15.0);
   const commlib::Library lib = commlib::wan_library();
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   const auto parsed = read_implementation_from_string(
-      write_implementation(*result.implementation), cg, lib);
+      write_implementation(*result.implementation), cg, lib).value();
   expect_equivalent(*result.implementation, *parsed);
   EXPECT_TRUE(model::validate(*parsed).ok());
 }
@@ -90,10 +90,10 @@ TEST(ImplFormat, RoundTripsTreeStructures) {
   cg.add_channel(s, t2, 1.0);
   cg.add_channel(s, t3, 1.0);
   const commlib::Library lib = commlib::noc_library(/*l_crit_mm=*/0.7);
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   ASSERT_TRUE(result.validation.ok());
   const auto parsed = read_implementation_from_string(
-      write_implementation(*result.implementation), cg, lib);
+      write_implementation(*result.implementation), cg, lib).value();
   expect_equivalent(*result.implementation, *parsed);
 }
 
@@ -101,34 +101,27 @@ TEST(ImplFormat, RejectsCorruptedInputs) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
 
-  EXPECT_THROW(read_implementation_from_string("", cg, lib),
-               std::runtime_error);  // missing header
+  const auto rejects = [&](const std::string& text) {
+    const auto result = read_implementation_from_string(text, cg, lib);
+    ASSERT_FALSE(result.ok()) << text;
+    EXPECT_EQ(result.status().code(), support::ErrorCode::kParseError)
+        << result.status().to_string();
+    EXPECT_FALSE(result.status().message().empty());
+  };
+
+  rejects("");  // missing header
   // Ports take indices 0..4, so the first comm vertex must be 5.
-  EXPECT_NO_THROW(read_implementation_from_string(
-      "implementation\ncomm_vertex 5 junction 0 0\n", cg, lib));
-  EXPECT_THROW(read_implementation_from_string(
-                   "implementation\ncomm_vertex 7 junction 0 0\n", cg, lib),
-               std::runtime_error);  // index skips ahead
-  EXPECT_THROW(read_implementation_from_string(
-                   "implementation\ncomm_vertex 5 gizmo 0 0\n", cg, lib),
-               std::runtime_error);  // unknown node name
-  EXPECT_THROW(read_implementation_from_string(
-                   "implementation\nlink_arc 0 0 99 radio\n", cg, lib),
-               std::runtime_error);  // endpoint out of range
-  EXPECT_THROW(read_implementation_from_string(
-                   "implementation\nlink_arc 0 0 1 fishing-line\n", cg, lib),
-               std::runtime_error);  // unknown link
-  EXPECT_THROW(read_implementation_from_string(
-                   "implementation\npath a1 0\n", cg, lib),
-               std::runtime_error);  // path over nonexistent arc
-  EXPECT_THROW(read_implementation_from_string(
-                   "implementation\nlink_arc 0 0 1 radio\npath zz 0\n", cg,
-                   lib),
-               std::runtime_error);  // unknown channel
-  EXPECT_THROW(read_implementation_from_string(
-                   "implementation\nlink_arc 0 1 0 radio\npath a1 0\n", cg,
-                   lib),
-               std::runtime_error);  // path direction mismatch (a1 is 0->1)
+  EXPECT_TRUE(read_implementation_from_string(
+                  "implementation\ncomm_vertex 5 junction 0 0\n", cg, lib)
+                  .ok());
+  rejects("implementation\ncomm_vertex 7 junction 0 0\n");  // skips ahead
+  rejects("implementation\ncomm_vertex 5 gizmo 0 0\n");  // unknown node
+  rejects("implementation\nlink_arc 0 0 99 radio\n");  // endpoint range
+  rejects("implementation\nlink_arc 0 0 1 fishing-line\n");  // unknown link
+  rejects("implementation\npath a1 0\n");  // path over nonexistent arc
+  rejects("implementation\nlink_arc 0 0 1 radio\npath zz 0\n");  // channel
+  // Path direction mismatch (a1 is 0->1).
+  rejects("implementation\nlink_arc 0 1 0 radio\npath a1 0\n");
 }
 
 TEST(ImplFormat, HandRolledFileParses) {
@@ -142,7 +135,7 @@ TEST(ImplFormat, HandRolledFileParses) {
       "implementation\n"
       "link_arc 0 0 1 radio\n"
       "path a1 0\n",
-      cg, lib);
+      cg, lib).value();
   EXPECT_EQ(impl->num_link_arcs(), 1u);
   EXPECT_EQ(impl->arc_implementation(model::ArcId{0}).size(), 1u);
   EXPECT_FALSE(model::validate(*impl).ok());  // 7 channels unimplemented

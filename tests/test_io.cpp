@@ -11,11 +11,19 @@
 namespace cdcs::io {
 namespace {
 
+using support::ErrorCode;
+
+/// The parse-error code of a failed read, or kOk when the read succeeded.
+template <typename T>
+ErrorCode code_of(const support::Expected<T>& e) {
+  return e.status().code();
+}
+
 TEST(TextFormat, ConstraintGraphRoundTrip) {
   const model::ConstraintGraph original = workloads::wan2002();
   const std::string text = write_constraint_graph(original);
   const model::ConstraintGraph parsed =
-      read_constraint_graph_from_string(text);
+      read_constraint_graph_from_string(text).value();
 
   ASSERT_EQ(parsed.num_ports(), original.num_ports());
   ASSERT_EQ(parsed.num_channels(), original.num_channels());
@@ -38,29 +46,41 @@ TEST(TextFormat, ParsesCommentsAndBlanks) {
       "\n"
       "port a 0 0   # trailing comment\n"
       "port b 1 2\n"
-      "channel c1 a b 5\n");
+      "channel c1 a b 5\n").value();
   EXPECT_EQ(cg.norm(), geom::Norm::kManhattan);
   EXPECT_EQ(cg.num_ports(), 2u);
   EXPECT_DOUBLE_EQ(cg.distance(model::ArcId{0}), 3.0);
 }
 
 TEST(TextFormat, RejectsMalformedGraphs) {
-  EXPECT_THROW(read_constraint_graph_from_string("norm bogus\n"),
-               std::invalid_argument);
-  EXPECT_THROW(read_constraint_graph_from_string("port a 0\n"),
-               std::runtime_error);
-  EXPECT_THROW(read_constraint_graph_from_string("channel c a b 1\n"),
-               std::runtime_error);  // unknown ports
-  EXPECT_THROW(read_constraint_graph_from_string(
-                   "port a 0 0\nport a 1 1\n"),
-               std::runtime_error);  // duplicate port
-  EXPECT_THROW(read_constraint_graph_from_string("frobnicate\n"),
-               std::runtime_error);
-  EXPECT_THROW(read_constraint_graph_from_string(
-                   "norm euclidean\nnorm euclidean\n"),
-               std::runtime_error);  // duplicate norm
-  EXPECT_THROW(read_constraint_graph_from_string("port a x y\n"),
-               std::runtime_error);  // bad numbers
+  EXPECT_EQ(code_of(read_constraint_graph_from_string("norm bogus\n")),
+            ErrorCode::kParseError);
+  EXPECT_EQ(code_of(read_constraint_graph_from_string("port a 0\n")),
+            ErrorCode::kParseError);
+  EXPECT_EQ(code_of(read_constraint_graph_from_string("channel c a b 1\n")),
+            ErrorCode::kParseError);  // unknown ports
+  EXPECT_EQ(code_of(read_constraint_graph_from_string(
+                "port a 0 0\nport a 1 1\n")),
+            ErrorCode::kParseError);  // duplicate port
+  EXPECT_EQ(code_of(read_constraint_graph_from_string("frobnicate\n")),
+            ErrorCode::kParseError);
+  EXPECT_EQ(code_of(read_constraint_graph_from_string(
+                "norm euclidean\nnorm euclidean\n")),
+            ErrorCode::kParseError);  // duplicate norm
+  EXPECT_EQ(code_of(read_constraint_graph_from_string("port a x y\n")),
+            ErrorCode::kParseError);  // bad numbers
+}
+
+TEST(TextFormat, ParseErrorsCarryLineNumbers) {
+  const auto result = read_constraint_graph_from_string(
+      "norm euclidean\n"
+      "port a 0 0\n"
+      "port b 1 1\n"
+      "channel c a b nonsense\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kParseError);
+  EXPECT_NE(result.status().to_string().find("line 4"), std::string::npos)
+      << result.status().to_string();
 }
 
 TEST(TextFormat, LibraryRoundTrip) {
@@ -68,7 +88,7 @@ TEST(TextFormat, LibraryRoundTrip) {
        {commlib::wan_library(), commlib::soc_library(0.6),
         commlib::lan_library()}) {
     const commlib::Library parsed =
-        read_library_from_string(write_library(original));
+        read_library_from_string(write_library(original)).value();
     EXPECT_EQ(parsed.name(), original.name());
     ASSERT_EQ(parsed.links().size(), original.links().size());
     ASSERT_EQ(parsed.nodes().size(), original.nodes().size());
@@ -90,14 +110,15 @@ TEST(TextFormat, LibraryRoundTrip) {
 
 TEST(TextFormat, LibraryParsesInfinityAndRejectsJunk) {
   const commlib::Library lib = read_library_from_string(
-      "library x\nlink l inf 10 0 1\nnode n switch 2\n");
+      "library x\nlink l inf 10 0 1\nnode n switch 2\n").value();
   EXPECT_TRUE(std::isinf(lib.link(0).max_span));
   EXPECT_EQ(lib.node(0).kind, commlib::NodeKind::kSwitch);
-  EXPECT_THROW(read_library_from_string("link l\n"), std::runtime_error);
-  EXPECT_THROW(read_library_from_string("node n gizmo 1\n"),
-               std::runtime_error);
-  EXPECT_THROW(read_library_from_string("link l inf ten 0 1\n"),
-               std::runtime_error);
+  EXPECT_EQ(code_of(read_library_from_string("link l\n")),
+            ErrorCode::kParseError);
+  EXPECT_EQ(code_of(read_library_from_string("node n gizmo 1\n")),
+            ErrorCode::kParseError);
+  EXPECT_EQ(code_of(read_library_from_string("link l inf ten 0 1\n")),
+            ErrorCode::kParseError);
 }
 
 TEST(Dot, ConstraintGraphContainsPortsAndChannels) {
@@ -111,7 +132,7 @@ TEST(Dot, ConstraintGraphContainsPortsAndChannels) {
 TEST(Dot, ImplementationGraphShowsLinksAndNodes) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   const std::string dot = to_dot(*result.implementation);
   EXPECT_NE(dot.find("digraph implementation"), std::string::npos);
   EXPECT_NE(dot.find("radio"), std::string::npos);

@@ -107,7 +107,7 @@ TEST(Theorem32, NeverFiresOnWanExample) {
 TEST_F(WanFixture, GeneratorReproducesPaperCounts) {
   const commlib::Library lib = commlib::wan_library();
   SynthesisOptions opts;  // defaults = paper-matching
-  const CandidateSet set = generate_candidates(cg, lib, opts);
+  const CandidateSet set = generate_candidates(cg, lib, opts).value();
   const auto& s = set.stats;
   EXPECT_EQ(s.survivors_per_k[2], 13u);
   EXPECT_EQ(s.survivors_per_k[3], 21u);
@@ -130,7 +130,7 @@ TEST_F(WanFixture, GeneratorAblationLemmaOff) {
   opts.use_lemma32 = false;
   opts.use_theorem31 = false;
   opts.max_merge_k = 3;  // keep the unpruned explosion bounded
-  const CandidateSet set = generate_candidates(cg, lib, opts);
+  const CandidateSet set = generate_candidates(cg, lib, opts).value();
   EXPECT_EQ(set.stats.survivors_per_k[2], 28u);  // C(8,2)
   EXPECT_EQ(set.stats.survivors_per_k[3], 56u);  // C(8,3)
 }
@@ -139,7 +139,7 @@ TEST_F(WanFixture, GeneratorRespectsMaxK) {
   const commlib::Library lib = commlib::wan_library();
   SynthesisOptions opts;
   opts.max_merge_k = 2;
-  const CandidateSet set = generate_candidates(cg, lib, opts);
+  const CandidateSet set = generate_candidates(cg, lib, opts).value();
   EXPECT_EQ(set.stats.survivors_per_k.size(), 3u);
   EXPECT_EQ(set.candidates.size(), 8u + 13u);
 }
@@ -148,8 +148,8 @@ TEST_F(WanFixture, DropUnprofitableShrinksColumnsOnly) {
   const commlib::Library lib = commlib::wan_library();
   SynthesisOptions lean;
   lean.drop_unprofitable = true;
-  const CandidateSet lean_set = generate_candidates(cg, lib, lean);
-  const CandidateSet full_set = generate_candidates(cg, lib, {});
+  const CandidateSet lean_set = generate_candidates(cg, lib, lean).value();
+  const CandidateSet full_set = generate_candidates(cg, lib, {}).value();
   EXPECT_LT(lean_set.candidates.size(), full_set.candidates.size());
   // Survivor statistics (the paper's counts) are unaffected.
   EXPECT_EQ(lean_set.stats.survivors_per_k, full_set.stats.survivors_per_k);
@@ -164,7 +164,7 @@ TEST_F(WanFixture, DropUnprofitableShrinksColumnsOnly) {
   EXPECT_TRUE(found);
 }
 
-TEST(Generator, ThrowsOnUnimplementableArc) {
+TEST(Generator, InfeasibleOnUnimplementableArc) {
   model::ConstraintGraph cg(geom::Norm::kEuclidean);
   const model::VertexId u = cg.add_port("u", {0, 0});
   const model::VertexId v = cg.add_port("v", {10, 0});
@@ -173,7 +173,11 @@ TEST(Generator, ThrowsOnUnimplementableArc) {
   lib.add_link(commlib::Link{
       .name = "short", .max_span = 1.0, .bandwidth = 10.0, .fixed_cost = 1.0});
   // No repeater: 10-unit span unreachable.
-  EXPECT_THROW(generate_candidates(cg, lib, {}), std::runtime_error);
+  const auto result = generate_candidates(cg, lib, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), support::ErrorCode::kInfeasible);
+  EXPECT_NE(result.status().message().find("'a1'"), std::string::npos)
+      << result.status().message();
 }
 
 }  // namespace

@@ -45,10 +45,20 @@ TEST(ConstraintGraph, RejectsBadInputs) {
   ConstraintGraph cg;
   const VertexId u = cg.add_port("u", {0, 0});
   const VertexId v = cg.add_port("v", {1, 0});
-  EXPECT_THROW(cg.add_channel(u, v, 0.0), std::invalid_argument);
-  EXPECT_THROW(cg.add_channel(u, v, -1.0), std::invalid_argument);
-  EXPECT_THROW(cg.add_channel(u, u, 1.0), std::invalid_argument);
-  EXPECT_THROW(cg.add_port("w", {std::nan(""), 0.0}), std::invalid_argument);
+  using support::ErrorCode;
+  EXPECT_EQ(cg.try_add_channel(u, v, 0.0).status().code(),
+            ErrorCode::kInvalidInput);
+  EXPECT_EQ(cg.try_add_channel(u, v, -1.0).status().code(),
+            ErrorCode::kInvalidInput);
+  EXPECT_EQ(cg.try_add_channel(u, v, std::nan("")).status().code(),
+            ErrorCode::kInvalidInput);
+  EXPECT_EQ(cg.try_add_channel(u, u, 1.0).status().code(),
+            ErrorCode::kInvalidInput);
+  EXPECT_EQ(cg.try_add_port("w", {std::nan(""), 0.0}).status().code(),
+            ErrorCode::kInvalidInput);
+  // The legacy throwing wrappers surface the same diagnosis as StatusError.
+  EXPECT_THROW(cg.add_channel(u, v, 0.0), support::StatusError);
+  EXPECT_THROW(cg.add_port("w", {std::nan(""), 0.0}), support::StatusError);
 }
 
 TEST(ConstraintGraph, ValidatePassesOnWellFormed) {

@@ -101,7 +101,7 @@ TEST(NetworkSim, ParallelPathsSplitLoad) {
 TEST(NetworkSim, SynthesizedWanSustainsRatedLoad) {
   const ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   SimConfig cfg;
   cfg.duration = 1500.0;
   cfg.load = 0.85;

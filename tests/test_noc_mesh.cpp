@@ -79,7 +79,7 @@ TEST(NocMesh, HotspotSynthesisMergesAndValidates) {
   synth::SynthesisOptions opts;
   opts.drop_unprofitable = true;
   opts.max_merge_k = 4;
-  const synth::SynthesisResult result = synth::synthesize(cg, lib, opts);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib, opts).value();
   EXPECT_TRUE(result.validation.ok());
   std::size_t merged = 0;
   for (const synth::Candidate* c : result.selected()) {

@@ -1,0 +1,161 @@
+// Tests for the model::sanitize input gate: strict mode rejects defective
+// instances with a structured diagnosis naming the offending element;
+// repair mode fixes what can be fixed on a copy and records every action.
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "model/sanitize.hpp"
+
+namespace cdcs {
+namespace {
+
+using model::ConstraintGraph;
+using model::SanitizeOptions;
+using model::SanitizeReport;
+using model::VertexId;
+using support::ErrorCode;
+
+ConstraintGraph two_port_graph(VertexId* u_out, VertexId* v_out) {
+  ConstraintGraph cg(geom::Norm::kEuclidean);
+  *u_out = cg.add_port("u", {0, 0});
+  *v_out = cg.add_port("v", {3, 4});
+  return cg;
+}
+
+TEST(Sanitize, CleanGraphCopiesOverUnchanged) {
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  cg.add_channel(u, v, 10.0, "c1");
+  cg.add_channel(v, u, 5.0, "c2");
+
+  SanitizeReport report;
+  auto out = model::sanitize(cg, SanitizeOptions{}, &report);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(out->num_channels(), 2u);
+  // Arc numbering, names, and bandwidths are preserved verbatim.
+  EXPECT_EQ(out->channel(model::ArcId{0}).name, "c1");
+  EXPECT_EQ(out->channel(model::ArcId{1}).name, "c2");
+  EXPECT_DOUBLE_EQ(out->bandwidth(model::ArcId{0}), 10.0);
+  EXPECT_DOUBLE_EQ(out->bandwidth(model::ArcId{1}), 5.0);
+  EXPECT_DOUBLE_EQ(out->distance(model::ArcId{0}), 5.0);
+}
+
+TEST(Sanitize, StrictRejectsDuplicateChannelNames) {
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  cg.add_channel(u, v, 10.0, "dup");
+  cg.add_channel(v, u, 5.0, "dup");
+
+  const auto out = model::sanitize(cg);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), ErrorCode::kInvalidInput);
+  EXPECT_NE(out.status().message().find("'dup'"), std::string::npos)
+      << out.status().to_string();
+}
+
+TEST(Sanitize, RepairRenamesDuplicateChannelNames) {
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  // Opposite directions so parallel-merge (ordered pairs) stays out of play.
+  cg.add_channel(u, v, 10.0, "dup");
+  cg.add_channel(v, u, 5.0, "dup");
+
+  SanitizeReport report;
+  auto out = model::sanitize(cg, SanitizeOptions{.repair = true}, &report);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  ASSERT_EQ(out->num_channels(), 2u);
+  EXPECT_EQ(out->channel(model::ArcId{0}).name, "dup");
+  EXPECT_EQ(out->channel(model::ArcId{1}).name, "dup#2");
+  ASSERT_EQ(report.repairs.size(), 1u);
+  EXPECT_NE(report.repairs[0].find("renamed"), std::string::npos);
+}
+
+TEST(Sanitize, RepairMergesParallelChannelsSummingBandwidth) {
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  cg.add_channel(u, v, 10.0, "c1");
+  cg.add_channel(u, v, 7.0, "c2");
+  cg.add_channel(v, u, 3.0, "back");  // opposite direction: not merged
+
+  SanitizeReport report;
+  auto out = model::sanitize(cg, SanitizeOptions{.repair = true}, &report);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  ASSERT_EQ(out->num_channels(), 2u);
+  EXPECT_EQ(out->channel(model::ArcId{0}).name, "c1");
+  EXPECT_DOUBLE_EQ(out->bandwidth(model::ArcId{0}), 17.0);
+  EXPECT_EQ(out->channel(model::ArcId{1}).name, "back");
+  EXPECT_DOUBLE_EQ(out->bandwidth(model::ArcId{1}), 3.0);
+  ASSERT_EQ(report.repairs.size(), 1u);
+  EXPECT_NE(report.repairs[0].find("merged 2 parallel channels"),
+            std::string::npos)
+      << report.repairs[0];
+}
+
+TEST(Sanitize, ParallelChannelsAreLegalWithoutRepair) {
+  // Parallel channels are valid inputs (independent covering rows); strict
+  // mode must pass them through untouched.
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  cg.add_channel(u, v, 10.0, "c1");
+  cg.add_channel(u, v, 7.0, "c2");
+
+  SanitizeReport report;
+  auto out = model::sanitize(cg, SanitizeOptions{}, &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(out->num_channels(), 2u);
+}
+
+TEST(Sanitize, MergeCanBeDisabledIndependentlyOfRepair) {
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  cg.add_channel(u, v, 10.0, "c1");
+  cg.add_channel(u, v, 7.0, "c2");
+
+  SanitizeReport report;
+  auto out = model::sanitize(
+      cg,
+      SanitizeOptions{.repair = true, .merge_parallel_channels = false},
+      &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(out->num_channels(), 2u);
+}
+
+TEST(CheckInputs, FlagsDuplicateNamesWithGraphContext) {
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  cg.add_channel(u, v, 10.0, "dup");
+  cg.add_channel(v, u, 5.0, "dup");
+
+  const support::Status s =
+      model::check_inputs(cg, commlib::wan_library());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidInput);
+  ASSERT_FALSE(s.context().empty());
+  EXPECT_EQ(s.context().back(), "constraint graph");
+}
+
+TEST(CheckInputs, FlagsEmptyLibraryByName) {
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  cg.add_channel(u, v, 10.0);
+
+  const commlib::Library empty("bare");
+  const support::Status s = model::check_inputs(cg, empty);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidInput);
+  EXPECT_NE(s.to_string().find("'bare'"), std::string::npos)
+      << s.to_string();
+}
+
+TEST(CheckInputs, PassesCleanInstance) {
+  VertexId u, v;
+  ConstraintGraph cg = two_port_graph(&u, &v);
+  cg.add_channel(u, v, 10.0);
+  EXPECT_TRUE(model::check_inputs(cg, commlib::wan_library()).ok());
+}
+
+}  // namespace
+}  // namespace cdcs

@@ -254,7 +254,7 @@ TEST(TreePricer, EndToEndTreeSelectionValidates) {
   const commlib::Library lib = commlib::noc_library(/*l_crit_mm=*/0.6);
   synth::SynthesisOptions opts;
   opts.drop_unprofitable = true;
-  const SynthesisResult result = synthesize(cg, lib, opts);
+  const SynthesisResult result = synthesize(cg, lib, opts).value();
   EXPECT_TRUE(result.validation.ok())
       << (result.validation.problems.empty()
               ? ""

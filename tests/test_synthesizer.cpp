@@ -13,7 +13,7 @@ namespace {
 TEST(Synthesizer, WanReproducesFigure4) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
 
   EXPECT_TRUE(result.cover.optimal);
   EXPECT_TRUE(result.validation.ok());
@@ -49,7 +49,7 @@ TEST(Synthesizer, WanReproducesFigure4) {
 TEST(Synthesizer, WanClassifiesStructures) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   const auto& impl = *result.implementation;
   // a4, a5, a6 (indices 3..5) share the optical trunk -> merged; the other
   // five arcs are plain matchings.
@@ -68,7 +68,7 @@ TEST(Synthesizer, WanClassifiesStructures) {
 TEST(Synthesizer, Soc55Repeaters) {
   const model::ConstraintGraph cg = workloads::mpeg4_soc();
   const commlib::Library lib = commlib::soc_library(0.6);
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   EXPECT_TRUE(result.cover.optimal);
   EXPECT_TRUE(result.validation.ok());
   EXPECT_EQ(result.implementation->count_nodes(commlib::NodeKind::kRepeater),
@@ -88,8 +88,8 @@ TEST(Synthesizer, MaxPolicyChangesWanOptimum) {
   const commlib::Library lib = commlib::wan_library();
   SynthesisOptions opts;
   opts.policy = model::CapacityPolicy::kMaxPerConstraint;
-  const SynthesisResult max_result = synthesize(cg, lib, opts);
-  const SynthesisResult sum_result = synthesize(cg, lib);
+  const SynthesisResult max_result = synthesize(cg, lib, opts).value();
+  const SynthesisResult sum_result = synthesize(cg, lib).value();
   EXPECT_LT(max_result.total_cost, sum_result.total_cost);
   EXPECT_TRUE(
       model::validate(*max_result.implementation,
@@ -100,7 +100,7 @@ TEST(Synthesizer, MaxPolicyChangesWanOptimum) {
 TEST(Synthesizer, SelectedCandidatesCoverEveryArcOnce) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   std::vector<int> covered(cg.num_channels(), 0);
   for (const Candidate* c : result.selected()) {
     for (model::ArcId a : c->arcs) ++covered[a.index()];
@@ -127,7 +127,7 @@ TEST_P(RandomExactness, PipelineMatchesExhaustive) {
   const baseline::BaselineResult exhaustive =
       baseline::exhaustive_partition_optimum(cg, lib);
 
-  const SynthesisResult pruned = synthesize(cg, lib);
+  const SynthesisResult pruned = synthesize(cg, lib).value();
   ASSERT_TRUE(pruned.cover.optimal);
   EXPECT_TRUE(pruned.validation.ok());
   EXPECT_NEAR(pruned.total_cost, exhaustive.cost,
@@ -139,7 +139,7 @@ TEST_P(RandomExactness, PipelineMatchesExhaustive) {
   no_pruning.use_lemma32 = false;
   no_pruning.use_theorem31 = false;
   no_pruning.use_theorem32 = false;
-  const SynthesisResult full = synthesize(cg, lib, no_pruning);
+  const SynthesisResult full = synthesize(cg, lib, no_pruning).value();
   EXPECT_NEAR(full.total_cost, exhaustive.cost,
               1e-6 * std::max(1.0, exhaustive.cost))
       << "unpruned pipeline disagrees (seed " << params.seed << ")";
@@ -165,7 +165,7 @@ TEST_P(StrongPruningExactness, AnyPivotKeepsOptimum) {
 
   SynthesisOptions strong;
   strong.pivot_rule = PivotRule::kAnyPivot;
-  const SynthesisResult result = synthesize(cg, lib, strong);
+  const SynthesisResult result = synthesize(cg, lib, strong).value();
   const baseline::BaselineResult exhaustive =
       baseline::exhaustive_partition_optimum(cg, lib);
   EXPECT_NEAR(result.total_cost, exhaustive.cost,
@@ -177,7 +177,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StrongPruningExactness, ::testing::Range(0, 6));
 TEST(Synthesizer, ValidatesUnderBothPoliciesWhenSumPolicyUsed) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   // Sum-feasible implies max-feasible.
   EXPECT_TRUE(model::validate(*result.implementation,
                               model::CapacityPolicy::kSharedSum)
@@ -190,7 +190,7 @@ TEST(Synthesizer, ValidatesUnderBothPoliciesWhenSumPolicyUsed) {
 TEST(Synthesizer, EmptyConstraintGraph) {
   const model::ConstraintGraph cg;
   const commlib::Library lib = commlib::wan_library();
-  const SynthesisResult result = synthesize(cg, lib);
+  const SynthesisResult result = synthesize(cg, lib).value();
   EXPECT_DOUBLE_EQ(result.total_cost, 0.0);
   EXPECT_TRUE(result.validation.ok());
 }

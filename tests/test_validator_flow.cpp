@@ -128,6 +128,74 @@ TEST(Flow, SharedTrunkLoadsSum) {
   EXPECT_DOUBLE_EQ(flows.arc_load[trunk.index()], 20.0);
 }
 
+// The validator's diagnostics name the offending element and quantify the
+// slack, so a failed run can be triaged from the message alone.
+
+TEST(Validator, ShortfallMessageNamesArcAndSlack) {
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 50.0, "hungry");  // > 11 Mbps radio
+  ImplementationGraph impl(f.cg, f.lib);
+  impl.register_path(ArcId{0}, Path{{impl.add_link_arc(u, v, f.radio)}});
+  const auto report =
+      model::validate(impl, CapacityPolicy::kMaxPerConstraint);
+  ASSERT_FALSE(report.ok());
+  const std::string& msg = report.problems.front();
+  EXPECT_NE(msg.find("'hungry'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("shortfall 39"), std::string::npos) << msg;
+}
+
+TEST(Flow, OverCapacityMessageNamesLinkAndExcess) {
+  // assign_flows never overloads a link (it water-fills within residual
+  // capacity), so exercise the overload diagnostic the way an external
+  // simulator would: hand capacity_violations an assignment that pushed
+  // both 10 Mbps demands onto the 11 Mbps radio trunk.
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 10.0, "c1");
+  f.cg.add_channel(u, v, 10.0, "c2");
+  ImplementationGraph impl(f.cg, f.lib);
+  const ArcId trunk = impl.add_link_arc(u, v, f.radio);  // 11 Mbps capacity
+  impl.register_path(ArcId{0}, Path{{trunk}});
+  impl.register_path(ArcId{1}, Path{{trunk}});
+  sim::FlowAssignment flows;
+  flows.arc_load = {20.0};
+  flows.unrouted = {0.0, 0.0};
+  const auto problems = sim::capacity_violations(impl, flows);
+  ASSERT_FALSE(problems.empty());
+  bool found = false;
+  for (const std::string& msg : problems) {
+    if (msg.find("'radio'") != std::string::npos &&
+        msg.find("excess 9") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << problems.front();
+}
+
+TEST(Flow, UnroutedMessageNamesArcAndDemand) {
+  Fixture f;
+  const VertexId u = f.cg.add_port("u", {0, 0});
+  const VertexId v = f.cg.add_port("v", {3, 4});
+  f.cg.add_channel(u, v, 25.0, "wide");
+  ImplementationGraph impl(f.cg, f.lib);
+  impl.register_path(ArcId{0}, Path{{impl.add_link_arc(u, v, f.radio)}});
+  impl.register_path(ArcId{0}, Path{{impl.add_link_arc(u, v, f.radio)}});
+  const sim::FlowAssignment flows = sim::assign_flows(impl);
+  const auto problems = sim::capacity_violations(impl, flows);
+  ASSERT_FALSE(problems.empty());
+  bool found = false;
+  for (const std::string& msg : problems) {
+    if (msg.find("'wide'") != std::string::npos &&
+        msg.find("3.000000 of its 25.000000") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << problems.front();
+}
+
 TEST(Flow, EmptyGraphIsTriviallyFeasible) {
   Fixture f;
   const ImplementationGraph impl(f.cg, f.lib);

@@ -86,7 +86,7 @@ TEST(McmBoard, ShapeAndSynthesis) {
   // Coherence channels exceed the 8 GB/s PCB bundle: the synthesizer must
   // either bundle traces or use serdes, never fail.
   const commlib::Library lib = commlib::mcm_library();
-  const synth::SynthesisResult result = synth::synthesize(cg, lib);
+  const synth::SynthesisResult result = synth::synthesize(cg, lib).value();
   EXPECT_TRUE(result.validation.ok());
   const baseline::BaselineResult ptp =
       baseline::point_to_point_baseline(cg, lib);
