@@ -10,12 +10,19 @@
 //   * every other arc is a dedicated radio matching;
 //   * the result validates under physical (shared-sum) capacities and is
 //     cheaper than the point-to-point baseline.
+//
+// It also sweeps the pricing thread count (--threads equivalent) and a
+// warm pricing cache, checking the engine's determinism guarantee on the
+// way: every configuration must land on the same architecture at the same
+// cost (docs/performance.md).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "baseline/baselines.hpp"
 #include "commlib/standard_libraries.hpp"
 #include "io/report.hpp"
+#include "synth/pricing_cache.hpp"
 #include "synth/synthesizer.hpp"
 #include "workloads/wan2002.hpp"
 
@@ -76,6 +83,38 @@ int main() {
   }
   if (result.total_cost >= ptp.cost) {
     std::puts("FAIL: merging did not beat the point-to-point baseline");
+    ++failures;
+  }
+
+  // Threading / pricing-cache sweep: best-of-5 wall clock per config, and
+  // every config must reproduce the serial cost exactly.
+  std::puts("\nPricing parallelism sweep (best of 5 runs):");
+  synth::PricingCache cache;
+  for (const auto& [label, threads, use_cache] :
+       {std::tuple{"1 thread", 1, false}, std::tuple{"2 threads", 2, false},
+        std::tuple{"4 threads", 4, false}, std::tuple{"8 threads", 8, false},
+        std::tuple{"8 threads + warm cache", 8, true}}) {
+    synth::SynthesisOptions options;
+    options.threads = threads;
+    if (use_cache) options.pricing_cache = &cache;
+    double best_ms = 1e100;
+    double cost = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const synth::SynthesisResult r =
+          synth::synthesize(cg, lib, options).value();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      best_ms = std::min(best_ms, ms);
+      cost = r.total_cost;
+    }
+    std::printf("  %-22s: %7.2f ms, cost $%.0f%s\n", label, best_ms, cost,
+                cost == result.total_cost ? "" : "  ** COST DIVERGED");
+    if (cost != result.total_cost) ++failures;
+  }
+  if (cache.stats().hits == 0) {
+    std::puts("FAIL: warm-cache run recorded no cache hits");
     ++failures;
   }
 

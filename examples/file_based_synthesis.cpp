@@ -17,6 +17,9 @@
 //   --deadline-ms MS         wall-clock budget; on expiry the synthesizer
 //                            degrades to the best anytime cover and reports
 //                            the stage + optimality gap (never fails)
+//   --threads N              worker threads for candidate pricing (default
+//                            1; 0 = all hardware threads). Results are
+//                            bit-identical for every N (docs/performance.md)
 //   --repair                 sanitize-and-repair the constraint graph
 //                            (merge parallel channels by summing bandwidth)
 //                            instead of rejecting it; defects the parser
@@ -55,6 +58,7 @@ int usage(const char* argv0) {
          "  --no-chains        star structures only\n"
          "  --tables           print Gamma/Delta matrices\n"
          "  --deadline-ms MS   wall-clock budget (degrades, never fails)\n"
+         "  --threads N        pricing worker threads (0 = all hardware)\n"
          "  --repair           repair invalid constraint graphs\n"
          "  --dot FILE         write Graphviz DOT\n"
          "  --save FILE        write the implementation graph\n"
@@ -124,6 +128,8 @@ int main(int argc, char** argv) {
       print_tables = true;
     } else if (arg == "--deadline-ms") {
       options.deadline = support::Deadline::after_ms(std::atof(next()));
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next());
     } else if (arg == "--repair") {
       repair = true;
     } else if (arg == "--delay") {

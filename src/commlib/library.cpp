@@ -1,6 +1,7 @@
 #include "commlib/library.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -90,6 +91,52 @@ std::optional<NodeIndex> Library::cheapest_node(NodeKind kind) const {
     if (!best || nodes_[i].cost < nodes_[*best].cost) best = i;
   }
   return best;
+}
+
+namespace {
+
+// FNV-1a; the fingerprint is an identity key, not a security boundary.
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+inline void fnv_mix(std::uint64_t& h, double v) {
+  // Normalize -0.0 so semantically equal libraries hash equal; NaN costs
+  // are rejected by try_add_* and only matter for hand-built fixtures.
+  fnv_mix(h, std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
+}
+
+inline void fnv_mix(std::uint64_t& h, std::string_view s) {
+  fnv_mix(h, static_cast<std::uint64_t>(s.size()));
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t Library::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv_mix(h, name_);
+  fnv_mix(h, static_cast<std::uint64_t>(links_.size()));
+  for (const Link& l : links_) {
+    fnv_mix(h, l.name);
+    fnv_mix(h, l.max_span);
+    fnv_mix(h, l.bandwidth);
+    fnv_mix(h, l.fixed_cost);
+    fnv_mix(h, l.cost_per_length);
+  }
+  fnv_mix(h, static_cast<std::uint64_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    fnv_mix(h, n.name);
+    fnv_mix(h, static_cast<std::uint64_t>(n.kind));
+    fnv_mix(h, n.cost);
+  }
+  return h;
 }
 
 double Library::max_link_bandwidth() const {

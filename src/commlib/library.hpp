@@ -1,6 +1,7 @@
 // The communication library L = L (links) ∪ N (nodes) of Def 2.2.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -51,6 +52,13 @@ class Library {
   /// max_{l in L} b(l): the bandwidth bound used by Theorem 3.2. Zero for an
   /// empty link set.
   double max_link_bandwidth() const;
+
+  /// Order-sensitive 64-bit digest of every element (names, spans,
+  /// bandwidths, cost terms, node kinds). Two libraries pricing any plan
+  /// differently have different fingerprints, so the synthesis pricing
+  /// cache (synth/pricing_cache.hpp) keys entries on it: mutating or
+  /// swapping the library invalidates every cached plan automatically.
+  std::uint64_t fingerprint() const;
 
   /// Largest finite link span, or +infinity when any link is length-priced.
   double max_link_span() const;

@@ -89,6 +89,18 @@ std::string describe(const synth::SynthesisResult& result,
   }
   os << "UCP: " << (result.cover.optimal ? "proven optimal" : "incumbent")
      << " in " << result.cover.nodes_explored << " nodes\n";
+  if (stats.threads_used > 1 ||
+      stats.pricing_cache_hits + stats.pricing_cache_misses > 0) {
+    os << "Perf: " << stats.threads_used << " pricing thread"
+       << (stats.threads_used == 1 ? "" : "s");
+    const std::size_t probes =
+        stats.pricing_cache_hits + stats.pricing_cache_misses;
+    if (probes > 0) {
+      os << ", pricing cache " << stats.pricing_cache_hits << "/" << probes
+         << " hits";
+    }
+    os << '\n';
+  }
   const synth::DegradationReport& deg = result.degradation;
   os << "Stage: " << synth::to_string(deg.stage);
   if (deg.degraded()) {

@@ -4,6 +4,12 @@
 // branch-and-bound; each hot loop polls expired() and degrades gracefully
 // instead of running unbounded (docs/robustness.md describes the ladder).
 //
+// THREAD SAFETY: a single Deadline object may be polled concurrently from
+// many workers (the parallel pricing stage shares one by const reference).
+// The expiry latch and the fault-injection poll counter are atomics, so
+// concurrent polls never tear the count, and the optional expiry callback
+// fires exactly once across all copies and threads (docs/performance.md).
+//
 // expired() latches: once a Deadline has reported expiry it keeps doing so,
 // so a caller observing "expired" mid-stage can rely on every later stage
 // observing the same.
@@ -15,6 +21,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <utility>
@@ -41,6 +48,34 @@ class Deadline {
   /// Default: never expires (and polls are two branch instructions).
   Deadline() = default;
 
+  /// Copies snapshot the latch and the remaining poll budget; the cancel
+  /// token and the expiry callback remain SHARED with the source.
+  Deadline(const Deadline& other)
+      : at_(other.at_),
+        cancel_(other.cancel_),
+        on_expiry_(other.on_expiry_),
+        has_deadline_(other.has_deadline_),
+        has_token_(other.has_token_),
+        has_checks_(other.has_checks_),
+        checks_left_(other.checks_left_.load(std::memory_order_relaxed)),
+        expired_(other.expired_.load(std::memory_order_relaxed)) {}
+
+  Deadline& operator=(const Deadline& other) {
+    if (this != &other) {
+      at_ = other.at_;
+      cancel_ = other.cancel_;
+      on_expiry_ = other.on_expiry_;
+      has_deadline_ = other.has_deadline_;
+      has_token_ = other.has_token_;
+      has_checks_ = other.has_checks_;
+      checks_left_.store(other.checks_left_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      expired_.store(other.expired_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   static Deadline never() { return Deadline(); }
 
   static Deadline after(Clock::duration budget) {
@@ -63,10 +98,12 @@ class Deadline {
   }
 
   /// Fault injection: expires on the (n+1)-th expired() call regardless of
-  /// the clock. n = 0 expires on the first poll.
+  /// the clock. n = 0 expires on the first poll. Polls from any thread
+  /// consume the shared budget of THIS object; copies snapshot what is left.
   static Deadline expire_after_checks(long n) {
     Deadline d;
-    d.checks_left_ = n < 0 ? 0 : n;
+    d.has_checks_ = true;
+    d.checks_left_.store(n < 0 ? 0 : n, std::memory_order_relaxed);
     return d;
   }
 
@@ -78,34 +115,45 @@ class Deadline {
     return *this;
   }
 
-  bool unlimited() const {
-    return !has_deadline_ && !has_token_ && checks_left_ < 0 && !expired_;
+  /// Registers a callback invoked exactly once, by whichever poll (from
+  /// whichever thread or copy) first observes expiry. The callback must be
+  /// cheap and must not poll the deadline itself.
+  Deadline& on_expiry(std::function<void()> callback) {
+    on_expiry_ = std::make_shared<ExpiryCallback>();
+    on_expiry_->fn = std::move(callback);
+    return *this;
   }
 
+  bool unlimited() const {
+    return !has_deadline_ && !has_token_ && !has_checks_ &&
+           !expired_.load(std::memory_order_relaxed);
+  }
+
+  /// True when some earlier poll of this copy already observed expiry.
+  /// Never consumes a fault-injection poll and never advances the latch --
+  /// the poll-free query for "did a pricer bail out on us?" decisions
+  /// (e.g. whether a pricing result is safe to memoize).
+  bool latched() const { return expired_.load(std::memory_order_relaxed); }
+
   bool expired() const {
-    if (expired_) return true;
-    if (checks_left_ >= 0) {
-      if (checks_left_ == 0) {
-        expired_ = true;
-        return true;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (has_checks_) {
+      // fetch_sub gives each concurrent poller a distinct ticket; exactly
+      // the poll holding ticket 0 (the (n+1)-th overall) trips the latch,
+      // and the count can go negative but never tears.
+      if (checks_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+        return latch();
       }
-      --checks_left_;
     }
-    if (has_token_ && cancel_.cancelled()) {
-      expired_ = true;
-      return true;
-    }
-    if (has_deadline_ && Clock::now() >= at_) {
-      expired_ = true;
-      return true;
-    }
+    if (has_token_ && cancel_.cancelled()) return latch();
+    if (has_deadline_ && Clock::now() >= at_) return latch();
     return false;
   }
 
   /// Milliseconds left; +infinity when unlimited, 0 when expired. Does not
   /// consume a fault-injection poll.
   double remaining_ms() const {
-    if (expired_) return 0.0;
+    if (expired_.load(std::memory_order_relaxed)) return 0.0;
     if (!has_deadline_) {
       return std::numeric_limits<double>::infinity();
     }
@@ -115,14 +163,32 @@ class Deadline {
   }
 
  private:
+  /// Once-only callback state shared by all copies of a Deadline.
+  struct ExpiryCallback {
+    std::function<void()> fn;
+    std::atomic<bool> fired{false};
+  };
+
+  /// Sets the expiry latch and fires the shared callback exactly once
+  /// (first latch across all copies/threads wins). Always returns true.
+  bool latch() const {
+    expired_.store(true, std::memory_order_relaxed);
+    if (on_expiry_ && !on_expiry_->fired.exchange(true)) {
+      on_expiry_->fn();
+    }
+    return true;
+  }
+
   Clock::time_point at_{};
   CancelToken cancel_{};
+  std::shared_ptr<ExpiryCallback> on_expiry_{};
   bool has_deadline_{false};
   bool has_token_{false};
-  /// Fault-injection poll budget; -1 = disabled. Mutable so const hot-path
-  /// polls can count; copies take a snapshot of the remaining budget.
-  mutable long checks_left_{-1};
-  mutable bool expired_{false};
+  bool has_checks_{false};
+  /// Fault-injection poll budget; only meaningful when has_checks_. Mutable
+  /// so const hot-path polls can count; copies take a snapshot.
+  mutable std::atomic<long> checks_left_{-1};
+  mutable std::atomic<bool> expired_{false};
 };
 
 }  // namespace cdcs::support

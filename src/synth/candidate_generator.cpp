@@ -1,8 +1,91 @@
 #include "synth/candidate_generator.hpp"
 
-#include <functional>
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <numeric>
+
+#include "support/thread_pool.hpp"
+#include "synth/pricing_cache.hpp"
 
 namespace cdcs::synth {
+namespace {
+
+/// Raw pricing outcome for one subset (before delay filtering and
+/// profitability accounting, which stay serial in the merge step).
+struct PricedStructures {
+  std::optional<MergingPlan> star;
+  std::optional<ChainPlan> chain;
+  std::optional<TreePlan> tree;
+};
+
+/// Advances `idx` (ascending positions into a pool of size n) to the next
+/// k-combination in lexicographic order; false when exhausted. This is the
+/// same visit order as the recursive enumerator it replaced, which is what
+/// keeps Theorem 3.1 bookkeeping, truncation points, and candidate order
+/// stable across the refactor.
+bool next_combination(std::vector<std::size_t>& idx, std::size_t n) {
+  const std::size_t k = idx.size();
+  for (std::size_t i = k; i-- > 0;) {
+    if (idx[i] + (k - i) < n) {
+      ++idx[i];
+      for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Prices one subset through all enabled structure pricers, consulting the
+/// memoization cache when present. Pure per subset (pricers read only the
+/// subset's geometry, the library, and the policy), which is what makes the
+/// parallel fan-out deterministic. Runs on worker threads: everything it
+/// touches is either const-shared or the thread-safe cache/deadline.
+PricedStructures price_subset(const model::ConstraintGraph& cg,
+                              const commlib::Library& library,
+                              const SynthesisOptions& options,
+                              const std::vector<model::ArcId>& subset,
+                              std::atomic<std::size_t>& cache_hits,
+                              std::atomic<std::size_t>& cache_misses) {
+  PricingCache* cache = options.pricing_cache;
+  std::optional<PricingCache::Key> key;
+  if (cache != nullptr) {
+    key = make_pricing_key(cg, library, subset, options.policy,
+                           options.enable_chain_topology,
+                           options.enable_tree_topology);
+    if (std::optional<PricingCache::Entry> entry = cache->lookup(*key)) {
+      cache_hits.fetch_add(1, std::memory_order_relaxed);
+      entry->retarget(subset);
+      return PricedStructures{std::move(entry->star), std::move(entry->chain),
+                              std::move(entry->tree)};
+    }
+    cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PricedStructures p;
+  p.star = price_merging(cg, library, subset, options.policy,
+                         &options.deadline);
+  if (options.enable_chain_topology) {
+    p.chain = price_chain_merging(cg, library, subset, options.policy, {},
+                                  &options.deadline);
+  }
+  if (options.enable_tree_topology) {
+    p.tree = price_tree_merging(cg, library, subset, options.policy,
+                                &options.deadline);
+  }
+  // A pricer that bailed out on an expired deadline returns nullopt without
+  // that being a statement about the subset; caching it would poison later
+  // (unhurried) runs. latched() is poll-free, so fault-injection budgets
+  // are not consumed here.
+  if (cache != nullptr && !options.deadline.latched()) {
+    cache->insert(*key, PricingCache::Entry::make(subset, p.star, p.chain,
+                                                  p.tree));
+  }
+  return p;
+}
+
+}  // namespace
 
 support::Expected<CandidateSet> generate_candidates(
     const model::ConstraintGraph& cg, const commlib::Library& library,
@@ -51,14 +134,27 @@ support::Expected<CandidateSet> generate_candidates(
   const std::vector<double> bw = bandwidth_vector(cg);
   const double max_link_bw = library.max_link_bandwidth();
 
+  const std::size_t threads = support::resolve_thread_count(options.threads);
+  stats.threads_used = threads;
+  std::unique_ptr<support::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<support::ThreadPool>(threads);
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> cache_misses{0};
+
+  // Pricing-batch size: large enough to amortize fan-out overhead and keep
+  // every worker busy, small enough to bound the held-subsets memory when
+  // max_subsets_per_k is in the millions.
+  const std::size_t batch_capacity =
+      threads > 1 ? std::max<std::size_t>(1024, 8 * threads) : 1024;
+
   // --- k-way mergings for increasing k (main loop of Fig. 2). ---
   std::vector<bool> active(n, true);
   for (int k = 2; k <= max_k; ++k) {
-    std::vector<model::ArcId> pool;
+    std::vector<model::ArcId> pool_arcs;
     for (model::ArcId a : arcs) {
-      if (active[a.index()]) pool.push_back(a);
+      if (active[a.index()]) pool_arcs.push_back(a);
     }
-    if (pool.size() < static_cast<std::size_t>(k)) break;
+    if (pool_arcs.size() < static_cast<std::size_t>(k)) break;
 
     std::vector<bool> participates(n, false);
     std::size_t survivors_this_k = 0;
@@ -66,111 +162,125 @@ support::Expected<CandidateSet> generate_candidates(
     std::vector<model::ArcId> subset(k);
     std::vector<double> subset_bw(k);
 
-    const std::function<void(std::size_t, int)> recurse =
-        [&](std::size_t start, int depth) {
-          if (stats.enumeration_truncated || stats.deadline_expired) return;
-          if (depth == k) {
-            ++stats.subsets_examined;
-            if (++enumerated_this_k > options.max_subsets_per_k) {
-              stats.enumeration_truncated = true;
-              return;
-            }
-            if (options.deadline.expired()) {
-              stats.deadline_expired = true;
-              return;
-            }
-            for (int i = 0; i < k; ++i) subset_bw[i] = bw[subset[i].index()];
-            if (options.use_theorem32 &&
-                theorem32_prunes(subset_bw, max_link_bw)) {
-              ++stats.pruned_bandwidth_per_k[k];
-              return;
-            }
-            const bool geometric_pruned =
-                (k == 2 && options.use_lemma31 &&
-                 lemma31_prunes(gamma, delta, subset[0], subset[1])) ||
-                (k >= 3 && options.use_lemma32 &&
-                 lemma32_prunes(cg, gamma, delta, subset, options.pivot_rule));
-            if (geometric_pruned) {
-              ++stats.pruned_geometry_per_k[k];
-              return;
-            }
-            ++survivors_this_k;
-            for (model::ArcId a : subset) participates[a.index()] = true;
+    std::vector<std::size_t> idx(k);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    bool exhausted = false;
+    std::vector<std::vector<model::ArcId>> batch;
+    batch.reserve(batch_capacity);
 
-            if (options.fault_injection.fail_merging_pricers) {
-              ++stats.unpriceable_per_k[k];
-              return;
-            }
-            std::optional<MergingPlan> star = price_merging(
-                cg, library, subset, options.policy, &options.deadline);
-            std::optional<ChainPlan> chain =
-                options.enable_chain_topology
-                    ? price_chain_merging(cg, library, subset, options.policy,
-                                          {}, &options.deadline)
-                    : std::nullopt;
-            std::optional<TreePlan> tree =
-                options.enable_tree_topology
-                    ? price_tree_merging(cg, library, subset, options.policy,
-                                         &options.deadline)
-                    : std::nullopt;
-            // Delay-constrained synthesis: a merged structure whose slowest
-            // channel busts the budget is not a candidate.
-            if (options.delay_budget) {
-              const auto& db = *options.delay_budget;
-              if (star && worst_arc_delay(*star, db.model) > db.budget) {
-                star.reset();
-              }
-              if (chain && worst_arc_delay(*chain, db.model) > db.budget) {
-                chain.reset();
-              }
-              if (tree && worst_arc_delay(*tree, db.model) > db.budget) {
-                tree.reset();
-              }
-            }
-            if (!star && !chain && !tree) {
-              ++stats.unpriceable_per_k[k];
-              return;
-            }
-            // Keep the cheapest structure for this subset.
-            constexpr double kInf = std::numeric_limits<double>::infinity();
-            const double star_cost = star ? star->cost : kInf;
-            const double chain_cost = chain ? chain->cost : kInf;
-            const double tree_cost = tree ? tree->cost : kInf;
-            const double cost =
-                std::min({star_cost, chain_cost, tree_cost});
-            if (options.drop_unprofitable) {
-              double members = 0.0;
-              for (model::ArcId a : subset) members += ptp_cost[a.index()];
-              if (cost >= members - 1e-9) {
-                ++stats.dropped_unprofitable_per_k[k];
-                return;
-              }
-            }
-            // Ties break toward the structurally simplest realization.
-            Candidate candidate{.arcs = subset, .cost = cost};
-            if (star && star_cost == cost) {
-              candidate.merging = std::move(star);
-            } else if (chain && chain_cost == cost) {
-              candidate.chain = std::move(chain);
-            } else {
-              candidate.tree = std::move(tree);
-            }
-            out.candidates.push_back(std::move(candidate));
-            return;
+    while (!exhausted && !stats.enumeration_truncated &&
+           !stats.deadline_expired) {
+      // Phase 1 (serial): enumerate in lexicographic order and apply the
+      // pruning tests; they are microseconds per subset and their visit
+      // order is semantically load-bearing (truncation, Theorem 3.1).
+      batch.clear();
+      while (batch.size() < batch_capacity && !exhausted) {
+        for (int i = 0; i < k; ++i) subset[i] = pool_arcs[idx[i]];
+        const auto advance = [&] { exhausted = !next_combination(idx, pool_arcs.size()); };
+
+        ++stats.subsets_examined;
+        if (++enumerated_this_k > options.max_subsets_per_k) {
+          stats.enumeration_truncated = true;
+          break;
+        }
+        if (options.deadline.expired()) {
+          stats.deadline_expired = true;
+          break;
+        }
+        for (int i = 0; i < k; ++i) subset_bw[i] = bw[subset[i].index()];
+        if (options.use_theorem32 &&
+            theorem32_prunes(subset_bw, max_link_bw)) {
+          ++stats.pruned_bandwidth_per_k[k];
+          advance();
+          continue;
+        }
+        const bool geometric_pruned =
+            (k == 2 && options.use_lemma31 &&
+             lemma31_prunes(gamma, delta, subset[0], subset[1])) ||
+            (k >= 3 && options.use_lemma32 &&
+             lemma32_prunes(cg, gamma, delta, subset, options.pivot_rule));
+        if (geometric_pruned) {
+          ++stats.pruned_geometry_per_k[k];
+          advance();
+          continue;
+        }
+        ++survivors_this_k;
+        for (model::ArcId a : subset) participates[a.index()] = true;
+        if (options.fault_injection.fail_merging_pricers) {
+          ++stats.unpriceable_per_k[k];
+        } else {
+          batch.push_back(subset);
+        }
+        advance();
+      }
+
+      // Phase 2: price the surviving subsets. Concurrent when a pool
+      // exists, inline otherwise; either way the results come back in
+      // enumeration order, so phase 3 is the same fold as the serial run.
+      std::vector<PricedStructures> priced = support::parallel_map_ordered(
+          pool.get(), batch.size(), [&](std::size_t i) {
+            return price_subset(cg, library, options, batch[i], cache_hits,
+                                cache_misses);
+          });
+
+      // Phase 3 (serial, enumeration order): delay-gate the structures,
+      // keep the cheapest per subset, and account profitability.
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        std::optional<MergingPlan> star = std::move(priced[b].star);
+        std::optional<ChainPlan> chain = std::move(priced[b].chain);
+        std::optional<TreePlan> tree = std::move(priced[b].tree);
+        const std::vector<model::ArcId>& merged = batch[b];
+        // Delay-constrained synthesis: a merged structure whose slowest
+        // channel busts the budget is not a candidate.
+        if (options.delay_budget) {
+          const auto& db = *options.delay_budget;
+          if (star && worst_arc_delay(*star, db.model) > db.budget) {
+            star.reset();
           }
-          for (std::size_t i = start; i < pool.size(); ++i) {
-            subset[depth] = pool[i];
-            recurse(i + 1, depth + 1);
+          if (chain && worst_arc_delay(*chain, db.model) > db.budget) {
+            chain.reset();
           }
-        };
-    recurse(0, 0);
+          if (tree && worst_arc_delay(*tree, db.model) > db.budget) {
+            tree.reset();
+          }
+        }
+        if (!star && !chain && !tree) {
+          ++stats.unpriceable_per_k[k];
+          continue;
+        }
+        // Keep the cheapest structure for this subset.
+        constexpr double kInf = std::numeric_limits<double>::infinity();
+        const double star_cost = star ? star->cost : kInf;
+        const double chain_cost = chain ? chain->cost : kInf;
+        const double tree_cost = tree ? tree->cost : kInf;
+        const double cost = std::min({star_cost, chain_cost, tree_cost});
+        if (options.drop_unprofitable) {
+          double members = 0.0;
+          for (model::ArcId a : merged) members += ptp_cost[a.index()];
+          if (cost >= members - 1e-9) {
+            ++stats.dropped_unprofitable_per_k[k];
+            continue;
+          }
+        }
+        // Ties break toward the structurally simplest realization.
+        Candidate candidate{.arcs = merged, .cost = cost};
+        if (star && star_cost == cost) {
+          candidate.merging = std::move(star);
+        } else if (chain && chain_cost == cost) {
+          candidate.chain = std::move(chain);
+        } else {
+          candidate.tree = std::move(tree);
+        }
+        out.candidates.push_back(std::move(candidate));
+      }
+    }
     stats.survivors_per_k[k] = survivors_this_k;
     if (stats.deadline_expired) break;
 
     // Theorem 3.1: an arc in no surviving k-subset can join no larger
     // merging either; drop its Gamma-matrix column for all following k.
     if (options.use_theorem31) {
-      for (model::ArcId a : pool) {
+      for (model::ArcId a : pool_arcs) {
         if (!participates[a.index()]) {
           active[a.index()] = false;
           stats.arc_eliminated_after_k[a.index()] = k;
@@ -179,6 +289,8 @@ support::Expected<CandidateSet> generate_candidates(
     }
     if (survivors_this_k == 0) break;  // Gamma's column set is empty
   }
+  stats.pricing_cache_hits = cache_hits.load(std::memory_order_relaxed);
+  stats.pricing_cache_misses = cache_misses.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -20,6 +20,8 @@
 
 namespace cdcs::synth {
 
+class PricingCache;
+
 /// Deterministic fault-injection hooks for robustness testing. Each switch
 /// forces one failure edge of the pipeline so the corresponding degradation
 /// path can be exercised without timing races. All off in production.
@@ -88,6 +90,19 @@ struct SynthesisOptions {
   /// is handed to the cover solver.
   support::Deadline deadline;
 
+  /// Worker threads for subset pricing. 1 (default) prices on the caller's
+  /// thread; N > 1 fans each k's surviving subsets out to a fixed pool of N
+  /// workers, merging results in enumeration order so the candidate set is
+  /// BIT-IDENTICAL to the serial run (docs/performance.md); 0 means all
+  /// hardware threads. Enumeration and pruning always stay serial -- they
+  /// are cheap and their order carries Theorem 3.1 semantics.
+  int threads = 1;
+
+  /// Optional pricing memoization shared across synthesize() calls
+  /// (synth/pricing_cache.hpp). Borrowed, not owned; must outlive the run.
+  /// Thread-safe; hits skip the placement solves entirely.
+  PricingCache* pricing_cache = nullptr;
+
   /// Deterministic failure forcing for tests; see FaultInjection.
   FaultInjection fault_injection;
 };
@@ -118,6 +133,13 @@ struct GenerationStats {
   std::size_t subsets_examined{0};
   bool enumeration_truncated{false};  ///< hit max_subsets_per_k
   bool deadline_expired{false};  ///< merging enumeration cut short by deadline
+  /// Resolved pricing parallelism (SynthesisOptions::threads after the
+  /// 0 = hardware-threads expansion).
+  std::size_t threads_used{1};
+  /// Pricing-cache traffic attributable to THIS run (the cache object
+  /// accumulates across runs; these two do not).
+  std::size_t pricing_cache_hits{0};
+  std::size_t pricing_cache_misses{0};
 };
 
 struct CandidateSet {

@@ -1,0 +1,138 @@
+#include "synth/pricing_cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cdcs::synth {
+namespace {
+
+inline void fnv_mix(std::size_t& h, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+/// Position of each of `arcs` within `subset`; the pricers only permute,
+/// never substitute, so every arc must be found.
+std::vector<std::uint32_t> permutation_into(
+    const std::vector<model::ArcId>& subset,
+    const std::vector<model::ArcId>& arcs) {
+  std::vector<std::uint32_t> perm;
+  perm.reserve(arcs.size());
+  for (model::ArcId a : arcs) {
+    std::uint32_t pos = static_cast<std::uint32_t>(subset.size());
+    for (std::uint32_t i = 0; i < subset.size(); ++i) {
+      if (subset[i] == a) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == subset.size()) {
+      throw std::logic_error(
+          "pricing cache: plan references an arc outside its subset");
+    }
+    perm.push_back(pos);
+  }
+  return perm;
+}
+
+void apply_permutation(std::vector<model::ArcId>& arcs,
+                       const std::vector<std::uint32_t>& perm,
+                       const std::vector<model::ArcId>& subset) {
+  arcs.resize(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) arcs[i] = subset[perm[i]];
+}
+
+}  // namespace
+
+PricingCache::Entry PricingCache::Entry::make(
+    const std::vector<model::ArcId>& subset, std::optional<MergingPlan> star,
+    std::optional<ChainPlan> chain, std::optional<TreePlan> tree) {
+  Entry e;
+  e.star = std::move(star);
+  e.chain = std::move(chain);
+  e.tree = std::move(tree);
+  if (e.star) e.star_perm_ = permutation_into(subset, e.star->arcs);
+  if (e.chain) e.chain_perm_ = permutation_into(subset, e.chain->arcs);
+  if (e.tree) e.tree_perm_ = permutation_into(subset, e.tree->arcs);
+  return e;
+}
+
+void PricingCache::Entry::retarget(const std::vector<model::ArcId>& subset) {
+  if (star) apply_permutation(star->arcs, star_perm_, subset);
+  if (chain) apply_permutation(chain->arcs, chain_perm_, subset);
+  if (tree) apply_permutation(tree->arcs, tree_perm_, subset);
+}
+
+std::size_t PricingCache::KeyHash::operator()(const Key& k) const {
+  std::size_t h = 0xcbf29ce484222325ULL;
+  fnv_mix(h, k.library_fingerprint);
+  fnv_mix(h, static_cast<std::uint64_t>(k.norm));
+  fnv_mix(h, static_cast<std::uint64_t>(k.policy));
+  fnv_mix(h, (std::uint64_t{k.chain_enabled} << 1) |
+                 std::uint64_t{k.tree_enabled});
+  fnv_mix(h, static_cast<std::uint64_t>(k.arc_geometry.size()));
+  for (double v : k.arc_geometry) {
+    fnv_mix(h, std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
+  }
+  return h;
+}
+
+std::optional<PricingCache::Entry> PricingCache::lookup(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void PricingCache::insert(const Key& key, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = std::move(entry);
+}
+
+PricingCache::Stats PricingCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.entries = map_.size();
+  return s;
+}
+
+void PricingCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+PricingCache::Key make_pricing_key(const model::ConstraintGraph& cg,
+                                   const commlib::Library& library,
+                                   const std::vector<model::ArcId>& subset,
+                                   model::CapacityPolicy policy,
+                                   bool chain_enabled, bool tree_enabled) {
+  PricingCache::Key key;
+  key.library_fingerprint = library.fingerprint();
+  key.norm = cg.norm();
+  key.policy = policy;
+  key.chain_enabled = chain_enabled;
+  key.tree_enabled = tree_enabled;
+  key.arc_geometry.reserve(subset.size() * 5);
+  for (model::ArcId a : subset) {
+    const geom::Point2D u = cg.position(cg.source(a));
+    const geom::Point2D v = cg.position(cg.target(a));
+    key.arc_geometry.push_back(u.x);
+    key.arc_geometry.push_back(u.y);
+    key.arc_geometry.push_back(v.x);
+    key.arc_geometry.push_back(v.y);
+    key.arc_geometry.push_back(cg.bandwidth(a));
+  }
+  return key;
+}
+
+}  // namespace cdcs::synth

@@ -1,0 +1,127 @@
+// Memoization cache for subset pricing (the placement NLP / Weiszfeld
+// solves that dominate candidate-generation time).
+//
+// The three structure pricers are pure functions of
+//     (subset endpoint geometry, subset bandwidths, norm, capacity policy,
+//      communication library),
+// so a priced subset can be reused across increasing k within one run,
+// across repeated synthesize() calls (Pareto sweeps over delay budgets,
+// sensitivity runs), and even across distinct constraint graphs that happen
+// to contain geometrically identical subsets. The cache key is the
+// canonical subset signature: the per-arc (source, target, bandwidth)
+// records in subset order plus the library fingerprint
+// (commlib::Library::fingerprint), the norm, the capacity policy, and the
+// structure-enable flags. Anything the pricers read is in the key, so a
+// hit is bit-identical to a fresh solve; mutating or swapping the library
+// changes its fingerprint and invalidates every entry automatically.
+//
+// Entries store the RAW priced structures, before delay-budget filtering
+// and profitability accounting -- those are cheap per-subset decisions the
+// generator re-applies per run, which is what lets a Pareto sweep over
+// delay budgets hit the cache at every point.
+//
+// Plans embed model::ArcId values of the graph they were priced on; a
+// cached entry carries position permutations into its subset so lookup()
+// can retarget the plans onto the caller's arc ids (Entry::retarget).
+//
+// Thread safety: lookup/insert take a mutex (pricing is milliseconds, the
+// critical section is a map probe); hit/miss counters are atomics. The
+// cache never evicts -- covering instances price at most a few thousand
+// subsets -- so correctness never depends on retention policy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/chain_pricer.hpp"
+#include "synth/merging_pricer.hpp"
+#include "synth/tree_pricer.hpp"
+
+namespace cdcs::synth {
+
+class PricingCache {
+ public:
+  /// Canonical subset signature; see file comment for what must be in here
+  /// (everything the pricers read) and why.
+  struct Key {
+    std::uint64_t library_fingerprint{0};
+    geom::Norm norm{};
+    model::CapacityPolicy policy{};
+    bool chain_enabled{false};
+    bool tree_enabled{false};
+    /// Five doubles per arc: source x/y, target x/y, bandwidth.
+    std::vector<double> arc_geometry;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  /// The raw pricing outcome for one subset. nullopt plans mean "that
+  /// structure is not realizable for this subset" (a definitive answer,
+  /// cacheable); pricings aborted by a deadline are never inserted.
+  struct Entry {
+    std::optional<MergingPlan> star;
+    std::optional<ChainPlan> chain;
+    std::optional<TreePlan> tree;
+
+    /// Builds an entry from freshly priced plans, recording each plan's
+    /// arc order as positions into `subset` for later retargeting.
+    static Entry make(const std::vector<model::ArcId>& subset,
+                      std::optional<MergingPlan> star,
+                      std::optional<ChainPlan> chain,
+                      std::optional<TreePlan> tree);
+
+    /// Rewrites the plans' arc ids onto `subset` (the caller's graph),
+    /// preserving each plan's internal order via the stored permutations.
+    void retarget(const std::vector<model::ArcId>& subset);
+
+   private:
+    /// plan.arcs[i] == subset[perm[i]] at make() time, per structure.
+    std::vector<std::uint32_t> star_perm_;
+    std::vector<std::uint32_t> chain_perm_;
+    std::vector<std::uint32_t> tree_perm_;
+  };
+
+  struct Stats {
+    std::size_t hits{0};
+    std::size_t misses{0};
+    std::size_t entries{0};
+
+    double hit_rate() const {
+      const std::size_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// Returns a copy of the entry for `key` (the caller then retargets it
+  /// onto its own subset's arc ids). Counts a hit or a miss.
+  std::optional<Entry> lookup(const Key& key);
+
+  /// Inserts (or overwrites) the entry for `key`.
+  void insert(const Key& key, Entry entry);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+/// Builds the canonical signature of `subset` under (cg, library, policy).
+PricingCache::Key make_pricing_key(const model::ConstraintGraph& cg,
+                                   const commlib::Library& library,
+                                   const std::vector<model::ArcId>& subset,
+                                   model::CapacityPolicy policy,
+                                   bool chain_enabled, bool tree_enabled);
+
+}  // namespace cdcs::synth

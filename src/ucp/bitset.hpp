@@ -32,6 +32,14 @@ class Bitset {
     for (std::uint64_t w : words_) c += std::popcount(w);
     return c;
   }
+
+  /// Sets every bit in [0, size()).
+  void set_all() {
+    if (words_.empty()) return;
+    for (std::uint64_t& w : words_) w = ~std::uint64_t{0};
+    const std::size_t tail = bits_ & 63;
+    if (tail != 0) words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
   bool any() const {
     for (std::uint64_t w : words_) {
       if (w != 0) return true;
@@ -66,11 +74,43 @@ class Bitset {
     }
     return c;
   }
+  /// popcount(this & other), stopping as soon as it reaches `cap` -- the
+  /// {0, 1, many} distinction the essential-column scan needs without
+  /// finishing the count.
+  std::size_t intersection_count_capped(const Bitset& other,
+                                        std::size_t cap) const {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size() && c < cap; ++i) {
+      c += std::popcount(words_[i] & other.words_[i]);
+    }
+    return c < cap ? c : cap;
+  }
+  /// True when (this & other & mask) is nonempty.
+  bool intersects_masked(const Bitset& other, const Bitset& mask) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i] & mask.words_[i]) return true;
+    }
+    return false;
+  }
   bool is_subset_of(const Bitset& other) const {
     for (std::size_t i = 0; i < words_.size(); ++i) {
       if (words_[i] & ~other.words_[i]) return false;
     }
     return true;
+  }
+  /// True when (this & mask) is a subset of `other` -- equivalently, of
+  /// (other & mask). One pass, no temporaries.
+  bool and_is_subset_of(const Bitset& mask, const Bitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & mask.words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+  /// this := this | (a & b)
+  void unite_and(const Bitset& a, const Bitset& b) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= a.words_[i] & b.words_[i];
+    }
   }
 
   /// Index of the lowest set bit, or size() when empty.
@@ -83,11 +123,49 @@ class Bitset {
     return bits_;
   }
 
+  /// Index of the lowest bit set in (this & other), or size() when the
+  /// intersection is empty.
+  std::size_t first_and(const Bitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t w = words_[i] & other.words_[i];
+      if (w != 0) return (i << 6) + std::countr_zero(w);
+    }
+    return bits_;
+  }
+
   /// Calls f(index) for every set bit in ascending order.
   template <typename F>
   void for_each(F&& f) const {
     for (std::size_t i = 0; i < words_.size(); ++i) {
       std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        f((i << 6) + b);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Calls f(index) for every set bit in ascending order until f returns
+  /// true (stop). Returns true when f stopped the scan.
+  template <typename F>
+  bool for_each_until(F&& f) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        if (f((i << 6) + b)) return true;
+        w &= w - 1;
+      }
+    }
+    return false;
+  }
+
+  /// Calls f(index) for every bit set in (this & other), ascending.
+  template <typename F>
+  void for_each_and(const Bitset& other, F&& f) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i] & other.words_[i];
       while (w != 0) {
         const int b = std::countr_zero(w);
         f((i << 6) + b);

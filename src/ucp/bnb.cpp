@@ -12,10 +12,21 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct SearchState {
-  Bitset uncovered;
-  std::vector<char> available;  ///< per column
+  Bitset uncovered;  ///< rows still to cover
+  Bitset available;  ///< columns still selectable
 };
 
+// The search itself is the classic include/exclude branch-and-bound; what
+// makes it fast is that every reduction predicate runs word-parallel over
+// the CoverProblem::row_cover transpose bitsets:
+//   * essential columns: popcount(row_cover(r) & available) with an early
+//     cap at 2, instead of scanning every column per uncovered row;
+//   * row dominance:  cols(r2) subseteq cols(r1) is one masked-subset pass;
+//   * column dominance: masked-subset over column row-sets, no temporaries;
+//   * MIS lower bound: blocked-column tracking is bitset union/intersection.
+// The predicates, their visit order, and all tie-breaks are EXACTLY the
+// scalar solver's, so nodes_explored is identical to the pre-bitset
+// implementation (pinned by Exact.SeedCorpusNodeCounts in tests/test_ucp.cpp).
 class Solver {
  public:
   Solver(const CoverProblem& problem, const BnbOptions& options)
@@ -26,9 +37,9 @@ class Solver {
     best_cost_ = greedy.cost;
     best_ = greedy.chosen;
 
-    SearchState root{Bitset(p_.num_rows()),
-                     std::vector<char>(p_.num_columns(), 1)};
-    for (std::size_t r = 0; r < p_.num_rows(); ++r) root.uncovered.set(r);
+    SearchState root{Bitset(p_.num_rows()), Bitset(p_.num_columns())};
+    root.uncovered.set_all();
+    root.available.set_all();
 
     std::vector<std::size_t> chosen;
     complete_ = true;
@@ -53,27 +64,26 @@ class Solver {
     while (changed) {
       changed = false;
 
-      // Essential columns (and infeasibility detection).
+      // Essential columns (and infeasibility detection): scan uncovered
+      // rows ascending, stop at the first dead or single-cover row.
       bool found_essential = true;
       while (found_essential) {
         found_essential = false;
         std::size_t essential_col = p_.num_columns();
         bool dead = false;
-        s.uncovered.for_each([&](std::size_t r) {
-          if (dead || essential_col != p_.num_columns()) return;
-          std::size_t count = 0;
-          std::size_t only = p_.num_columns();
-          for (std::size_t j = 0; j < p_.num_columns() && count < 2; ++j) {
-            if (s.available[j] && p_.column(j).rows.test(r)) {
-              ++count;
-              only = j;
-            }
-          }
+        s.uncovered.for_each_until([&](std::size_t r) {
+          const Bitset& cov = p_.row_cover(r);
+          const std::size_t count =
+              cov.intersection_count_capped(s.available, 2);
           if (count == 0) {
             dead = true;
-          } else if (count == 1) {
-            essential_col = only;
+            return true;
           }
+          if (count == 1) {
+            essential_col = cov.first_and(s.available);
+            return true;
+          }
+          return false;
         });
         if (dead) return false;
         if (essential_col != p_.num_columns()) {
@@ -81,7 +91,7 @@ class Solver {
           if (cost >= best_cost_) return false;
           chosen.push_back(essential_col);
           s.uncovered.subtract(p_.column(essential_col).rows);
-          s.available[essential_col] = 0;
+          s.available.reset(essential_col);
           found_essential = true;
           changed = true;
           if (s.uncovered.none()) return true;
@@ -99,14 +109,9 @@ class Solver {
             if (r1 == r2 || !s.uncovered.test(r2) || !s.uncovered.test(r1)) {
               continue;
             }
-            bool subset = true;  // cols(r2) subseteq cols(r1)?
-            for (std::size_t j = 0; j < p_.num_columns() && subset; ++j) {
-              if (s.available[j] && p_.column(j).rows.test(r2) &&
-                  !p_.column(j).rows.test(r1)) {
-                subset = false;
-              }
-            }
-            if (subset) {
+            // cols(r2) & available subseteq cols(r1), word-parallel.
+            if (p_.row_cover(r2).and_is_subset_of(s.available,
+                                                  p_.row_cover(r1))) {
               s.uncovered.reset(r1);
               changed = true;
               break;
@@ -118,25 +123,23 @@ class Solver {
       // Column dominance on the remaining rows.
       if (opt_.use_column_dominance && depth <= opt_.column_dominance_max_depth) {
         for (std::size_t j1 = 0; j1 < p_.num_columns(); ++j1) {
-          if (!s.available[j1]) continue;
-          Bitset r1 = p_.column(j1).rows;
-          r1.intersect(s.uncovered);
-          if (r1.none()) {
-            s.available[j1] = 0;  // useless column
+          if (!s.available.test(j1)) continue;
+          if (!p_.column(j1).rows.intersects(s.uncovered)) {
+            s.available.reset(j1);  // useless column
             changed = true;
             continue;
           }
           for (std::size_t j2 = 0; j2 < p_.num_columns(); ++j2) {
-            if (j1 == j2 || !s.available[j2]) continue;
+            if (j1 == j2 || !s.available.test(j2)) continue;
             const double w1 = p_.column(j1).weight;
             const double w2 = p_.column(j2).weight;
             // Tie-break by index so two identical columns don't erase each
             // other.
             if (w2 > w1 || (w2 == w1 && j2 > j1)) continue;
-            Bitset r2 = p_.column(j2).rows;
-            r2.intersect(s.uncovered);
-            if (r1.is_subset_of(r2)) {
-              s.available[j1] = 0;
+            // (rows(j1) & uncovered) subseteq (rows(j2) & uncovered)?
+            if (p_.column(j1).rows.and_is_subset_of(s.uncovered,
+                                                    p_.column(j2).rows)) {
+              s.available.reset(j1);
               changed = true;
               break;
             }
@@ -150,20 +153,17 @@ class Solver {
   double lower_bound(const SearchState& s) const {
     if (!opt_.use_mis_lower_bound) return 0.0;
     double bound = 0.0;
-    std::vector<char> blocked(p_.num_columns(), 0);
+    Bitset blocked(p_.num_columns());
     s.uncovered.for_each([&](std::size_t r) {
+      const Bitset& cov = p_.row_cover(r);
+      const bool independent = !cov.intersects_masked(s.available, blocked);
       double cheapest = kInf;
-      bool independent = true;
-      for (std::size_t j = 0; j < p_.num_columns(); ++j) {
-        if (!s.available[j] || !p_.column(j).rows.test(r)) continue;
-        if (blocked[j]) independent = false;
+      cov.for_each_and(s.available, [&](std::size_t j) {
         cheapest = std::min(cheapest, p_.column(j).weight);
-      }
+      });
       if (independent && cheapest < kInf) {
         bound += cheapest;
-        for (std::size_t j = 0; j < p_.num_columns(); ++j) {
-          if (s.available[j] && p_.column(j).rows.test(r)) blocked[j] = 1;
-        }
+        blocked.unite_and(cov, s.available);
       }
     });
     return bound;
@@ -196,10 +196,8 @@ class Solver {
     std::size_t best_row = p_.num_rows();
     std::size_t best_count = std::numeric_limits<std::size_t>::max();
     s.uncovered.for_each([&](std::size_t r) {
-      std::size_t count = 0;
-      for (std::size_t j = 0; j < p_.num_columns(); ++j) {
-        if (s.available[j] && p_.column(j).rows.test(r)) ++count;
-      }
+      const std::size_t count =
+          p_.row_cover(r).intersection_count(s.available);
       if (count < best_count) {
         best_count = count;
         best_row = r;
@@ -208,9 +206,8 @@ class Solver {
     if (best_row == p_.num_rows()) return;
 
     std::vector<std::size_t> cols;
-    for (std::size_t j = 0; j < p_.num_columns(); ++j) {
-      if (s.available[j] && p_.column(j).rows.test(best_row)) cols.push_back(j);
-    }
+    p_.row_cover(best_row).for_each_and(
+        s.available, [&](std::size_t j) { cols.push_back(j); });
     std::sort(cols.begin(), cols.end(), [&](std::size_t a, std::size_t b) {
       return p_.column(a).weight < p_.column(b).weight;
     });
@@ -218,7 +215,7 @@ class Solver {
     for (std::size_t j : cols) {
       SearchState child = s;
       child.uncovered.subtract(p_.column(j).rows);
-      child.available[j] = 0;
+      child.available.reset(j);
       std::vector<std::size_t> child_chosen = chosen;
       child_chosen.push_back(j);
       const double child_cost = cost + p_.column(j).weight;
@@ -228,7 +225,7 @@ class Solver {
       }
       // Sibling branches assume column j excluded: any cover using j was
       // just explored.
-      s.available[j] = 0;
+      s.available.reset(j);
     }
   }
 

@@ -22,7 +22,20 @@ std::size_t CoverProblem::add_column(const std::vector<std::size_t>& rows,
     throw std::invalid_argument("CoverProblem: column covers no rows");
   }
   columns_.push_back(std::move(col));
+  row_cover_valid_ = false;
   return columns_.size() - 1;
+}
+
+const Bitset& CoverProblem::row_cover(std::size_t r) const {
+  if (!row_cover_valid_) {
+    row_cover_.assign(num_rows_, Bitset(columns_.size()));
+    for (std::size_t j = 0; j < columns_.size(); ++j) {
+      columns_[j].rows.for_each(
+          [&](std::size_t row) { row_cover_[row].set(j); });
+    }
+    row_cover_valid_ = true;
+  }
+  return row_cover_.at(r);
 }
 
 bool CoverProblem::feasible() const {

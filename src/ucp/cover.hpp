@@ -46,9 +46,22 @@ class CoverProblem {
   /// True when `chosen` covers every row.
   bool covers_all(const std::vector<std::size_t>& chosen) const;
 
+  /// The transpose view: the columns covering row `r`, as a bitset over
+  /// column indices. This is what turns the solver's essential-column
+  /// detection and row-dominance tests into word-parallel operations
+  /// (ucp/bnb.cpp). Built lazily on the first call after the last
+  /// add_column and cached; the cache rebuild is O(rows x cols / 64).
+  /// NOT safe to call concurrently with add_column or a first post-mutation
+  /// call from another thread; the solvers are single-threaded over one
+  /// problem, which is the supported usage.
+  const Bitset& row_cover(std::size_t r) const;
+
  private:
   std::size_t num_rows_;
   std::vector<Column> columns_;
+  /// Lazy transpose cache for row_cover(); invalidated by add_column.
+  mutable std::vector<Bitset> row_cover_;
+  mutable bool row_cover_valid_{false};
 };
 
 struct CoverSolution {

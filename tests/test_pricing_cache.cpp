@@ -1,0 +1,171 @@
+// Pricing-cache correctness: exact hit/miss accounting, bit-identical
+// results under repeated synthesize() calls against a shared cache (the
+// Pareto-sweep / sensitivity-run use case), and automatic invalidation
+// when the library fingerprint changes. The cache never evicts, so these
+// tests also pin the "entries only grow" retention behaviour.
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "synth/pricing_cache.hpp"
+#include "synth/synthesizer.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+TEST(LibraryFingerprint, StableAndDiscriminating) {
+  const commlib::Library wan1 = commlib::wan_library();
+  const commlib::Library wan2 = commlib::wan_library();
+  EXPECT_EQ(wan1.fingerprint(), wan2.fingerprint());  // deterministic
+  EXPECT_NE(wan1.fingerprint(), commlib::soc_library().fingerprint());
+
+  // Any element edit that could change a pricing must change the digest.
+  commlib::Library extra = commlib::wan_library();
+  extra.add_link({.name = "extra", .bandwidth = 1.0, .fixed_cost = 1.0});
+  EXPECT_NE(extra.fingerprint(), wan1.fingerprint());
+
+  commlib::Library repriced("wan-2002");
+  for (commlib::Link l : wan1.links()) {
+    l.cost_per_length *= 1.01;
+    repriced.add_link(std::move(l));
+  }
+  for (const commlib::Node& n : wan1.nodes()) repriced.add_node(n);
+  EXPECT_NE(repriced.fingerprint(), wan1.fingerprint());
+}
+
+TEST(PricingKey, CanonicalSubsetSignature) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  const std::vector<model::ArcId> subset{model::ArcId{0}, model::ArcId{1}};
+
+  const auto k1 = make_pricing_key(cg, lib, subset,
+                                   model::CapacityPolicy::kSharedSum,
+                                   /*chain_enabled=*/true,
+                                   /*tree_enabled=*/true);
+  const auto k2 = make_pricing_key(cg, lib, subset,
+                                   model::CapacityPolicy::kSharedSum, true,
+                                   true);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.arc_geometry.size(), 10u);  // five doubles per arc
+
+  // Every knob the pricers read must separate keys.
+  const auto other_subset = make_pricing_key(
+      cg, lib, {model::ArcId{0}, model::ArcId{2}},
+      model::CapacityPolicy::kSharedSum, true, true);
+  EXPECT_FALSE(k1 == other_subset);
+  const auto other_policy = make_pricing_key(
+      cg, lib, subset, model::CapacityPolicy::kMaxPerConstraint, true, true);
+  EXPECT_FALSE(k1 == other_policy);
+  const auto no_chains = make_pricing_key(
+      cg, lib, subset, model::CapacityPolicy::kSharedSum, false, true);
+  EXPECT_FALSE(k1 == no_chains);
+  const auto other_lib = make_pricing_key(
+      cg, commlib::lan_library(), subset, model::CapacityPolicy::kSharedSum,
+      true, true);
+  EXPECT_FALSE(k1 == other_lib);
+}
+
+TEST(PricingCacheAccounting, LookupInsertLookup) {
+  PricingCache cache;
+  PricingCache::Key key;
+  key.library_fingerprint = 42;
+  key.arc_geometry = {0, 0, 1, 1, 2.5};
+
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // An all-nullopt entry is a definitive "no structure realizable" answer
+  // and must round-trip like any other.
+  cache.insert(key, PricingCache::Entry::make({model::ArcId{0}}, std::nullopt,
+                                              std::nullopt, std::nullopt));
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  const auto entry = cache.lookup(key);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_FALSE(entry->star.has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(PricingCacheAccounting, RepeatedSynthesisHitsEverySubset) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  PricingCache cache;
+  SynthesisOptions options;
+  options.pricing_cache = &cache;
+
+  const auto first = synthesize(cg, lib, options);
+  ASSERT_TRUE(first.ok());
+  const auto& s1 = first->candidate_set.stats;
+  EXPECT_EQ(s1.pricing_cache_hits, 0u);  // cold cache: every probe misses
+  EXPECT_GT(s1.pricing_cache_misses, 0u);
+  const std::size_t priced = s1.pricing_cache_misses;
+  EXPECT_EQ(cache.stats().entries, priced);  // no evictions, no dupes
+
+  const auto second = synthesize(cg, lib, options);
+  ASSERT_TRUE(second.ok());
+  const auto& s2 = second->candidate_set.stats;
+  EXPECT_EQ(s2.pricing_cache_hits, priced);  // warm: every probe hits
+  EXPECT_EQ(s2.pricing_cache_misses, 0u);
+  EXPECT_EQ(cache.stats().entries, priced);  // nothing new inserted
+
+  // And the warm-cache result is the same result.
+  EXPECT_DOUBLE_EQ(second->total_cost, first->total_cost);
+  EXPECT_EQ(second->cover.chosen, first->cover.chosen);
+  ASSERT_EQ(second->candidates().size(), first->candidates().size());
+  for (std::size_t i = 0; i < first->candidates().size(); ++i) {
+    EXPECT_DOUBLE_EQ(second->candidates()[i].cost, first->candidates()[i].cost);
+    EXPECT_EQ(second->candidates()[i].arcs, first->candidates()[i].arcs);
+  }
+}
+
+TEST(PricingCacheAccounting, LibraryChangeInvalidatesEverything) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  PricingCache cache;
+  SynthesisOptions options;
+  options.pricing_cache = &cache;
+
+  const auto warm = synthesize(cg, lib, options);
+  ASSERT_TRUE(warm.ok());
+  const std::size_t wan_entries = cache.stats().entries;
+  ASSERT_GT(wan_entries, 0u);
+
+  // Reprice every link 10% higher: same names, same geometry, different
+  // costs. Every cached plan is now wrong for this library, and the
+  // fingerprint keying must make the run miss on every subset.
+  commlib::Library pricier("wan-2002-pricier");
+  for (commlib::Link l : lib.links()) {
+    l.fixed_cost *= 1.1;
+    l.cost_per_length *= 1.1;
+    pricier.add_link(std::move(l));
+  }
+  for (const commlib::Node& n : lib.nodes()) pricier.add_node(n);
+  ASSERT_NE(pricier.fingerprint(), lib.fingerprint());
+
+  const auto repriced = synthesize(cg, pricier, options);
+  ASSERT_TRUE(repriced.ok());
+  const auto& s = repriced->candidate_set.stats;
+  EXPECT_EQ(s.pricing_cache_hits, 0u);  // no stale reuse
+  EXPECT_GT(s.pricing_cache_misses, 0u);
+  EXPECT_GT(cache.stats().entries, wan_entries);  // new keys coexist
+
+  // Costs scale with the library, proving plans were re-priced.
+  EXPECT_GT(repriced->total_cost, warm->total_cost);
+
+  // The original library still hits its own (untouched) entries.
+  const auto again = synthesize(cg, lib, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->candidate_set.stats.pricing_cache_misses, 0u);
+  EXPECT_DOUBLE_EQ(again->total_cost, warm->total_cost);
+}
+
+}  // namespace
+}  // namespace cdcs::synth

@@ -39,6 +39,79 @@ TEST(Bitset, BasicOps) {
   EXPECT_EQ(seen, (std::vector<std::size_t>{129}));
 }
 
+TEST(Bitset, WordParallelOps) {
+  // The ops added for the branch-and-bound rewrite: each must agree with
+  // the obvious per-bit definition, including across word boundaries.
+  Bitset a(130);
+  a.set(1);
+  a.set(63);
+  a.set(64);
+  a.set(129);
+  Bitset b(130);
+  b.set(63);
+  b.set(64);
+  b.set(100);
+
+  EXPECT_EQ(a.intersection_count_capped(b, 1), 1u);  // stops at the cap
+  EXPECT_EQ(a.intersection_count_capped(b, 8), 2u);
+
+  Bitset mask(130);
+  mask.set(63);
+  EXPECT_TRUE(a.intersects_masked(b, mask));  // a & b & mask has bit 63
+  mask.reset(63);
+  mask.set(1);
+  EXPECT_FALSE(a.intersects_masked(b, mask));  // b lacks bit 1
+
+  // (a & mask) subset of b: mask={1} selects only bit 1, absent from b.
+  EXPECT_FALSE(a.and_is_subset_of(mask, b));
+  Bitset mask2(130);
+  mask2.set(63);
+  mask2.set(64);
+  EXPECT_TRUE(a.and_is_subset_of(mask2, b));
+
+  Bitset u(130);
+  u.set(2);
+  u.unite_and(a, b);  // u |= a & b = {63, 64}
+  EXPECT_TRUE(u.test(2));
+  EXPECT_TRUE(u.test(63));
+  EXPECT_TRUE(u.test(64));
+  EXPECT_EQ(u.count(), 3u);
+
+  EXPECT_EQ(a.first_and(b), 63u);
+  EXPECT_EQ(a.first_and(Bitset(130)), a.size());  // empty intersection
+
+  std::vector<std::size_t> seen;
+  a.for_each_and(b, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{63, 64}));
+
+  seen.clear();
+  const bool stopped = a.for_each_until([&](std::size_t i) {
+    seen.push_back(i);
+    return i >= 64;  // stop once past the first word
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{1, 63, 64}));
+
+  Bitset full(130);
+  full.set_all();
+  EXPECT_EQ(full.count(), 130u);  // tail word must stay masked
+  EXPECT_FALSE(full.test(130));
+}
+
+TEST(CoverProblem, RowCoverTransposeTracksMutation) {
+  CoverProblem p(3);
+  p.add_column({0, 1}, 1.0);
+  p.add_column({1, 2}, 1.0);
+  EXPECT_TRUE(p.row_cover(1).test(0));
+  EXPECT_TRUE(p.row_cover(1).test(1));
+  EXPECT_FALSE(p.row_cover(0).test(1));
+
+  // Adding a column must invalidate the cached transpose.
+  p.add_column({0, 2}, 1.0);
+  EXPECT_TRUE(p.row_cover(0).test(2));
+  EXPECT_EQ(p.row_cover(2).count(), 2u);
+}
+
 CoverProblem tiny_problem() {
   // rows {0,1,2}; columns: A={0,1} w=3, B={1,2} w=3, C={0,1,2} w=5, D={2} w=1.
   CoverProblem p(3);
@@ -263,6 +336,70 @@ TEST(Exact, NodeBudgetReturnsIncumbent) {
   const CoverSolution s = solve_exact(p, tight);
   EXPECT_FALSE(s.optimal);           // budget exhausted
   EXPECT_TRUE(p.covers_all(s.chosen));  // but still feasible (greedy incumbent)
+}
+
+/// Same generator as bench/bench_ucp_solver.cpp: keep the two in sync so
+/// the pinned node counts below describe the bench corpus exactly.
+CoverProblem corpus_problem(int rows, int cols, double density,
+                            unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> weight(0.5, 10.0);
+  CoverProblem p(rows);
+  for (int j = 0; j < cols; ++j) {
+    std::vector<std::size_t> covered;
+    for (int r = 0; r < rows; ++r) {
+      if (unit(rng) < density) covered.push_back(r);
+    }
+    if (covered.empty()) covered.push_back(j % rows);
+    p.add_column(covered, weight(rng));
+  }
+  for (int r = 0; r < rows; ++r) {
+    p.add_column({static_cast<std::size_t>(r)}, 12.0);
+  }
+  return p;
+}
+
+// The bitset rewrite of the branch-and-bound reductions (essential-column
+// scan, row/column dominance, MIS bound) must not change the search tree:
+// every predicate, visit order, and tie-break is word-parallel but
+// semantically identical to the scalar version. These node counts were
+// captured from the pre-bitset implementation on the bench_ucp_solver
+// corpus; any drift here means the reductions changed behaviour, not just
+// speed.
+TEST(Exact, SeedCorpusNodeCounts) {
+  BnbOptions force_bnb;
+  force_bnb.dense_dp_max_rows = 0;
+
+  const struct {
+    int rows, cols;
+    double density;
+    std::size_t expected_nodes;
+  } corpus[] = {
+      {10, 30, 0.30, 7},
+      {12, 200, 0.25, 33},
+      {15, 60, 0.25, 98},
+      {20, 100, 0.20, 123},
+  };
+  for (const auto& c : corpus) {
+    const CoverProblem p =
+        corpus_problem(c.rows, c.cols, c.density, 91 + c.rows);
+    const CoverSolution s = solve_exact(p, force_bnb);
+    EXPECT_TRUE(s.optimal);
+    EXPECT_EQ(s.nodes_explored, c.expected_nodes)
+        << c.rows << "x" << c.cols << " density " << c.density;
+  }
+
+  // The reduction ablation instance from the bench, all three variants.
+  const CoverProblem p = corpus_problem(20, 100, 0.2, 111);
+  BnbOptions no_dom = force_bnb;
+  no_dom.use_row_dominance = false;
+  no_dom.use_column_dominance = false;
+  BnbOptions no_lb = force_bnb;
+  no_lb.use_mis_lower_bound = false;
+  EXPECT_EQ(solve_exact(p, force_bnb).nodes_explored, 123u);
+  EXPECT_EQ(solve_exact(p, no_dom).nodes_explored, 329u);
+  EXPECT_EQ(solve_exact(p, no_lb).nodes_explored, 126u);
 }
 
 }  // namespace
