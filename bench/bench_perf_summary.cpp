@@ -14,6 +14,7 @@
 // the container it was developed on (see "host" below for context).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <random>
 #include <thread>
@@ -109,9 +110,20 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "\n    }\n  },\n");
 
-  // --- UCP branch-and-bound node counts (bitset reductions) ------------
+  // --- UCP solver v2 vs legacy on the bench corpus ----------------------
+  // Every configuration must prove the SAME cost (solver v2's optimality
+  // contract); v2's Lagrangian bounds + reduced-cost fixing are judged on
+  // node and wall-clock reduction against the legacy (v1) configuration.
+  // The wall numbers are machine-dependent, but the v2/legacy RATIO is not,
+  // which is what the acceptance gate below and the CI regression checker
+  // (tools/check_bench_regression.py) compare.
   ucp::BnbOptions force_bnb;
   force_bnb.dense_dp_max_rows = 0;
+  ucp::BnbOptions legacy = force_bnb;
+  legacy.use_lagrangian_bound = false;
+  legacy.use_reduced_cost_fixing = false;
+  ucp::BnbOptions best_first = force_bnb;
+  best_first.search_order = ucp::SearchOrder::kBestFirst;
   std::fprintf(out, "  \"ucp_bnb\": [\n");
   first = true;
   for (const auto& [rows, cols, density] :
@@ -120,15 +132,49 @@ int main(int argc, char** argv) {
         std::tuple{20, 100, 0.20}, std::tuple{20, 2000, 0.15}}) {
     const ucp::CoverProblem p =
         random_problem(rows, cols, density, 91 + rows);
-    const auto t0 = Clock::now();
+    auto t0 = Clock::now();
+    const ucp::CoverSolution v1 = ucp::solve_exact(p, legacy);
+    const double t_v1 = ms_since(t0);
+    t0 = Clock::now();
     const ucp::CoverSolution s = ucp::solve_exact(p, force_bnb);
     const double t_ms = ms_since(t0);
+    const ucp::CoverSolution bf = ucp::solve_exact(p, best_first);
+
+    if (std::abs(v1.cost - s.cost) > 1e-9 ||
+        std::abs(v1.cost - bf.cost) > 1e-9) {
+      std::fprintf(stderr,
+                   "COST MISMATCH on %dx%d: legacy %.9f, v2 %.9f, "
+                   "best-first %.9f\n",
+                   rows, cols, v1.cost, s.cost, bf.cost);
+      ++failures;
+    }
+    // Acceptance gate for the v2 solver on the hardest instance: at least
+    // 10x fewer nodes and 5x less wall-clock than the legacy tree.
+    if (rows == 20 && cols == 2000) {
+      if (s.nodes_explored * 10 > v1.nodes_explored) {
+        std::fprintf(stderr,
+                     "NODE REGRESSION on 20x2000: v2 %zu nodes vs legacy "
+                     "%zu (< 10x reduction)\n",
+                     s.nodes_explored, v1.nodes_explored);
+        ++failures;
+      }
+      if (t_ms * 5.0 > t_v1) {
+        std::fprintf(stderr,
+                     "WALL REGRESSION on 20x2000: v2 %.1fms vs legacy "
+                     "%.1fms (< 5x speedup)\n",
+                     t_ms, t_v1);
+        ++failures;
+      }
+    }
     std::fprintf(out,
                  "%s    {\"rows\": %d, \"cols\": %d, \"density\": %.2f, "
-                 "\"nodes_explored\": %zu, \"wall_ms\": %.3f, "
+                 "\"cost\": %.6f, \"nodes_explored\": %zu, "
+                 "\"wall_ms\": %.3f, \"legacy_nodes\": %zu, "
+                 "\"legacy_wall_ms\": %.3f, \"best_first_nodes\": %zu, "
                  "\"optimal\": %s}",
-                 first ? "" : ",\n", rows, cols, density, s.nodes_explored,
-                 t_ms, s.optimal ? "true" : "false");
+                 first ? "" : ",\n", rows, cols, density, s.cost,
+                 s.nodes_explored, t_ms, v1.nodes_explored, t_v1,
+                 bf.nodes_explored, s.optimal ? "true" : "false");
     first = false;
   }
   std::fprintf(out, "\n  ],\n");

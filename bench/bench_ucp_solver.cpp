@@ -88,6 +88,48 @@ int main() {
   }
   std::printf("\nWorst greedy optimality gap observed: %.1f%%\n", worst_gap);
 
+  // --- Solver v2 vs the legacy v1 configuration -------------------------
+  // Same corpus, three solver configurations. All must prove the SAME cost;
+  // the interesting columns are nodes and wall-clock.
+  std::puts(
+      "\n=== Solver v2 (Lagrangian bounds + reduced-cost fixing) vs legacy "
+      "===");
+  std::printf("%5s %5s | %9s %10s | %9s %10s | %9s %10s\n", "rows", "cols",
+              "v1-nodes", "v1-ms", "v2-nodes", "v2-ms", "bf-nodes", "bf-ms");
+  BnbOptions legacy = force_bnb;
+  legacy.use_lagrangian_bound = false;
+  legacy.use_reduced_cost_fixing = false;
+  BnbOptions best_first = force_bnb;
+  best_first.search_order = SearchOrder::kBestFirst;
+  for (const auto& [rows, cols, density] :
+       {std::tuple{10, 30, 0.30}, std::tuple{12, 200, 0.25},
+        std::tuple{15, 60, 0.25}, std::tuple{15, 1000, 0.20},
+        std::tuple{20, 100, 0.20}, std::tuple{20, 2000, 0.15}}) {
+    const CoverProblem p = random_problem(rows, cols, density, 91 + rows);
+
+    auto t0 = std::chrono::steady_clock::now();
+    const CoverSolution v1 = solve_exact(p, legacy);
+    const double t_v1 = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const CoverSolution v2 = solve_exact(p, force_bnb);
+    const double t_v2 = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const CoverSolution bf = solve_exact(p, best_first);
+    const double t_bf = ms_since(t0);
+
+    if (std::abs(v1.cost - v2.cost) > 1e-9 ||
+        std::abs(v1.cost - bf.cost) > 1e-9) {
+      std::printf("ERROR: configurations disagree on %dx%d: %f / %f / %f\n",
+                  rows, cols, v1.cost, v2.cost, bf.cost);
+      return 1;
+    }
+    std::printf("%5d %5d | %9zu %8.1fms | %9zu %8.1fms | %9zu %8.1fms\n",
+                rows, cols, v1.nodes_explored, t_v1, v2.nodes_explored, t_v2,
+                bf.nodes_explored, t_bf);
+  }
+
   std::puts("\n=== BnB reduction ablation (20x100, density 0.2) ===");
   const CoverProblem p = random_problem(20, 100, 0.2, 111);
   BnbOptions no_dom = force_bnb;

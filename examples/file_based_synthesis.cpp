@@ -20,6 +20,12 @@
 //   --threads N              worker threads for candidate pricing (default
 //                            1; 0 = all hardware threads). Results are
 //                            bit-identical for every N (docs/performance.md)
+//   --search-order dfs|best-first
+//                            cover-solver node order (default dfs); both
+//                            prove the same optimal cost
+//   --no-lagrangian          disable the solver's Lagrangian node bounds
+//   --no-rc-fixing           disable reduced-cost column fixing
+//   --no-grid-prefilter      disable the geometric grid pre-filter
 //   --repair                 sanitize-and-repair the constraint graph
 //                            (merge parallel channels by summing bandwidth)
 //                            instead of rejecting it; defects the parser
@@ -59,6 +65,10 @@ int usage(const char* argv0) {
          "  --tables           print Gamma/Delta matrices\n"
          "  --deadline-ms MS   wall-clock budget (degrades, never fails)\n"
          "  --threads N        pricing worker threads (0 = all hardware)\n"
+         "  --search-order dfs|best-first   cover-solver node order\n"
+         "  --no-lagrangian    disable Lagrangian solver bounds\n"
+         "  --no-rc-fixing     disable reduced-cost column fixing\n"
+         "  --no-grid-prefilter   disable the geometric grid pre-filter\n"
          "  --repair           repair invalid constraint graphs\n"
          "  --dot FILE         write Graphviz DOT\n"
          "  --save FILE        write the implementation graph\n"
@@ -130,6 +140,22 @@ int main(int argc, char** argv) {
       options.deadline = support::Deadline::after_ms(std::atof(next()));
     } else if (arg == "--threads") {
       options.threads = std::atoi(next());
+    } else if (arg == "--search-order") {
+      const std::string_view v = next();
+      if (v == "dfs") {
+        options.solver.search_order = ucp::SearchOrder::kDepthFirst;
+      } else if (v == "best-first") {
+        options.solver.search_order = ucp::SearchOrder::kBestFirst;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--no-lagrangian") {
+      options.solver.use_lagrangian_bound = false;
+      options.solver.use_reduced_cost_fixing = false;  // needs the bound
+    } else if (arg == "--no-rc-fixing") {
+      options.solver.use_reduced_cost_fixing = false;
+    } else if (arg == "--no-grid-prefilter") {
+      options.use_grid_prefilter = false;
     } else if (arg == "--repair") {
       repair = true;
     } else if (arg == "--delay") {

@@ -75,6 +75,14 @@ std::string describe(const synth::SynthesisResult& result,
   }
   os << " (" << result.candidates().size() << " UCP columns)\n";
 
+  std::size_t grid_skips = 0;
+  for (std::size_t s : stats.grid_prefilter_skips_per_k) grid_skips += s;
+  if (grid_skips > 0) {
+    os << "  grid pre-filter skipped " << grid_skips
+       << " geometrically distant subset" << (grid_skips == 1 ? "" : "s")
+       << "\n";
+  }
+
   for (std::size_t i = 0; i < stats.arc_eliminated_after_k.size(); ++i) {
     if (stats.arc_eliminated_after_k[i] > 0) {
       os << "  " << cg.channel(model::ArcId{static_cast<std::uint32_t>(i)}).name

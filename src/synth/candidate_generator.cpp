@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -85,6 +87,97 @@ PricedStructures price_subset(const model::ConstraintGraph& cg,
   return p;
 }
 
+/// Bounding-box grid pre-filter for the geometric pruning tests.
+///
+/// Arc midpoints m_a = (u_a + v_a)/2 are bucketed into a uniform grid of
+/// pitch `g` (the mean arc length). For any of the supported norms
+/// (L1/L2/Linf), ||x|| >= |x_axis| per axis, so two midpoints whose cells
+/// differ by c cells along some axis are at least (c-1)*g apart. Combined
+/// with the triangle inequality
+///     Delta(a,b) = ||u_a-u_b|| + ||v_a-v_b|| >= ||(u_a+v_a)-(u_b+v_b)||
+///                = 2 ||m_a - m_b||,
+/// a subset whose members are provably far apart satisfies the Lemma 3.1 /
+/// Lemma 3.2 pruning inequality (Gamma <= Delta) OUTRIGHT -- the filter
+/// skips the lemma evaluation only when its outcome is guaranteed, so the
+/// surviving candidate set is bit-identical with the filter on or off.
+class MidpointGrid {
+ public:
+  MidpointGrid(const model::ConstraintGraph& cg,
+               const std::vector<model::ArcId>& arcs) {
+    double total = 0.0;
+    for (model::ArcId a : arcs) total += cg.distance(a);
+    pitch_ = arcs.empty() ? 0.0 : total / static_cast<double>(arcs.size());
+    if (!(pitch_ > 0.0) || !std::isfinite(pitch_)) return;  // degenerate: off
+    enabled_ = true;
+    const std::size_t n = arcs.size();
+    cell_x_.resize(n);
+    cell_y_.resize(n);
+    for (model::ArcId a : arcs) {
+      const geom::Point2D u = cg.position(cg.source(a));
+      const geom::Point2D v = cg.position(cg.target(a));
+      cell_x_[a.index()] =
+          static_cast<std::int64_t>(std::floor((u.x + v.x) * 0.5 / pitch_));
+      cell_y_[a.index()] =
+          static_cast<std::int64_t>(std::floor((u.y + v.y) * 0.5 / pitch_));
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Conservative lower bound on ||m_a - m_b||: cells c apart along an axis
+  /// put the midpoints at least (c-1)*pitch apart along it, and every
+  /// supported norm dominates each per-axis distance.
+  double midpoint_distance_lb(model::ArcId a, model::ArcId b) const {
+    const std::int64_t dx =
+        std::llabs(cell_x_[a.index()] - cell_x_[b.index()]);
+    const std::int64_t dy =
+        std::llabs(cell_y_[a.index()] - cell_y_[b.index()]);
+    const std::int64_t cells = std::max(dx, dy) - 1;
+    return cells > 0 ? static_cast<double>(cells) * pitch_ : 0.0;
+  }
+
+  /// True when Lemma 3.1 is GUARANTEED to prune the pair {a, b}:
+  /// 2*lb(m_a, m_b) >= Gamma(a,b) implies Gamma <= Delta.
+  bool guarantees_lemma31(const ArcPairMatrix& gamma, model::ArcId a,
+                          model::ArcId b) const {
+    return 2.0 * midpoint_distance_lb(a, b) >= gamma(a, b);
+  }
+
+  /// True when Lemma 3.2 is GUARANTEED to prune `subset` under `rule`:
+  /// the bound is applied pairwise against the pivot the rule would select
+  /// (for kAnyPivot the min-distance pivot suffices -- any one passing
+  /// pivot makes the any_of fire).
+  bool guarantees_lemma32(const model::ConstraintGraph& cg,
+                          const ArcPairMatrix& gamma,
+                          std::span<const model::ArcId> subset,
+                          PivotRule rule) const {
+    model::ArcId pivot = subset.front();
+    if (rule == PivotRule::kMaxIndex) {
+      pivot = *std::max_element(subset.begin(), subset.end());
+    } else {
+      // kMinDistance's selection (strict <, earliest wins); also a sound
+      // pivot choice for kAnyPivot.
+      for (model::ArcId a : subset) {
+        if (cg.distance(a) < cg.distance(pivot)) pivot = a;
+      }
+    }
+    double sum_gamma = 0.0;
+    double sum_lb2 = 0.0;
+    for (model::ArcId a : subset) {
+      if (a == pivot) continue;
+      sum_gamma += gamma(a, pivot);
+      sum_lb2 += 2.0 * midpoint_distance_lb(a, pivot);
+    }
+    return sum_lb2 >= sum_gamma;
+  }
+
+ private:
+  bool enabled_{false};
+  double pitch_{0.0};
+  std::vector<std::int64_t> cell_x_;
+  std::vector<std::int64_t> cell_y_;
+};
+
 }  // namespace
 
 support::Expected<CandidateSet> generate_candidates(
@@ -100,6 +193,7 @@ support::Expected<CandidateSet> generate_candidates(
   auto& stats = out.stats;
   stats.survivors_per_k.assign(max_k + 1, 0);
   stats.pruned_geometry_per_k.assign(max_k + 1, 0);
+  stats.grid_prefilter_skips_per_k.assign(max_k + 1, 0);
   stats.pruned_bandwidth_per_k.assign(max_k + 1, 0);
   stats.unpriceable_per_k.assign(max_k + 1, 0);
   stats.dropped_unprofitable_per_k.assign(max_k + 1, 0);
@@ -133,6 +227,8 @@ support::Expected<CandidateSet> generate_candidates(
   const ArcPairMatrix delta = delta_matrix(cg);
   const std::vector<double> bw = bandwidth_vector(cg);
   const double max_link_bw = library.max_link_bandwidth();
+  const MidpointGrid grid(cg, arcs);
+  const bool grid_on = options.use_grid_prefilter && grid.enabled();
 
   const std::size_t threads = support::resolve_thread_count(options.threads);
   stats.threads_used = threads;
@@ -191,6 +287,24 @@ support::Expected<CandidateSet> generate_candidates(
         if (options.use_theorem32 &&
             theorem32_prunes(subset_bw, max_link_bw)) {
           ++stats.pruned_bandwidth_per_k[k];
+          advance();
+          continue;
+        }
+        // Grid pre-filter: skip the lemma evaluation when its firing is
+        // guaranteed by the midpoint-cell distances alone. Only sound when
+        // the corresponding lemma is enabled (the skip *stands in* for that
+        // test), and counted into pruned_geometry_per_k as well so the
+        // survivors + pruned_geometry invariant is unchanged.
+        const bool grid_skipped =
+            grid_on &&
+            ((k == 2 && options.use_lemma31 &&
+              grid.guarantees_lemma31(gamma, subset[0], subset[1])) ||
+             (k >= 3 && options.use_lemma32 &&
+              grid.guarantees_lemma32(cg, gamma, subset,
+                                      options.pivot_rule)));
+        if (grid_skipped) {
+          ++stats.pruned_geometry_per_k[k];
+          ++stats.grid_prefilter_skips_per_k[k];
           advance();
           continue;
         }

@@ -13,6 +13,7 @@
 #include "support/deadline.hpp"
 #include "support/status.hpp"
 #include "synth/chain_pricer.hpp"
+#include "ucp/bnb.hpp"
 #include "synth/mergeability.hpp"
 #include "synth/merging_pricer.hpp"
 #include "synth/plan_delay.hpp"
@@ -49,6 +50,17 @@ struct SynthesisOptions {
   bool use_lemma32 = true;    ///< pivot-based geometric pruning at k >= 3
   bool use_theorem31 = true;  ///< progressive per-arc elimination
   bool use_theorem32 = true;  ///< bandwidth-sum pruning
+
+  /// Bounding-box grid pre-filter: bucket arc midpoints into a uniform grid
+  /// and skip subsets whose members are so far apart that the Lemma 3.1/3.2
+  /// distance tests are GUARANTEED to prune them (a conservative
+  /// triangle-inequality bound; see candidate_generator.cpp). Pure speedup:
+  /// the surviving candidate set is bit-identical. Skips are counted in
+  /// GenerationStats::grid_prefilter_skips_per_k (and, since every skipped
+  /// subset would have been geometry-pruned anyway, also in
+  /// pruned_geometry_per_k). Only active for subsets whose corresponding
+  /// lemma switch is on.
+  bool use_grid_prefilter = true;
 
   /// Drop priced mergings that do not beat the sum of their members'
   /// point-to-point costs. Keeps the UCP matrix lean; never loses the
@@ -105,6 +117,13 @@ struct SynthesisOptions {
 
   /// Deterministic failure forcing for tests; see FaultInjection.
   FaultInjection fault_injection;
+
+  /// Cover-solver configuration (Lagrangian bounds, reduced-cost fixing,
+  /// search order, ...). The 3-argument synthesize() overload uses this;
+  /// the 4-argument overload overrides it explicitly. The synthesizer
+  /// additionally seeds `solver.warm_start` with the point-to-point
+  /// singleton cover when the caller left it empty.
+  ucp::BnbOptions solver;
 };
 
 /// One column of the covering problem: a single arc's point-to-point
@@ -124,6 +143,11 @@ struct GenerationStats {
   /// (the paper's "thirteen 2-way, twenty-one 3-way, ..." counts).
   std::vector<std::size_t> survivors_per_k;
   std::vector<std::size_t> pruned_geometry_per_k;   ///< Lemma 3.1 / 3.2
+  /// Subsets skipped by the midpoint-grid pre-filter WITHOUT evaluating the
+  /// lemma tests. A subset counted here is also counted in
+  /// pruned_geometry_per_k (the filter only skips subsets the lemmas are
+  /// guaranteed to prune), so survivors + pruned_geometry stays invariant.
+  std::vector<std::size_t> grid_prefilter_skips_per_k;
   std::vector<std::size_t> pruned_bandwidth_per_k;  ///< Theorem 3.2
   std::vector<std::size_t> unpriceable_per_k;  ///< survived tests, no library plan
   std::vector<std::size_t> dropped_unprofitable_per_k;

@@ -44,6 +44,16 @@ support::Expected<SynthesisResult> run_pipeline(
   if (options.fault_injection.expire_solver_deadline) {
     solver.deadline = support::Deadline::expire_after_checks(0);
   }
+  // Seed the incumbent with the anytime ladder's last rung: generation
+  // emits the singletons first (candidate i covers exactly arc i), so
+  // {0..rows-1} is always a feasible cover and branch-and-bound pruning
+  // starts with a real upper bound even when greedy underperforms.
+  if (solver.warm_start.empty() &&
+      result.candidate_set.candidates.size() >= num_rows) {
+    solver.warm_start.resize(num_rows);
+    std::iota(solver.warm_start.begin(), solver.warm_start.end(),
+              std::size_t{0});
+  }
   result.cover = ucp::solve_exact(cover, solver);
 
   DegradationReport& deg = result.degradation;
@@ -127,6 +137,12 @@ support::Expected<SynthesisResult> run_pipeline(
 }
 
 }  // namespace
+
+support::Expected<SynthesisResult> synthesize(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options) {
+  return synthesize(cg, library, options, options.solver);
+}
 
 support::Expected<SynthesisResult> synthesize(
     const model::ConstraintGraph& cg, const commlib::Library& library,

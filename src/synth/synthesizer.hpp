@@ -61,9 +61,10 @@ struct DegradationReport {
   /// cover solver", ...). Empty for exact runs.
   std::string reason;
   /// Lower bound on the optimal cover cost over the generated candidate
-  /// set (== achieved cost for exact runs; the independent-rows root bound
-  /// otherwise). When candidate enumeration itself was cut short the true
-  /// optimum over the full set could be lower still.
+  /// set (== achieved cost for exact runs; the subgradient Lagrangian root
+  /// bound -- falling back to the independent-rows bound -- otherwise).
+  /// When candidate enumeration itself was cut short the true optimum over
+  /// the full set could be lower still.
   double lower_bound{0.0};
   /// (achieved - lower_bound) / lower_bound; 0 for exact runs or when the
   /// bound is degenerate (<= 0).
@@ -102,9 +103,17 @@ struct SynthesisResult {
 ///   * kInternal     -- an invariant broke downstream (a bug, not bad input).
 /// A deadline (SynthesisOptions::deadline) is NOT an error: the result
 /// degrades along the anytime ladder and `result.degradation` says how.
+///
+/// The cover solver runs with `options.solver` (Lagrangian bounds,
+/// reduced-cost fixing, search order, ...); the 4-argument overload
+/// overrides that with an explicit BnbOptions. Either way the solver's
+/// incumbent is warm-started with the point-to-point singleton cover, so
+/// pruning starts from the anytime ladder's last-resort upper bound.
 support::Expected<SynthesisResult> synthesize(
     const model::ConstraintGraph& cg, const commlib::Library& library,
-    const SynthesisOptions& options = {},
-    const ucp::BnbOptions& solver_options = {});
+    const SynthesisOptions& options = {});
+support::Expected<SynthesisResult> synthesize(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options, const ucp::BnbOptions& solver_options);
 
 }  // namespace cdcs::synth

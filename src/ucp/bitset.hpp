@@ -113,6 +113,24 @@ class Bitset {
     }
   }
 
+  /// sum of weights[i] over i in (this & mask) -- the reduced-cost kernel of
+  /// the Lagrangian bound: with `this` = a column's row set, `mask` = the
+  /// uncovered rows, and `weights` = the multipliers, this is the amount the
+  /// column's weight is discounted by in the relaxation. `weights` must have
+  /// at least size() entries.
+  double dot_and(const Bitset& mask, const double* weights) const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i] & mask.words_[i];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        sum += weights[(i << 6) + b];
+        w &= w - 1;
+      }
+    }
+    return sum;
+  }
+
   /// Index of the lowest set bit, or size() when empty.
   std::size_t first() const {
     for (std::size_t i = 0; i < words_.size(); ++i) {

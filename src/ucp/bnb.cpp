@@ -1,10 +1,13 @@
 #include "ucp/bnb.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "ucp/dp.hpp"
 #include "ucp/greedy.hpp"
+#include "ucp/lagrangian.hpp"
 
 namespace cdcs::ucp {
 namespace {
@@ -16,34 +19,54 @@ struct SearchState {
   Bitset available;  ///< columns still selectable
 };
 
-// The search itself is the classic include/exclude branch-and-bound; what
-// makes it fast is that every reduction predicate runs word-parallel over
-// the CoverProblem::row_cover transpose bitsets:
+// The search itself is the classic include/exclude branch-and-bound; the
+// reductions run word-parallel over the CoverProblem::row_cover transpose
+// bitsets:
 //   * essential columns: popcount(row_cover(r) & available) with an early
 //     cap at 2, instead of scanning every column per uncovered row;
 //   * row dominance:  cols(r2) subseteq cols(r1) is one masked-subset pass;
 //   * column dominance: masked-subset over column row-sets, no temporaries;
-//   * MIS lower bound: blocked-column tracking is bitset union/intersection.
-// The predicates, their visit order, and all tie-breaks are EXACTLY the
-// scalar solver's, so nodes_explored is identical to the pre-bitset
-// implementation (pinned by Exact.SeedCorpusNodeCounts in tests/test_ucp.cpp).
+//   * MIS lower bound: blocked-column tracking is bitset union/intersection,
+//     and each row's cheapest available column comes from a per-row
+//     weight-sorted list probed until the first available hit (built once in
+//     the constructor), instead of rescanning the row's full column set.
+// On top of the v1 machinery, v2 adds per-node subgradient Lagrangian bounds
+// (warm-started from the parent's multipliers), reduced-cost column fixing
+// against the incumbent, warm-start incumbent seeding, and an optional
+// best-first frontier. With those features disabled the predicates, their
+// visit order, and all tie-breaks are EXACTLY the v1 solver's, so
+// nodes_explored is identical to the legacy implementation (pinned by
+// Exact.SeedCorpusNodeCounts in tests/test_ucp.cpp).
 class Solver {
  public:
   Solver(const CoverProblem& problem, const BnbOptions& options)
-      : p_(problem), opt_(options) {}
+      : p_(problem), opt_(options) {
+    // Per-row columns sorted by (weight, index): the MIS bound's
+    // cheapest-available probe and the Lagrangian MIS seeding both read it.
+    row_cols_by_weight_.resize(p_.num_rows());
+    for (std::size_t r = 0; r < p_.num_rows(); ++r) {
+      std::vector<std::size_t>& cols = row_cols_by_weight_[r];
+      p_.row_cover(r).for_each([&](std::size_t j) { cols.push_back(j); });
+      std::stable_sort(cols.begin(), cols.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return p_.column(a).weight < p_.column(b).weight;
+                       });
+    }
+  }
 
   CoverSolution run() {
-    CoverSolution greedy = solve_greedy(p_);
-    best_cost_ = greedy.cost;
-    best_ = greedy.chosen;
+    seed_incumbent();
 
     SearchState root{Bitset(p_.num_rows()), Bitset(p_.num_columns())};
     root.uncovered.set_all();
     root.available.set_all();
 
-    std::vector<std::size_t> chosen;
     complete_ = true;
-    branch(root, 0.0, chosen, 0);
+    if (opt_.search_order == SearchOrder::kBestFirst) {
+      run_best_first(std::move(root));
+    } else {
+      branch(std::move(root), 0.0, {}, 0, {});
+    }
 
     CoverSolution sol;
     sol.chosen = best_;
@@ -55,7 +78,29 @@ class Solver {
     return sol;
   }
 
+  /// Lower bound established at the root node (max of the MIS and Lagrangian
+  /// bounds plus any essential-column cost); 0 when the root was never
+  /// evaluated (e.g. instant deadline).
+  double root_bound() const { return root_bound_; }
+
  private:
+  void seed_incumbent() {
+    const CoverSolution greedy = solve_greedy(p_);
+    best_cost_ = greedy.cost;
+    best_ = greedy.chosen;
+    if (opt_.warm_start.empty()) return;
+    std::vector<std::size_t> warm = opt_.warm_start;
+    std::sort(warm.begin(), warm.end());
+    warm.erase(std::unique(warm.begin(), warm.end()), warm.end());
+    if (warm.empty() || warm.back() >= p_.num_columns()) return;
+    if (!p_.covers_all(warm)) return;
+    const double warm_cost = p_.cost_of(warm);
+    if (warm_cost < best_cost_) {
+      best_cost_ = warm_cost;
+      best_ = std::move(warm);
+    }
+  }
+
   /// Applies reductions in place; appends forced columns to `chosen` and adds
   /// their weight to `cost`. Returns false when the branch is infeasible.
   bool reduce(SearchState& s, double& cost, std::vector<std::size_t>& chosen,
@@ -150,18 +195,26 @@ class Solver {
     return true;
   }
 
+  /// Cheapest available column weight for row r: probe the weight-sorted
+  /// list until the first available entry. Value-identical to scanning the
+  /// row's whole column set (the minimum of a set does not depend on the
+  /// visit order), typically O(1) probes instead of O(covering columns).
+  double cheapest_available(std::size_t r, const Bitset& available) const {
+    for (std::size_t j : row_cols_by_weight_[r]) {
+      if (available.test(j)) return p_.column(j).weight;
+    }
+    return kInf;
+  }
+
   double lower_bound(const SearchState& s) const {
     if (!opt_.use_mis_lower_bound) return 0.0;
     double bound = 0.0;
     Bitset blocked(p_.num_columns());
     s.uncovered.for_each([&](std::size_t r) {
       const Bitset& cov = p_.row_cover(r);
-      const bool independent = !cov.intersects_masked(s.available, blocked);
-      double cheapest = kInf;
-      cov.for_each_and(s.available, [&](std::size_t j) {
-        cheapest = std::min(cheapest, p_.column(j).weight);
-      });
-      if (independent && cheapest < kInf) {
+      if (cov.intersects_masked(s.available, blocked)) return;
+      const double cheapest = cheapest_available(r, s.available);
+      if (cheapest < kInf) {
         bound += cheapest;
         blocked.unite_and(cov, s.available);
       }
@@ -169,8 +222,79 @@ class Solver {
     return bound;
   }
 
+  /// Node bound: MIS first (cheap; prunes most nodes), then the Lagrangian
+  /// ascent only when MIS alone cannot prune. Returns the subproblem bound
+  /// and fills `lagr`/`lagr_ran` for reduced-cost fixing and child
+  /// warm-starting.
+  double node_bound(const SearchState& s, double cost, int depth,
+                    const std::vector<double>& lambda, LagrangianBound& lagr,
+                    bool& lagr_ran) {
+    double bound = lower_bound(s);
+    lagr_ran = false;
+    if (opt_.use_lagrangian_bound && cost + bound < best_cost_) {
+      SubgradientOptions sopt;
+      sopt.max_iterations = depth == 0 ? opt_.lagrangian_root_iterations
+                                       : opt_.lagrangian_node_iterations;
+      const std::vector<double>* warm = lambda.empty() ? nullptr : &lambda;
+      lagr = subgradient_bound(p_, s.uncovered, s.available,
+                               best_cost_ - cost, sopt, warm);
+      bound = std::max(bound, lagr.bound);
+      lagr_ran = true;
+    }
+    return bound;
+  }
+
+  /// Reduced-cost fixing: a cover through column j costs at least
+  /// bound + max(0, rc_j) on top of `cost`; strictly past the incumbent the
+  /// column can never improve on it, so it is dropped from this subtree
+  /// (permanently, when called at the root). The comparison is strict with
+  /// an absolute+relative tolerance so a column of an ALTERNATIVE optimal
+  /// cover (bound + rc == incumbent) is never removed.
+  void fix_columns(SearchState& s, double cost, const LagrangianBound& lagr) {
+    const double budget = best_cost_ - cost;
+    std::vector<std::size_t> victims;
+    s.available.for_each([&](std::size_t j) {
+      const double through =
+          lagr.bound + std::max(0.0, lagr.reduced_costs[j]);
+      if (through > budget * (1.0 + 1e-12) + 1e-9) victims.push_back(j);
+    });
+    for (std::size_t j : victims) s.available.reset(j);
+  }
+
+  bool should_fix(int depth) {
+    if (!opt_.use_reduced_cost_fixing) return false;
+    if (depth == 0 ||
+        nodes_ - last_fix_nodes_ >= opt_.reduced_cost_fixing_period) {
+      last_fix_nodes_ = nodes_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Branching row (fewest available columns) and its columns cheapest-first.
+  std::vector<std::size_t> branch_columns(const SearchState& s) const {
+    std::size_t best_row = p_.num_rows();
+    std::size_t best_count = std::numeric_limits<std::size_t>::max();
+    s.uncovered.for_each([&](std::size_t r) {
+      const std::size_t count =
+          p_.row_cover(r).intersection_count(s.available);
+      if (count < best_count) {
+        best_count = count;
+        best_row = r;
+      }
+    });
+    std::vector<std::size_t> cols;
+    if (best_row == p_.num_rows()) return cols;
+    p_.row_cover(best_row).for_each_and(
+        s.available, [&](std::size_t j) { cols.push_back(j); });
+    std::sort(cols.begin(), cols.end(), [&](std::size_t a, std::size_t b) {
+      return p_.column(a).weight < p_.column(b).weight;
+    });
+    return cols;
+  }
+
   void branch(SearchState s, double cost, std::vector<std::size_t> chosen,
-              int depth) {
+              int depth, std::vector<double> lambda) {
     if (nodes_ >= opt_.max_nodes) {
       complete_ = false;
       return;
@@ -188,29 +312,20 @@ class Solver {
         best_cost_ = cost;
         best_ = chosen;
       }
+      if (depth == 0) root_bound_ = cost;
       return;
     }
-    if (cost + lower_bound(s) >= best_cost_) return;
+    LagrangianBound lagr;
+    bool lagr_ran = false;
+    const double bound = node_bound(s, cost, depth, lambda, lagr, lagr_ran);
+    if (depth == 0) root_bound_ = cost + bound;
+    if (cost + bound >= best_cost_) return;
+    if (lagr_ran && should_fix(depth)) fix_columns(s, cost, lagr);
 
-    // Branch on the uncovered row with the fewest available columns.
-    std::size_t best_row = p_.num_rows();
-    std::size_t best_count = std::numeric_limits<std::size_t>::max();
-    s.uncovered.for_each([&](std::size_t r) {
-      const std::size_t count =
-          p_.row_cover(r).intersection_count(s.available);
-      if (count < best_count) {
-        best_count = count;
-        best_row = r;
-      }
-    });
-    if (best_row == p_.num_rows()) return;
-
-    std::vector<std::size_t> cols;
-    p_.row_cover(best_row).for_each_and(
-        s.available, [&](std::size_t j) { cols.push_back(j); });
-    std::sort(cols.begin(), cols.end(), [&](std::size_t a, std::size_t b) {
-      return p_.column(a).weight < p_.column(b).weight;
-    });
+    const std::vector<std::size_t> cols = branch_columns(s);
+    if (cols.empty()) return;
+    const std::vector<double>& child_lambda =
+        lagr_ran ? lagr.multipliers : lambda;
 
     for (std::size_t j : cols) {
       SearchState child = s;
@@ -221,7 +336,7 @@ class Solver {
       const double child_cost = cost + p_.column(j).weight;
       if (child_cost < best_cost_) {
         branch(std::move(child), child_cost, std::move(child_chosen),
-               depth + 1);
+               depth + 1, child_lambda);
       }
       // Sibling branches assume column j excluded: any cover using j was
       // just explored.
@@ -229,20 +344,140 @@ class Solver {
     }
   }
 
+  // ---- Best-first frontier ------------------------------------------------
+
+  struct FrontierNode {
+    SearchState s;
+    double cost;
+    std::vector<std::size_t> chosen;
+    std::vector<double> lambda;
+    /// Admissible lower bound on any completion through this node
+    /// (inherited from the parent's node bound at creation).
+    double priority;
+    int depth;
+    std::uint64_t seq;  ///< creation order; deterministic tie-break
+  };
+
+  /// Min-heap order on (priority, seq): std::push_heap/pop_heap expect a
+  /// "less" comparator for a max-heap, so invert both components.
+  static bool frontier_after(const FrontierNode& a, const FrontierNode& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq > b.seq;
+  }
+
+  void run_best_first(SearchState root) {
+    std::vector<FrontierNode> heap;
+    std::uint64_t next_seq = 0;
+    heap.push_back(FrontierNode{std::move(root), 0.0, {}, {}, 0.0, 0,
+                                next_seq++});
+
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), frontier_after);
+      FrontierNode node = std::move(heap.back());
+      heap.pop_back();
+
+      // Everything left on the frontier is at least as bad: the incumbent
+      // is proven optimal and the search is complete.
+      if (node.priority >= best_cost_) break;
+      if (nodes_ >= opt_.max_nodes) {
+        complete_ = false;
+        break;
+      }
+      if (opt_.deadline.expired()) {
+        complete_ = false;
+        deadline_hit_ = true;
+        break;
+      }
+      ++nodes_;
+
+      if (!reduce(node.s, node.cost, node.chosen, node.depth)) continue;
+      if (node.s.uncovered.none()) {
+        if (node.cost < best_cost_) {
+          best_cost_ = node.cost;
+          best_ = node.chosen;
+        }
+        if (node.depth == 0) root_bound_ = node.cost;
+        continue;
+      }
+      LagrangianBound lagr;
+      bool lagr_ran = false;
+      const double bound = node_bound(node.s, node.cost, node.depth,
+                                      node.lambda, lagr, lagr_ran);
+      if (node.depth == 0) root_bound_ = node.cost + bound;
+      if (node.cost + bound >= best_cost_) continue;
+      if (lagr_ran && should_fix(node.depth)) {
+        fix_columns(node.s, node.cost, lagr);
+      }
+
+      const std::vector<std::size_t> cols = branch_columns(node.s);
+      const std::vector<double>& child_lambda =
+          lagr_ran ? lagr.multipliers : node.lambda;
+      for (std::size_t j : cols) {
+        const double child_cost = node.cost + p_.column(j).weight;
+        if (child_cost >= best_cost_) {
+          node.s.available.reset(j);
+          continue;
+        }
+        FrontierNode child;
+        child.s = node.s;
+        child.s.uncovered.subtract(p_.column(j).rows);
+        child.s.available.reset(j);
+        child.cost = child_cost;
+        child.chosen = node.chosen;
+        child.chosen.push_back(j);
+        child.lambda = child_lambda;
+        child.priority = std::max(node.cost + bound, child_cost);
+        child.depth = node.depth + 1;
+        child.seq = next_seq++;
+        heap.push_back(std::move(child));
+        std::push_heap(heap.begin(), heap.end(), frontier_after);
+        // Sibling branches assume column j excluded.
+        node.s.available.reset(j);
+      }
+      if (heap.size() > opt_.best_first_max_frontier) {
+        complete_ = false;
+        break;
+      }
+    }
+  }
+
   const CoverProblem& p_;
   const BnbOptions& opt_;
+  std::vector<std::vector<std::size_t>> row_cols_by_weight_;
   double best_cost_{kInf};
   std::vector<std::size_t> best_;
   std::size_t nodes_{0};
+  std::size_t last_fix_nodes_{0};
+  double root_bound_{0.0};
   bool complete_{true};
   bool deadline_hit_{false};
 };
+
+/// Best incumbent available without branching: greedy, improved by the
+/// caller's warm start when that is a valid, cheaper cover.
+CoverSolution seeded_fallback(const CoverProblem& problem,
+                              const BnbOptions& options) {
+  CoverSolution sol = solve_greedy(problem);
+  if (options.warm_start.empty()) return sol;
+  std::vector<std::size_t> warm = options.warm_start;
+  std::sort(warm.begin(), warm.end());
+  warm.erase(std::unique(warm.begin(), warm.end()), warm.end());
+  if (warm.empty() || warm.back() >= problem.num_columns()) return sol;
+  if (!problem.covers_all(warm)) return sol;
+  const double warm_cost = problem.cost_of(warm);
+  if (warm_cost < sol.cost) {
+    sol.chosen = std::move(warm);
+    sol.cost = warm_cost;
+  }
+  return sol;
+}
 
 }  // namespace
 
 CoverSolution solve_exact(const CoverProblem& problem,
                           const BnbOptions& options) {
   CoverSolution sol;
+  double bnb_root_bound = 0.0;
   if (problem.num_rows() <=
       std::min(options.dense_dp_max_rows, kDenseDpMaxRows)) {
     if (!options.deadline.expired()) {
@@ -252,9 +487,9 @@ CoverSolution solve_exact(const CoverProblem& problem,
     }
     if (!sol.optimal && sol.deadline_expired) {
       // DP abandoned (or never started) under the deadline: hand back the
-      // greedy incumbent instead of nothing.
+      // seeded incumbent (greedy / warm start) instead of nothing.
       const std::size_t dp_states = sol.nodes_explored;
-      sol = solve_greedy(problem);
+      sol = seeded_fallback(problem, options);
       sol.optimal = false;
       sol.deadline_expired = true;
       sol.nodes_explored = dp_states;
@@ -262,9 +497,24 @@ CoverSolution solve_exact(const CoverProblem& problem,
   } else {
     Solver solver(problem, options);
     sol = solver.run();
+    bnb_root_bound = solver.root_bound();
   }
-  sol.lower_bound =
-      sol.optimal ? sol.cost : independent_rows_lower_bound(problem);
+  if (sol.optimal) {
+    sol.lower_bound = sol.cost;
+  } else {
+    // Degraded exit: report the strongest proven root bound so callers get
+    // an honest optimality gap -- the Lagrangian root bound when enabled
+    // (computed during the search, or here when the search never evaluated
+    // its root), else the independent-rows bound.
+    double lb = independent_rows_lower_bound(problem);
+    lb = std::max(lb, bnb_root_bound);
+    if (options.use_lagrangian_bound && bnb_root_bound == 0.0) {
+      SubgradientOptions sopt;
+      sopt.max_iterations = options.lagrangian_root_iterations;
+      lb = std::max(lb, lagrangian_root_bound(problem, sopt));
+    }
+    sol.lower_bound = lb;
+  }
   return sol;
 }
 

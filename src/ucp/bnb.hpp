@@ -1,8 +1,10 @@
-// Exact weighted-UCP branch-and-bound.
+// Exact weighted-UCP branch-and-bound (solver v2).
 //
 // A from-scratch reimplementation of the classic covering-solver toolbox the
 // paper points at ([4] Goldberg/Carloni/Villa/Brayton/Sangiovanni-
-// Vincentelli, [8] Liao--Devadas):
+// Vincentelli, [8] Liao--Devadas), extended with the bound machinery of the
+// set-covering literature (Caprara/Fischetti/Toth-style Lagrangian
+// relaxation):
 //   * essential-column extraction (a row covered by a single column),
 //   * row dominance (a row whose every covering column also covers another
 //     row is automatically satisfied and can be ignored),
@@ -10,18 +12,47 @@
 //     rows at no lower weight can be discarded),
 //   * a maximal-independent-set lower bound (rows pairwise sharing no column
 //     each require a distinct column, so the sum of their cheapest covers is
-//     a valid bound),
-//   * best-first branching on the hardest row (fewest available columns),
-//     trying its columns cheapest-first, with the standard inclusion/
-//     exclusion completeness argument.
-// The solver is exact whenever it finishes within the node budget; the
-// `optimal` flag reports this.
+//     a valid bound), served from per-row weight-sorted column lists so each
+//     node probes a handful of entries instead of rescanning every column,
+//   * a subgradient Lagrangian lower bound (ucp/lagrangian.hpp) that
+//     provably dominates the MIS bound at the root and is warm-started from
+//     the parent's multipliers at every child node,
+//   * reduced-cost column fixing: with node bound L and reduced costs rc,
+//     any cover through column j costs >= L + max(0, rc_j); columns pushed
+//     strictly past the incumbent are discarded (at the root and
+//     periodically during the search) without losing any optimal cover,
+//   * incumbent seeding from the greedy cover and an optional caller-
+//     provided warm start, so pruning has a real upper bound at node zero,
+//   * branching on the hardest row (fewest available columns), trying its
+//     columns cheapest-first, with the standard inclusion/exclusion
+//     completeness argument -- explored depth-first (the reference tree) or
+//     best-first on the node lower bound behind `search_order`.
+// Every configuration returns the same optimal cover cost; the legacy
+// configuration (Lagrangian + fixing off, DFS) reproduces the v1 search
+// tree node-for-node, which determinism tests pin. The solver is exact
+// whenever it finishes within the node budget; the `optimal` flag reports
+// this.
 #pragma once
+
+#include <vector>
 
 #include "support/deadline.hpp"
 #include "ucp/cover.hpp"
+#include "ucp/lagrangian.hpp"
 
 namespace cdcs::ucp {
+
+/// Node-expansion order of the branch-and-bound.
+enum class SearchOrder {
+  /// Classic recursive include/exclude DFS -- the reference tree whose node
+  /// counts are pinned for determinism.
+  kDepthFirst,
+  /// Explicit frontier ordered by node lower bound (ties by creation order,
+  /// so still fully deterministic). Reaches the optimum sooner on wide
+  /// trees; proves optimality the moment the best frontier bound meets the
+  /// incumbent. Costs memory proportional to the frontier.
+  kBestFirst,
+};
 
 struct BnbOptions {
   std::size_t max_nodes = 10'000'000;
@@ -35,6 +66,37 @@ struct BnbOptions {
   bool use_mis_lower_bound = true;
   /// Column dominance is O(columns^2); beyond this depth it is skipped.
   int column_dominance_max_depth = 4;
+
+  /// Subgradient Lagrangian node bounds (dominate the MIS bound; see
+  /// ucp/lagrangian.hpp). Disabling this and `use_reduced_cost_fixing`
+  /// reproduces the v1 search tree exactly.
+  bool use_lagrangian_bound = true;
+  /// Subgradient iterations at the root (where the bound pays for the whole
+  /// tree) and at interior nodes (warm-started from the parent, so a few
+  /// corrective steps suffice).
+  std::size_t lagrangian_root_iterations = 120;
+  std::size_t lagrangian_node_iterations = 8;
+
+  /// Permanently drop columns whose reduced cost pushes them strictly past
+  /// the incumbent (requires the Lagrangian bound). Applied at the root and
+  /// then every `reduced_cost_fixing_period` nodes. Never removes a column
+  /// belonging to ANY optimal cover (the test is strict).
+  bool use_reduced_cost_fixing = true;
+  std::size_t reduced_cost_fixing_period = 64;
+
+  /// Node-expansion order; kDepthFirst is the pinned reference tree.
+  SearchOrder search_order = SearchOrder::kDepthFirst;
+  /// Frontier cap for kBestFirst; beyond it the search stops and returns
+  /// the incumbent (optimal = false), like exhausting `max_nodes`.
+  std::size_t best_first_max_frontier = 1'000'000;
+
+  /// Optional feasible cover (column indices) seeding the incumbent on top
+  /// of the built-in greedy seed; the cheaper of the two wins. Ignored if it
+  /// does not cover every row. The synthesizer passes the point-to-point
+  /// singleton cover here so the solver starts with the anytime ladder's
+  /// last-resort upper bound already in hand.
+  std::vector<std::size_t> warm_start;
+
   /// Instances with at most this many rows are solved by the exact dense
   /// subset DP (ucp/dp.hpp) instead of branching -- orders of magnitude
   /// faster on the narrow-and-wide matrices synthesis produces. Set to 0 to
@@ -45,6 +107,8 @@ struct BnbOptions {
 /// Exact minimum-weight cover. Returns cost = +infinity and empty `chosen`
 /// when the problem is infeasible. `optimal` is true when the search
 /// completed within `max_nodes` (otherwise the best incumbent is returned).
+/// Non-optimal exits report the Lagrangian root bound (fallback:
+/// independent-rows bound) in CoverSolution::lower_bound.
 CoverSolution solve_exact(const CoverProblem& problem,
                           const BnbOptions& options = {});
 

@@ -70,8 +70,10 @@ struct CoverSolution {
   bool optimal{false};   ///< proven optimal (bnb completed within node budget)
   std::size_t nodes_explored{0};
   /// Proven lower bound on the optimal cost: equals `cost` when `optimal`,
-  /// otherwise the root independent-rows bound. Lets callers report an
-  /// optimality gap for incumbents returned under a budget.
+  /// otherwise the strongest root bound the solver established -- the
+  /// subgradient Lagrangian root bound when enabled (ucp/lagrangian.hpp),
+  /// falling back to the independent-rows bound. Lets callers report an
+  /// honest optimality gap for incumbents returned under a budget.
   double lower_bound{0.0};
   /// True when the solver stopped because its wall-clock deadline expired
   /// (as opposed to completing or exhausting the node budget).

@@ -77,6 +77,81 @@ TEST(CandidateStats, UnpriceableSurvivorsCounted) {
   EXPECT_EQ(set.candidates.size(), 2u);
 }
 
+/// Candidate sets must be bit-identical with the grid pre-filter on and
+/// off: it may only skip subsets the lemma tests were going to prune.
+void expect_same_candidates(const CandidateSet& a, const CandidateSet& b) {
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].arcs, b.candidates[i].arcs) << "candidate " << i;
+    EXPECT_DOUBLE_EQ(a.candidates[i].cost, b.candidates[i].cost)
+        << "candidate " << i;
+  }
+  EXPECT_EQ(a.stats.survivors_per_k, b.stats.survivors_per_k);
+  EXPECT_EQ(a.stats.pruned_geometry_per_k, b.stats.pruned_geometry_per_k);
+  EXPECT_EQ(a.stats.pruned_bandwidth_per_k, b.stats.pruned_bandwidth_per_k);
+}
+
+TEST(CandidateStats, GridPrefilterIsPureSpeedup) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  SynthesisOptions with_grid;
+  with_grid.use_grid_prefilter = true;
+  SynthesisOptions without_grid;
+  without_grid.use_grid_prefilter = false;
+  const CandidateSet a = generate_candidates(cg, lib, with_grid).value();
+  const CandidateSet b = generate_candidates(cg, lib, without_grid).value();
+  expect_same_candidates(a, b);
+  // With the filter off, no skips may be reported.
+  for (std::size_t skips : b.stats.grid_prefilter_skips_per_k) {
+    EXPECT_EQ(skips, 0u);
+  }
+  // Skips are a subset of the geometric prunes, never exceeding them.
+  for (std::size_t k = 0; k < a.stats.grid_prefilter_skips_per_k.size(); ++k) {
+    EXPECT_LE(a.stats.grid_prefilter_skips_per_k[k],
+              a.stats.pruned_geometry_per_k[k]);
+  }
+}
+
+TEST(CandidateStats, GridPrefilterSkipsFarApartPairs) {
+  // Two tight clusters very far apart: every cross-cluster pair is
+  // geometrically unmergeable by a margin the grid alone certifies, so the
+  // pre-filter must skip those without consulting the lemma.
+  model::ConstraintGraph cg;
+  const double kFar = 1e5;
+  for (int c = 0; c < 2; ++c) {
+    const double base = c * kFar;
+    for (int i = 0; i < 3; ++i) {
+      const model::VertexId u =
+          cg.add_port("u" + std::to_string(c) + std::to_string(i),
+                      {base, static_cast<double>(i)});
+      const model::VertexId v =
+          cg.add_port("v" + std::to_string(c) + std::to_string(i),
+                      {base + 10.0, static_cast<double>(i)});
+      cg.add_channel(u, v, 5.0);
+    }
+  }
+  const commlib::Library lib = commlib::wan_library();
+  SynthesisOptions with_grid;
+  const CandidateSet a = generate_candidates(cg, lib, with_grid).value();
+  // 9 of the C(6,2) = 15 pairs are cross-cluster; all must be grid-skipped.
+  EXPECT_GE(a.stats.grid_prefilter_skips_per_k[2], 9u);
+
+  SynthesisOptions without_grid;
+  without_grid.use_grid_prefilter = false;
+  const CandidateSet b = generate_candidates(cg, lib, without_grid).value();
+  expect_same_candidates(a, b);
+
+  // With the lemmas ablated the filter must deactivate too -- skipping
+  // would change the candidate set, not just its cost.
+  SynthesisOptions no_lemmas;
+  no_lemmas.use_lemma31 = false;
+  no_lemmas.use_lemma32 = false;
+  const CandidateSet c = generate_candidates(cg, lib, no_lemmas).value();
+  for (std::size_t skips : c.stats.grid_prefilter_skips_per_k) {
+    EXPECT_EQ(skips, 0u);
+  }
+}
+
 TEST(CandidateStats, MaxIndexPivotDiffersFromMinDistance) {
   // Pivot rules are genuinely different policies; on the WAN they agree at
   // k=2..4 but generally diverge (documented in bench_scaling_ablation).

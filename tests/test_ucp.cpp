@@ -333,6 +333,10 @@ TEST(Exact, NodeBudgetReturnsIncumbent) {
   BnbOptions tight;
   tight.max_nodes = 1;
   tight.dense_dp_max_rows = 0;  // force the branching path under test
+  // With the root Lagrangian bound on, one node can be enough to PROVE the
+  // greedy incumbent optimal; disable it so the budget genuinely bites.
+  tight.use_lagrangian_bound = false;
+  tight.use_reduced_cost_fixing = false;
   const CoverSolution s = solve_exact(p, tight);
   EXPECT_FALSE(s.optimal);           // budget exhausted
   EXPECT_TRUE(p.covers_all(s.chosen));  // but still feasible (greedy incumbent)
@@ -360,16 +364,27 @@ CoverProblem corpus_problem(int rows, int cols, double density,
   return p;
 }
 
+/// The v1 reference configuration: Lagrangian bounds and reduced-cost
+/// fixing off, DFS order. Solver v2 promises this reproduces the legacy
+/// search tree node-for-node.
+BnbOptions legacy_options() {
+  BnbOptions opt;
+  opt.dense_dp_max_rows = 0;  // force branch-and-bound
+  opt.use_lagrangian_bound = false;
+  opt.use_reduced_cost_fixing = false;
+  opt.search_order = SearchOrder::kDepthFirst;
+  return opt;
+}
+
 // The bitset rewrite of the branch-and-bound reductions (essential-column
 // scan, row/column dominance, MIS bound) must not change the search tree:
 // every predicate, visit order, and tie-break is word-parallel but
 // semantically identical to the scalar version. These node counts were
 // captured from the pre-bitset implementation on the bench_ucp_solver
 // corpus; any drift here means the reductions changed behaviour, not just
-// speed.
+// speed. Solver v2 keeps this tree reachable behind legacy_options().
 TEST(Exact, SeedCorpusNodeCounts) {
-  BnbOptions force_bnb;
-  force_bnb.dense_dp_max_rows = 0;
+  const BnbOptions force_bnb = legacy_options();
 
   const struct {
     int rows, cols;
@@ -400,6 +415,74 @@ TEST(Exact, SeedCorpusNodeCounts) {
   EXPECT_EQ(solve_exact(p, force_bnb).nodes_explored, 123u);
   EXPECT_EQ(solve_exact(p, no_dom).nodes_explored, 329u);
   EXPECT_EQ(solve_exact(p, no_lb).nodes_explored, 126u);
+}
+
+// Solver v2 contract: every configuration (legacy DFS, v2 DFS with
+// Lagrangian bounds + reduced-cost fixing, best-first) proves the SAME
+// optimal cover cost on the corpus, and the v2 bounds never expand more
+// nodes than the legacy tree.
+TEST(Exact, SolverV2CostEqualityAndNodeReduction) {
+  const struct {
+    int rows, cols;
+    double density;
+  } corpus[] = {
+      {10, 30, 0.30},
+      {12, 200, 0.25},
+      {15, 60, 0.25},
+      {20, 100, 0.20},
+  };
+  for (const auto& c : corpus) {
+    const CoverProblem p =
+        corpus_problem(c.rows, c.cols, c.density, 91 + c.rows);
+
+    const CoverSolution legacy = solve_exact(p, legacy_options());
+
+    BnbOptions v2;
+    v2.dense_dp_max_rows = 0;
+    const CoverSolution dfs = solve_exact(p, v2);
+
+    BnbOptions best_first = v2;
+    best_first.search_order = SearchOrder::kBestFirst;
+    const CoverSolution bfs = solve_exact(p, best_first);
+
+    ASSERT_TRUE(legacy.optimal);
+    ASSERT_TRUE(dfs.optimal);
+    ASSERT_TRUE(bfs.optimal);
+    EXPECT_NEAR(dfs.cost, legacy.cost, 1e-9)
+        << c.rows << "x" << c.cols << " density " << c.density;
+    EXPECT_NEAR(bfs.cost, legacy.cost, 1e-9)
+        << c.rows << "x" << c.cols << " density " << c.density;
+    EXPECT_TRUE(p.covers_all(dfs.chosen));
+    EXPECT_TRUE(p.covers_all(bfs.chosen));
+    EXPECT_LE(dfs.nodes_explored, legacy.nodes_explored);
+    // Optimal exits report a tight bound.
+    EXPECT_NEAR(dfs.lower_bound, dfs.cost, 1e-9);
+  }
+}
+
+// A warm-start cover seeds the incumbent: with a warm start matching the
+// optimum, the search only needs to PROVE optimality, never to find it.
+TEST(Exact, WarmStartSeedsIncumbent) {
+  const CoverProblem p = corpus_problem(15, 60, 0.25, 91 + 15);
+  BnbOptions plain;
+  plain.dense_dp_max_rows = 0;
+  const CoverSolution base = solve_exact(p, plain);
+  ASSERT_TRUE(base.optimal);
+
+  BnbOptions warmed = plain;
+  warmed.warm_start = base.chosen;
+  const CoverSolution warm = solve_exact(p, warmed);
+  EXPECT_TRUE(warm.optimal);
+  EXPECT_NEAR(warm.cost, base.cost, 1e-9);
+  EXPECT_LE(warm.nodes_explored, base.nodes_explored);
+
+  // An invalid warm start (not a cover / out of range) is ignored, not
+  // trusted.
+  BnbOptions bogus = plain;
+  bogus.warm_start = {p.num_columns() + 5};
+  const CoverSolution b = solve_exact(p, bogus);
+  EXPECT_TRUE(b.optimal);
+  EXPECT_NEAR(b.cost, base.cost, 1e-9);
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate CI on the UCP-solver numbers in bench_perf_summary's JSON output.
+
+Usage: check_bench_regression.py FRESH_JSON BASELINE_JSON
+
+Compares a freshly-emitted BENCH_pr.json against the checked-in baseline
+and fails (exit 1) on:
+  * any cover-cost difference on the ucp_bnb corpus (the solver is exact:
+    costs are machine-independent and must match to 1e-6);
+  * any node-count increase on any instance (node counts are deterministic;
+    growth means the bounds or reductions got weaker);
+  * a wall-clock regression beyond 20%, measured machine-independently as
+    the v2/legacy wall RATIO per instance (both sides of the ratio come
+    from the same run on the same machine, so CI hardware drops out);
+  * a WAN end-to-end total-cost change (determinism canary).
+
+Absolute wall-clock milliseconds are intentionally NOT compared: the
+baseline was recorded on a different machine than CI runs on.
+"""
+import json
+import sys
+
+
+def fail(msgs):
+    for m in msgs:
+        print(f"REGRESSION: {m}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wall_ratio(entry):
+    """v2 wall over legacy wall; None when the instance is too fast to time
+    reliably (sub-millisecond legacy solves are all noise)."""
+    legacy = entry.get("legacy_wall_ms", 0.0)
+    if legacy < 1.0:
+        return None
+    return entry["wall_ms"] / legacy
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    errors = []
+
+    fresh_ucp = {(e["rows"], e["cols"]): e for e in fresh["ucp_bnb"]}
+    base_ucp = {(e["rows"], e["cols"]): e for e in base["ucp_bnb"]}
+    for key, b in base_ucp.items():
+        e = fresh_ucp.get(key)
+        if e is None:
+            errors.append(f"ucp_bnb instance {key} missing from fresh run")
+            continue
+        if "cost" in b and abs(e["cost"] - b["cost"]) > 1e-6:
+            errors.append(
+                f"{key}: cover cost changed {b['cost']} -> {e['cost']} "
+                "(exact solver must be cost-stable)"
+            )
+        if e["nodes_explored"] > b["nodes_explored"]:
+            errors.append(
+                f"{key}: nodes_explored grew "
+                f"{b['nodes_explored']} -> {e['nodes_explored']}"
+            )
+        if not e.get("optimal", False):
+            errors.append(f"{key}: solver no longer proves optimality")
+        b_ratio = wall_ratio(b) if "legacy_wall_ms" in b else None
+        e_ratio = wall_ratio(e)
+        if b_ratio is not None and e_ratio is not None \
+                and e_ratio > b_ratio * 1.2:
+            errors.append(
+                f"{key}: v2/legacy wall ratio regressed "
+                f"{b_ratio:.4f} -> {e_ratio:.4f} (>20%)"
+            )
+
+    fresh_cost = fresh["wan_synthesis"]["total_cost"]
+    base_cost = base["wan_synthesis"]["total_cost"]
+    if abs(fresh_cost - base_cost) > 1e-6:
+        errors.append(
+            f"WAN synthesis total_cost changed {base_cost} -> {fresh_cost}"
+        )
+
+    if errors:
+        fail(errors)
+    print("bench regression check: OK "
+          f"({len(base_ucp)} ucp instances, WAN cost {fresh_cost:.3f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
