@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "commlib/standard_libraries.hpp"
+#include "synth/candidate_generator.hpp"
 #include "synth/synthesizer.hpp"
 #include "ucp/bnb.hpp"
 #include "workloads/random_gen.hpp"

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "commlib/standard_libraries.hpp"
+#include "synth/candidate_generator.hpp"
 #include "synth/synthesizer.hpp"
 #include "workloads/random_gen.hpp"
 

@@ -14,6 +14,7 @@
 #include "commlib/standard_libraries.hpp"
 #include "sim/network_sim.hpp"
 #include "synth/assemble.hpp"
+#include "synth/candidate_generator.hpp"
 #include "synth/synthesizer.hpp"
 #include "workloads/wan2002.hpp"
 

@@ -31,6 +31,16 @@
 //                            instead of rejecting it; defects the parser
 //                            itself rejects (duplicate channel names, bad
 //                            numbers) still fail at read time
+//   --edit-script FILE       incremental batch mode: replay the edit script
+//                            (io/edit_script.hpp format) through ONE
+//                            synth::Engine session, re-synthesizing after
+//                            each `solve` and reporting per-batch cost,
+//                            stage, and reuse statistics. --dot/--save/
+//                            --delay and the exit code describe the LAST
+//                            result
+//   --warm                   with --edit-script: warm-start the cover
+//                            solver from the previous solve (same optimal
+//                            cost; node counts may differ)
 //   --dot FILE               write the result as Graphviz DOT
 //   --save FILE              write the implementation graph (io format)
 //   --quiet                  suppress the full report (exit code only)
@@ -41,14 +51,17 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "io/dot.hpp"
+#include "io/edit_script.hpp"
 #include "io/impl_format.hpp"
 #include "io/report.hpp"
 #include "io/tables.hpp"
 #include "io/text_format.hpp"
 #include "model/sanitize.hpp"
 #include "sim/delay.hpp"
+#include "synth/engine.hpp"
 #include "synth/synthesizer.hpp"
 
 namespace {
@@ -70,6 +83,8 @@ int usage(const char* argv0) {
          "  --no-rc-fixing     disable reduced-cost column fixing\n"
          "  --no-grid-prefilter   disable the geometric grid pre-filter\n"
          "  --repair           repair invalid constraint graphs\n"
+         "  --edit-script FILE incremental replay through one session\n"
+         "  --warm             warm-start re-solves (with --edit-script)\n"
          "  --dot FILE         write Graphviz DOT\n"
          "  --save FILE        write the implementation graph\n"
          "  --quiet            suppress the report\n";
@@ -97,6 +112,8 @@ int main(int argc, char** argv) {
   double delay_budget = 0.0;
   std::string dot_file;
   std::string save_file;
+  std::string edit_script_file;
+  bool warm = false;
   std::vector<std::string> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -158,6 +175,10 @@ int main(int argc, char** argv) {
       options.use_grid_prefilter = false;
     } else if (arg == "--repair") {
       repair = true;
+    } else if (arg == "--edit-script") {
+      edit_script_file = next();
+    } else if (arg == "--warm") {
+      warm = true;
     } else if (arg == "--delay") {
       delay_model.link_delay_per_length = std::atof(next());
       delay_model.node_delay = std::atof(next());
@@ -223,10 +244,72 @@ int main(int argc, char** argv) {
               << '\n';
   }
 
-  auto synthesis = synth::synthesize(cg, lib, options);
-  if (!synthesis.ok()) return fail(synthesis.status());
+  // Incremental mode: replay the whole script through ONE session, then
+  // fall through to the normal reporting with the last result.
+  std::optional<synth::Engine> engine;
+  support::Expected<synth::SynthesisResult> synthesis =
+      support::Status::Internal("unreachable");
+  if (!edit_script_file.empty()) {
+    std::ifstream script_file(edit_script_file);
+    if (!script_file) {
+      std::cerr << "cannot open edit script '" << edit_script_file << "'\n";
+      return 2;
+    }
+    auto script_read = io::read_edit_script(script_file);
+    if (!script_read.ok()) {
+      return fail(std::move(script_read)
+                      .take_status()
+                      .with_context("reading '" + edit_script_file + "'"));
+    }
+    const io::EditScript script = *std::move(script_read);
+
+    engine.emplace(std::move(cg), lib, options,
+                   warm ? synth::Engine::WarmPolicy::kWarmStart
+                        : synth::Engine::WarmPolicy::kBitIdentical);
+    synthesis = engine->resynthesize();
+    if (!synthesis.ok()) return fail(synthesis.status());
+    if (!quiet) {
+      std::cout << "baseline: cost " << synthesis->total_cost << " ("
+                << to_string(synthesis->degradation.stage) << ")\n";
+    }
+    for (std::size_t b = 0; b < script.batches.size(); ++b) {
+      synthesis = engine->apply(script.batches[b]);
+      if (!synthesis.ok()) {
+        support::Status st = synthesis.status();
+        return fail(
+            std::move(st).with_context("edit batch " + std::to_string(b + 1)));
+      }
+      if (!quiet) {
+        const synth::Engine::SessionStats s = engine->stats();
+        std::cout << "batch " << (b + 1) << ": "
+                  << script.batches[b].ops.size() << " op(s), cost "
+                  << synthesis->total_cost << " ("
+                  << to_string(synthesis->degradation.stage) << "), "
+                  << s.last_dirty_arcs << " dirty arc(s), "
+                  << synthesis->candidate_set.stats.pricing_cache_hits
+                  << " pricing hit(s), "
+                  << synthesis->candidate_set.stats.pricing_cache_misses
+                  << " miss(es)\n";
+      }
+    }
+    if (!quiet) {
+      const synth::Engine::SessionStats s = engine->stats();
+      std::cout << "session: " << s.applies << " solve(s), "
+                << s.cover_reuses << " cover reuse(s), pricing hit rate "
+                << (s.pricing_hits + s.pricing_misses == 0
+                        ? 0.0
+                        : static_cast<double>(s.pricing_hits) /
+                              static_cast<double>(s.pricing_hits +
+                                                  s.pricing_misses))
+                << '\n';
+    }
+  } else {
+    synthesis = synth::synthesize(cg, lib, options);
+    if (!synthesis.ok()) return fail(synthesis.status());
+  }
+  const model::ConstraintGraph& result_cg = engine ? engine->graph() : cg;
   const synth::SynthesisResult& result = *synthesis;
-  if (!quiet) std::cout << io::describe(result, cg, lib);
+  if (!quiet) std::cout << io::describe(result, result_cg, lib);
 
   if (check_delay) {
     const sim::DelayReport delays =

@@ -1,0 +1,152 @@
+#include "io/edit_script.hpp"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+namespace cdcs::io {
+
+using support::Expected;
+using support::Status;
+
+namespace {
+
+Status parse_error(int line, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line) + ": " + message);
+}
+
+bool tokenize(const std::string& line, std::vector<std::string>& tokens) {
+  tokens.clear();
+  std::istringstream is(line.substr(0, line.find('#')));
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return !tokens.empty();
+}
+
+std::optional<double> parse_finite(const std::string& tok) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size() || !std::isfinite(v)) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Expected<EditScript> read_edit_script(std::istream& in) {
+  EditScript script;
+  model::Delta batch;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> t;
+    if (!tokenize(line, t)) continue;
+    if (t[0] == "add-port") {
+      if (t.size() != 4) {
+        return parse_error(lineno, "add-port takes: name x y");
+      }
+      const std::optional<double> x = parse_finite(t[2]);
+      const std::optional<double> y = parse_finite(t[3]);
+      if (!x) {
+        return parse_error(lineno, "bad x coordinate '" + t[2] +
+                                       "' (must be a finite number)");
+      }
+      if (!y) {
+        return parse_error(lineno, "bad y coordinate '" + t[3] +
+                                       "' (must be a finite number)");
+      }
+      batch.ops.push_back(model::AddPortOp{t[1], {*x, *y}});
+    } else if (t[0] == "add-arc") {
+      if (t.size() != 5) {
+        return parse_error(lineno, "add-arc takes: name src dst bandwidth");
+      }
+      const std::optional<double> bw = parse_finite(t[4]);
+      if (!bw || *bw <= 0.0) {
+        return parse_error(lineno, "bad bandwidth '" + t[4] + "' for arc '" +
+                                       t[1] +
+                                       "' (must be a finite positive number)");
+      }
+      batch.ops.push_back(model::AddArcOp{t[1], t[2], t[3], *bw});
+    } else if (t[0] == "remove-arc") {
+      if (t.size() != 2) return parse_error(lineno, "remove-arc takes: name");
+      batch.ops.push_back(model::RemoveArcOp{t[1]});
+    } else if (t[0] == "set-bandwidth") {
+      if (t.size() != 3) {
+        return parse_error(lineno, "set-bandwidth takes: name bandwidth");
+      }
+      const std::optional<double> bw = parse_finite(t[2]);
+      if (!bw || *bw <= 0.0) {
+        return parse_error(lineno, "bad bandwidth '" + t[2] + "' for arc '" +
+                                       t[1] +
+                                       "' (must be a finite positive number)");
+      }
+      batch.ops.push_back(model::SetBandwidthOp{t[1], *bw});
+    } else if (t[0] == "move-port") {
+      if (t.size() != 4) {
+        return parse_error(lineno, "move-port takes: name x y");
+      }
+      const std::optional<double> x = parse_finite(t[2]);
+      const std::optional<double> y = parse_finite(t[3]);
+      if (!x) {
+        return parse_error(lineno, "bad x coordinate '" + t[2] +
+                                       "' (must be a finite number)");
+      }
+      if (!y) {
+        return parse_error(lineno, "bad y coordinate '" + t[3] +
+                                       "' (must be a finite number)");
+      }
+      batch.ops.push_back(model::MovePortOp{t[1], {*x, *y}});
+    } else if (t[0] == "solve") {
+      if (t.size() != 1) return parse_error(lineno, "solve takes no arguments");
+      script.batches.push_back(std::move(batch));
+      batch = {};
+    } else {
+      return parse_error(lineno, "unknown directive '" + t[0] + "'");
+    }
+  }
+  if (in.bad()) {
+    return Status::ParseError(
+        "I/O error after line " + std::to_string(lineno) +
+        "; the input stream is truncated or unreadable");
+  }
+  // Trailing ops without a closing `solve` form a final implicit batch.
+  if (!batch.ops.empty()) script.batches.push_back(std::move(batch));
+  return script;
+}
+
+Expected<EditScript> read_edit_script_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_edit_script(in);
+}
+
+std::string write_edit_script(const EditScript& script) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const model::Delta& batch : script.batches) {
+    for (const model::EditOp& op : batch.ops) {
+      if (const auto* p = std::get_if<model::AddPortOp>(&op)) {
+        out << "add-port " << p->port << ' ' << p->position.x << ' '
+            << p->position.y << '\n';
+      } else if (const auto* a = std::get_if<model::AddArcOp>(&op)) {
+        out << "add-arc " << a->channel << ' ' << a->source << ' '
+            << a->target << ' ' << a->bandwidth << '\n';
+      } else if (const auto* r = std::get_if<model::RemoveArcOp>(&op)) {
+        out << "remove-arc " << r->channel << '\n';
+      } else if (const auto* s = std::get_if<model::SetBandwidthOp>(&op)) {
+        out << "set-bandwidth " << s->channel << ' ' << s->bandwidth << '\n';
+      } else if (const auto* m = std::get_if<model::MovePortOp>(&op)) {
+        out << "move-port " << m->port << ' ' << m->to.x << ' ' << m->to.y
+            << '\n';
+      }
+    }
+    out << "solve\n";
+  }
+  return out.str();
+}
+
+}  // namespace cdcs::io

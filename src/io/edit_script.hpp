@@ -1,0 +1,54 @@
+// Edit-script format for incremental synthesis (synth/engine.hpp) -- the
+// replay input of the --edit-script CLI mode and the data/edits/ corpus.
+//
+// One directive per line, '#' comments, names as in the constraint-graph
+// text format (io/text_format.hpp):
+//     add-port <name> <x> <y>
+//     add-arc <name> <src-port> <dst-port> <bandwidth>
+//     remove-arc <name>
+//     set-bandwidth <name> <bandwidth>
+//     move-port <name> <x> <y>
+//     solve
+//
+// `solve` closes the current batch: the ops since the previous `solve` form
+// one atomic model::Delta, and the engine re-synthesizes after each batch
+// (a bare `solve` is a legal empty batch -- re-synthesize without edits).
+// Trailing ops after the last `solve` form a final implicit batch.
+//
+// The reader never throws: malformed input (unknown directives, wrong field
+// counts, non-finite or non-positive numbers, I/O errors) comes back as a
+// kParseError Status with a line-numbered message. Name resolution is NOT
+// done here -- an edit referencing an unknown port/channel parses fine and
+// fails at apply_delta() time, which is what lets one script target many
+// graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/delta.hpp"
+#include "support/status.hpp"
+
+namespace cdcs::io {
+
+/// A parsed edit script: the deltas to apply in order, synthesizing after
+/// each one.
+struct EditScript {
+  std::vector<model::Delta> batches;
+
+  std::size_t total_ops() const {
+    std::size_t n = 0;
+    for (const model::Delta& d : batches) n += d.ops.size();
+    return n;
+  }
+};
+
+support::Expected<EditScript> read_edit_script(std::istream& in);
+support::Expected<EditScript> read_edit_script_from_string(
+    const std::string& text);
+
+/// Inverse of the reader (canonical formatting, one batch per `solve`).
+std::string write_edit_script(const EditScript& script);
+
+}  // namespace cdcs::io

@@ -14,6 +14,7 @@ Expected<VertexId> ConstraintGraph::try_add_port(std::string name,
                                 std::to_string(position.x) + ", " +
                                 std::to_string(position.y) + ")");
   }
+  ++revision_;
   return g_.add_vertex(Port{std::move(name), position});
 }
 
@@ -38,6 +39,8 @@ Expected<ArcId> ConstraintGraph::try_add_channel(VertexId u, VertexId v,
   }
   const double d = vertex_distance(u, v);
   if (name.empty()) name = "a" + std::to_string(g_.num_arcs() + 1);
+  ++revision_;
+  arc_revisions_.push_back(revision_);
   return g_.add_arc(u, v, Channel{std::move(name), bandwidth, d});
 }
 
@@ -62,6 +65,82 @@ std::vector<VertexId> ConstraintGraph::ports() const {
   ids.reserve(g_.num_vertices());
   g_.for_each_vertex([&](VertexId v) { ids.push_back(v); });
   return ids;
+}
+
+std::vector<ArcId> ConstraintGraph::incident_arcs(VertexId v) const {
+  std::vector<ArcId> ids(g_.out_arcs(v));
+  const std::vector<ArcId>& in = g_.in_arcs(v);
+  ids.insert(ids.end(), in.begin(), in.end());
+  return ids;
+}
+
+support::Status ConstraintGraph::set_bandwidth(ArcId a, double bandwidth) {
+  if (!a.valid() || a.index() >= g_.num_arcs()) {
+    return Status::InvalidInput("set_bandwidth: invalid arc id");
+  }
+  if (!std::isfinite(bandwidth) || bandwidth <= 0.0) {
+    return Status::InvalidInput(
+        "channel '" + channel(a).name +
+        "' requires a finite positive bandwidth, got " +
+        std::to_string(bandwidth));
+  }
+  g_.arc(a).payload.bandwidth = bandwidth;
+  ++revision_;
+  arc_revisions_[a.index()] = revision_;
+  return Status::Ok();
+}
+
+support::Status ConstraintGraph::move_port(VertexId v, geom::Point2D position) {
+  if (!v.valid() || v.index() >= g_.num_vertices()) {
+    return Status::InvalidInput("move_port: invalid port id");
+  }
+  if (!std::isfinite(position.x) || !std::isfinite(position.y)) {
+    return Status::InvalidInput(
+        "port '" + port(v).name + "' cannot move to a non-finite position (" +
+        std::to_string(position.x) + ", " + std::to_string(position.y) + ")");
+  }
+  g_.vertex(v).position = position;
+  ++revision_;
+  for (ArcId a : incident_arcs(v)) {
+    g_.arc(a).payload.distance = vertex_distance(source(a), target(a));
+    arc_revisions_[a.index()] = revision_;
+  }
+  return Status::Ok();
+}
+
+support::Expected<std::vector<ArcId>> ConstraintGraph::erase_channels(
+    const std::vector<ArcId>& remove) {
+  std::vector<bool> doomed(g_.num_arcs(), false);
+  for (ArcId a : remove) {
+    if (!a.valid() || a.index() >= g_.num_arcs()) {
+      return Status::InvalidInput("erase_channels: invalid arc id");
+    }
+    if (doomed[a.index()]) {
+      return Status::InvalidInput("erase_channels: duplicate arc id for '" +
+                                  channel(a).name + "'");
+    }
+    doomed[a.index()] = true;
+  }
+
+  graph::Digraph<Port, Channel> rebuilt;
+  g_.for_each_vertex(
+      [&](VertexId v) { rebuilt.add_vertex(g_.vertex(v)); });
+  std::vector<ArcId> old_to_new(g_.num_arcs());
+  std::vector<std::uint64_t> stamps;
+  stamps.reserve(g_.num_arcs() - remove.size());
+  g_.for_each_arc([&](ArcId a) {
+    if (doomed[a.index()]) {
+      old_to_new[a.index()] = ArcId{};
+      return;
+    }
+    old_to_new[a.index()] =
+        rebuilt.add_arc(g_.source(a), g_.target(a), g_.arc(a).payload);
+    stamps.push_back(arc_revisions_[a.index()]);
+  });
+  g_ = std::move(rebuilt);
+  arc_revisions_ = std::move(stamps);
+  ++revision_;
+  return old_to_new;
 }
 
 std::vector<std::string> ConstraintGraph::validate() const {

@@ -5,8 +5,18 @@
 // d(a) (distance, always derived from the endpoint positions under the
 // graph's norm, keeping the Def 2.1 consistency requirement true by
 // construction) and b(a) (required bandwidth).
+//
+// Mutation & revisions: besides append-only construction, the graph supports
+// in-place edits (set_bandwidth, move_port) and channel removal
+// (erase_channels, which renumbers the surviving arcs densely). Every
+// successful mutation bumps a monotonically increasing revision() stamp, and
+// each arc remembers the revision of the last edit that changed one of its
+// pricing inputs (endpoint positions, bandwidth) in arc_revision(). This is
+// what lets an incremental synthesis session (synth/engine.hpp) tell exactly
+// which arcs an edit batch dirtied and reuse everything else.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -77,6 +87,38 @@ class ConstraintGraph {
   std::vector<ArcId> arcs() const;
   std::vector<VertexId> ports() const;
 
+  /// Arcs incident to `v` (out first, then in), in insertion order.
+  std::vector<ArcId> incident_arcs(VertexId v) const;
+
+  // --- Revision-stamped in-place edits (delta API; see model/delta.hpp) ---
+
+  /// Monotonic edit counter: 0 for an empty graph, bumped by every
+  /// successful mutation (including construction-time adds).
+  std::uint64_t revision() const { return revision_; }
+
+  /// Revision of the last edit that changed this arc's pricing inputs
+  /// (its endpoints' positions or its bandwidth); the revision at which the
+  /// arc was added when never edited since.
+  std::uint64_t arc_revision(ArcId a) const {
+    return arc_revisions_.at(a.index());
+  }
+
+  /// Changes b(a) in place. Rejects non-finite or non-positive bandwidths
+  /// and invalid arc ids without modifying the graph.
+  support::Status set_bandwidth(ArcId a, double bandwidth);
+
+  /// Moves a port to a new position, recomputing d(a) for (and stamping)
+  /// every incident arc. Rejects non-finite positions and invalid ids.
+  support::Status move_port(VertexId v, geom::Point2D position);
+
+  /// Removes the given channels, renumbering the survivors densely while
+  /// preserving their relative insertion order, names, payloads, and
+  /// revision stamps (ports are untouched). Returns the old-arc-id ->
+  /// new-arc-id map (invalid ArcId for removed arcs). Rejects invalid or
+  /// duplicate ids without modifying the graph.
+  support::Expected<std::vector<ArcId>> erase_channels(
+      const std::vector<ArcId>& remove);
+
   /// Distance between two vertices under this graph's norm.
   double vertex_distance(VertexId u, VertexId v) const {
     return geom::distance(position(u), position(v), norm_);
@@ -89,6 +131,8 @@ class ConstraintGraph {
  private:
   geom::Norm norm_;
   graph::Digraph<Port, Channel> g_;
+  std::uint64_t revision_{0};
+  std::vector<std::uint64_t> arc_revisions_;  ///< parallel to arc ids
 };
 
 }  // namespace cdcs::model

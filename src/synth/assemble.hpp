@@ -19,7 +19,7 @@
 
 #include <memory>
 
-#include "synth/candidate_generator.hpp"
+#include "synth/candidate.hpp"
 
 namespace cdcs::synth {
 

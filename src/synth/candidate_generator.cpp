@@ -9,6 +9,8 @@
 #include <numeric>
 
 #include "support/thread_pool.hpp"
+#include "synth/mergeability.hpp"
+#include "synth/plan_delay.hpp"
 #include "synth/pricing_cache.hpp"
 
 namespace cdcs::synth {
@@ -50,15 +52,22 @@ PricedStructures price_subset(const model::ConstraintGraph& cg,
                               const std::vector<model::ArcId>& subset,
                               std::atomic<std::size_t>& cache_hits,
                               std::atomic<std::size_t>& cache_misses) {
+  // The pricers canonicalize their input to the subset's geometry order
+  // internally (synth/canonical_order.hpp), so the priced result is a pure
+  // function of the subset's geometry -- which is exactly what licenses
+  // serving it from the cache under whatever arc ids the requesting graph
+  // happens to use: a hit is bit-identical to the fresh solve it replaces.
   PricingCache* cache = options.pricing_cache;
   std::optional<PricingCache::Key> key;
+  std::vector<std::uint32_t> canonical_order;
   if (cache != nullptr) {
+    canonical_order = canonical_subset_order(cg, subset);
     key = make_pricing_key(cg, library, subset, options.policy,
                            options.enable_chain_topology,
                            options.enable_tree_topology);
     if (std::optional<PricingCache::Entry> entry = cache->lookup(*key)) {
       cache_hits.fetch_add(1, std::memory_order_relaxed);
-      entry->retarget(subset);
+      entry->retarget(subset, canonical_order);
       return PricedStructures{std::move(entry->star), std::move(entry->chain),
                               std::move(entry->tree)};
     }
@@ -81,8 +90,8 @@ PricedStructures price_subset(const model::ConstraintGraph& cg,
   // (unhurried) runs. latched() is poll-free, so fault-injection budgets
   // are not consumed here.
   if (cache != nullptr && !options.deadline.latched()) {
-    cache->insert(*key, PricingCache::Entry::make(subset, p.star, p.chain,
-                                                  p.tree));
+    cache->insert(*key, PricingCache::Entry::make(subset, canonical_order,
+                                                  p.star, p.chain, p.tree));
   }
   return p;
 }

@@ -1,0 +1,37 @@
+#include "synth/canonical_order.hpp"
+
+#include <algorithm>
+
+namespace cdcs::synth {
+
+std::array<double, 5> arc_geometry_record(const model::ConstraintGraph& cg,
+                                          model::ArcId a) {
+  const geom::Point2D u = cg.position(cg.source(a));
+  const geom::Point2D v = cg.position(cg.target(a));
+  return {u.x, u.y, v.x, v.y, cg.bandwidth(a)};
+}
+
+std::vector<std::uint32_t> canonical_subset_order(
+    const model::ConstraintGraph& cg,
+    const std::vector<model::ArcId>& subset) {
+  std::vector<std::array<double, 5>> records;
+  records.reserve(subset.size());
+  for (model::ArcId a : subset) records.push_back(arc_geometry_record(cg, a));
+  std::vector<std::uint32_t> order(subset.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return records[a] < records[b];
+                   });
+  return order;
+}
+
+void canonicalize_subset(const model::ConstraintGraph& cg,
+                         std::vector<model::ArcId>& subset) {
+  const std::vector<std::uint32_t> order = canonical_subset_order(cg, subset);
+  std::vector<model::ArcId> out(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) out[i] = subset[order[i]];
+  subset = std::move(out);
+}
+
+}  // namespace cdcs::synth

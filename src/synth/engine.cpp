@@ -1,0 +1,161 @@
+#include "synth/engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "model/sanitize.hpp"
+#include "synth/candidate_generator.hpp"
+
+namespace cdcs::synth {
+
+Engine::Engine(model::ConstraintGraph graph, commlib::Library library,
+               SynthesisOptions options, WarmPolicy policy)
+    : graph_(std::move(graph)),
+      library_(std::move(library)),
+      options_(std::move(options)),
+      policy_(policy) {
+  if (options_.pricing_cache == nullptr) {
+    options_.pricing_cache = &own_cache_;
+  }
+}
+
+support::Expected<SynthesisResult> Engine::apply(const model::Delta& delta) {
+  support::Expected<model::DeltaEffect> effect =
+      model::apply_delta(graph_, delta);
+  if (!effect.ok()) {
+    return std::move(effect).take_status().with_context("Engine::apply");
+  }
+  stats_.last_dirty_arcs = effect->dirty_arcs.size();
+  stats_.revision = graph_.revision();
+
+  if (policy_ == WarmPolicy::kWarmStart && effect->structure_changed) {
+    // Remap the previous solve's state across the arc renumbering: a chosen
+    // arc set touching a removed arc is gone; multipliers follow their rows
+    // (new rows start at 0, the subgradient's own cold start).
+    std::vector<std::vector<std::uint32_t>> remapped_sets;
+    for (const std::vector<std::uint32_t>& arcs : last_chosen_arc_sets_) {
+      std::vector<std::uint32_t> mapped;
+      mapped.reserve(arcs.size());
+      for (std::uint32_t a : arcs) {
+        if (a >= effect->arc_remap.size() ||
+            !effect->arc_remap[a].valid()) {
+          mapped.clear();
+          break;
+        }
+        mapped.push_back(effect->arc_remap[a].index());
+      }
+      if (!mapped.empty()) {
+        std::sort(mapped.begin(), mapped.end());
+        remapped_sets.push_back(std::move(mapped));
+      }
+    }
+    last_chosen_arc_sets_ = std::move(remapped_sets);
+
+    std::vector<double> remapped_mult(graph_.num_channels(), 0.0);
+    bool any = false;
+    for (std::size_t old = 0;
+         old < last_root_multipliers_.size() && old < effect->arc_remap.size();
+         ++old) {
+      if (effect->arc_remap[old].valid()) {
+        remapped_mult[effect->arc_remap[old].index()] =
+            last_root_multipliers_[old];
+        any = true;
+      }
+    }
+    last_root_multipliers_ =
+        any ? std::move(remapped_mult) : std::vector<double>{};
+  }
+
+  return synthesize_current();
+}
+
+support::Expected<SynthesisResult> Engine::resynthesize() {
+  stats_.last_dirty_arcs = 0;
+  stats_.revision = graph_.revision();
+  return synthesize_current();
+}
+
+support::Expected<SynthesisResult> Engine::synthesize_current() {
+  support::Status gate = model::check_inputs(graph_, library_);
+  if (!gate.ok()) return std::move(gate).with_context("Engine::apply");
+  try {
+    SynthesisResult partial;
+    support::Expected<CandidateSet> gen =
+        generate_candidates(graph_, library_, options_);
+    if (!gen.ok()) {
+      return std::move(gen)
+          .take_status()
+          .with_context("candidate generation")
+          .with_context("Engine::apply");
+    }
+    partial.candidate_set = *std::move(gen);
+
+    ucp::BnbOptions solver = options_.solver;
+    if (policy_ == WarmPolicy::kWarmStart) {
+      // Previous cover -> column indices in the fresh candidate list, by
+      // arc set. Any set without a matching column (its structure was
+      // re-priced away) aborts the seed; the solver falls back to its
+      // built-in greedy + singleton seeding.
+      std::map<std::vector<std::uint32_t>, std::size_t> by_arcs;
+      for (std::size_t j = 0; j < partial.candidate_set.candidates.size();
+           ++j) {
+        std::vector<std::uint32_t> key;
+        for (model::ArcId a : partial.candidate_set.candidates[j].arcs) {
+          key.push_back(a.index());
+        }
+        by_arcs.emplace(std::move(key), j);  // first (cheapest-kept) wins
+      }
+      std::vector<std::size_t> warm;
+      for (const std::vector<std::uint32_t>& arcs : last_chosen_arc_sets_) {
+        auto it = by_arcs.find(arcs);
+        if (it == by_arcs.end()) {
+          warm.clear();
+          break;
+        }
+        warm.push_back(it->second);
+      }
+      if (!warm.empty()) solver.warm_start = std::move(warm);
+      if (last_root_multipliers_.size() == graph_.num_channels()) {
+        solver.warm_multipliers = last_root_multipliers_;
+      }
+    }
+
+    support::Expected<SynthesisResult> result = finish_pipeline(
+        graph_, library_, options_, solver, &session_, std::move(partial));
+    if (!result.ok()) {
+      return std::move(result).take_status().with_context("Engine::apply");
+    }
+
+    stats_.applies += 1;
+    stats_.cover_solves = session_.cover_solves;
+    stats_.cover_reuses = session_.cover_reuses;
+    stats_.pricing_hits += result->candidate_set.stats.pricing_cache_hits;
+    stats_.pricing_misses += result->candidate_set.stats.pricing_cache_misses;
+
+    last_chosen_arc_sets_.clear();
+    for (std::size_t j : result->cover.chosen) {
+      std::vector<std::uint32_t> arcs;
+      for (model::ArcId a : result->candidate_set.candidates[j].arcs) {
+        arcs.push_back(a.index());
+      }
+      last_chosen_arc_sets_.push_back(std::move(arcs));
+    }
+    last_root_multipliers_ = result->cover.root_multipliers;
+    return result;
+  } catch (const std::exception& e) {
+    return support::Status::Internal(std::string("unexpected exception: ") +
+                                     e.what())
+        .with_context("Engine::apply");
+  }
+}
+
+Engine::SessionStats Engine::stats() const {
+  SessionStats s = stats_;
+  s.revision = graph_.revision();
+  return s;
+}
+
+}  // namespace cdcs::synth

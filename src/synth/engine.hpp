@@ -1,0 +1,113 @@
+// Incremental synthesis engine: a long-lived session over one evolving
+// constraint graph.
+//
+// Where synthesize() is the paper's one-shot batch flow, an Engine answers
+// an EDIT STREAM: it owns the graph, the communication library, the pricing
+// memoization (the persistent pool of priced candidate structures), and the
+// last cover solution, and re-synthesizes after each model::Delta:
+//
+//     Engine engine(workloads::wan2002(), commlib::wan_library());
+//     auto base = engine.resynthesize();
+//     model::Delta d;
+//     d.ops.push_back(model::SetBandwidthOp{"a3", 25.0});
+//     auto next = engine.apply(d);   // warm: only dirty subsets re-price
+//
+// Reuse model (docs/architecture.md): every apply() re-runs the full
+// enumeration (cheap, and the source of the candidate set's determinism),
+// but subset pricing -- the dominant cost -- is served from the session
+// PricingCache. A subset's cache key is a pure function of its endpoint
+// geometry, bandwidths, and the library, so an edit invalidates exactly the
+// subsets whose pricing inputs it changed (the DeltaEffect::dirty_arcs and
+// every subset containing one): everything else hits. The cover solve is
+// likewise skipped when the UCP instance is bit-identical to the previous
+// one (SessionState). Under the default WarmPolicy::kBitIdentical the
+// solver inputs are exactly a cold run's, so apply() output is BIT-IDENTICAL
+// to from-scratch synthesize() on the edited graph -- the oracle
+// tests/test_incremental.cpp pins at 1/2/8 threads.
+//
+// Lifetime: results reference the session's graph and library (like
+// synthesize() results reference the caller's); the Engine must outlive
+// them, and a result's implementation graph describes the session state at
+// the apply() that produced it -- read what you need before the next apply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "commlib/library.hpp"
+#include "model/delta.hpp"
+#include "support/status.hpp"
+#include "synth/options.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/pricing_cache.hpp"
+#include "synth/result.hpp"
+
+namespace cdcs::synth {
+
+class Engine {
+ public:
+  /// How much previous-solve state apply() feeds into the cover solver.
+  enum class WarmPolicy {
+    /// Solver inputs identical to a from-scratch run; output bit-identical
+    /// to synthesize() on the edited graph. All reuse is confined to
+    /// provably output-preserving caches. The default.
+    kBitIdentical,
+    /// Additionally seed the solver with the previous cover as incumbent
+    /// and the previous root Lagrangian multipliers (remapped across arc
+    /// renumbering). Same proven-optimal COST, but node counts and
+    /// equal-cost tie-breaks may differ from a cold run.
+    kWarmStart,
+  };
+
+  /// The session takes the graph and library by value and owns them; edit
+  /// them only through apply(). `options.pricing_cache`, when set, is used
+  /// (and shared) instead of the engine's own cache and must outlive the
+  /// engine.
+  Engine(model::ConstraintGraph graph, commlib::Library library,
+         SynthesisOptions options = {},
+         WarmPolicy policy = WarmPolicy::kBitIdentical);
+
+  const model::ConstraintGraph& graph() const { return graph_; }
+  const commlib::Library& library() const { return library_; }
+  const SynthesisOptions& options() const { return options_; }
+  WarmPolicy policy() const { return policy_; }
+
+  /// Applies `delta` to the session graph (atomically: a rejected batch
+  /// changes nothing) and re-synthesizes. Error statuses are synthesize()'s
+  /// plus kInvalidInput for a bad delta. Like synthesize(), never throws.
+  support::Expected<SynthesisResult> apply(const model::Delta& delta);
+
+  /// Re-synthesizes the current graph without edits (an empty apply()).
+  support::Expected<SynthesisResult> resynthesize();
+
+  struct SessionStats {
+    std::size_t applies{0};        ///< successful apply()/resynthesize() runs
+    std::size_t cover_solves{0};   ///< exact cover solves actually run
+    std::size_t cover_reuses{0};   ///< cover solves skipped (identical UCP)
+    std::size_t pricing_hits{0};   ///< cumulative pricing-cache hits
+    std::size_t pricing_misses{0};
+    std::size_t last_dirty_arcs{0};  ///< dirtied by the latest delta
+    std::uint64_t revision{0};       ///< graph revision after latest apply
+  };
+  SessionStats stats() const;
+
+ private:
+  support::Expected<SynthesisResult> synthesize_current();
+
+  model::ConstraintGraph graph_;
+  commlib::Library library_;
+  SynthesisOptions options_;
+  WarmPolicy policy_;
+  PricingCache own_cache_;  ///< used unless options_.pricing_cache is set
+  SessionState session_;
+  SessionStats stats_;
+
+  // WarmPolicy::kWarmStart state from the previous successful apply():
+  // the chosen candidates as sorted arc-index sets (remapped across arc
+  // renumbering; a set touching a removed arc is dropped) and the root
+  // Lagrangian multipliers per row.
+  std::vector<std::vector<std::uint32_t>> last_chosen_arc_sets_;
+  std::vector<double> last_root_multipliers_;
+};
+
+}  // namespace cdcs::synth

@@ -6,6 +6,7 @@
 
 #include "geom/minimize.hpp"
 #include "geom/weiszfeld.hpp"
+#include "synth/canonical_order.hpp"
 
 namespace cdcs::synth {
 namespace {
@@ -45,7 +46,10 @@ std::optional<MergingPlan> price_merging(const model::ConstraintGraph& cg,
                                          const support::Deadline* deadline) {
   if (deadline && deadline->expired()) return std::nullopt;
   if (subset.size() < 2) return std::nullopt;
-  std::sort(subset.begin(), subset.end());
+  // Canonical geometry order, NOT ArcId order: the priced plan must be
+  // a pure function of the subset's geometry (synth/canonical_order.hpp)
+  // so renumbered or reordered arc ids price bit-identically.
+  canonicalize_subset(cg, subset);
 
   const geom::Norm norm = cg.norm();
   std::vector<geom::Point2D> sources;

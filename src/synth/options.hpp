@@ -1,0 +1,125 @@
+// SynthesisOptions and fault-injection switches -- the knobs shared by the
+// one-shot synthesize() entry points, the incremental synth::Engine, and the
+// CLI flag parsers. Split from candidate_generator.hpp so option-carrying
+// code does not pull the enumeration machinery (it still sees BnbOptions,
+// via the lightweight ucp/bnb_options.hpp, because the solver configuration
+// is embedded by value).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "model/validator.hpp"
+#include "sim/delay.hpp"
+#include "support/deadline.hpp"
+#include "synth/mergeability.hpp"
+#include "ucp/bnb_options.hpp"
+
+namespace cdcs::synth {
+
+class PricingCache;
+
+/// Deterministic fault-injection hooks for robustness testing. Each switch
+/// forces one failure edge of the pipeline so the corresponding degradation
+/// path can be exercised without timing races. All off in production.
+struct FaultInjection {
+  /// Every merging/chain/tree pricer call returns nullopt: candidate
+  /// generation yields only the point-to-point singletons.
+  bool fail_merging_pricers = false;
+  /// The cover solver sees an already-expired deadline even when the
+  /// caller's deadline is unlimited.
+  bool expire_solver_deadline = false;
+  /// Discard the solver's incumbent (as if branch-and-bound had not found
+  /// one yet), forcing the greedy-cover fallback stage.
+  bool drop_incumbent = false;
+  /// Make the greedy cover report failure, forcing the final
+  /// point-to-point-only fallback stage.
+  bool fail_greedy_cover = false;
+};
+
+struct SynthesisOptions {
+  model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum;
+  PivotRule pivot_rule = PivotRule::kMinDistance;
+
+  // Ablation switches (all on = the paper's algorithm).
+  bool use_lemma31 = true;    ///< pairwise geometric pruning at k = 2
+  bool use_lemma32 = true;    ///< pivot-based geometric pruning at k >= 3
+  bool use_theorem31 = true;  ///< progressive per-arc elimination
+  bool use_theorem32 = true;  ///< bandwidth-sum pruning
+
+  /// Bounding-box grid pre-filter: bucket arc midpoints into a uniform grid
+  /// and skip subsets whose members are so far apart that the Lemma 3.1/3.2
+  /// distance tests are GUARANTEED to prune them (a conservative
+  /// triangle-inequality bound; see candidate_generator.cpp). Pure speedup:
+  /// the surviving candidate set is bit-identical. Skips are counted in
+  /// GenerationStats::grid_prefilter_skips_per_k (and, since every skipped
+  /// subset would have been geometry-pruned anyway, also in
+  /// pruned_geometry_per_k). Only active for subsets whose corresponding
+  /// lemma switch is on.
+  bool use_grid_prefilter = true;
+
+  /// Drop priced mergings that do not beat the sum of their members'
+  /// point-to-point costs. Keeps the UCP matrix lean; never loses the
+  /// optimum (the member singletons cover the same rows for less).
+  bool drop_unprofitable = false;
+
+  /// Also price the daisy-chain (bus) structure for subsets with a common
+  /// endpoint and keep the cheaper of star/chain per subset.
+  bool enable_chain_topology = true;
+
+  /// Also price the Steiner-tree structure (Hanan-grid topology) for
+  /// subsets with a common endpoint; the cheapest of star/chain/tree wins.
+  bool enable_tree_topology = true;
+
+  /// Largest merging size considered; 0 means |A| (the paper's algorithm).
+  int max_merge_k = 0;
+
+  /// Safety valve on subset enumeration per k (the paper's examples stay in
+  /// the tens; random scaling benches can explode combinatorially).
+  std::size_t max_subsets_per_k = 5'000'000;
+
+  /// Delay-constrained synthesis: when set, every candidate must keep the
+  /// worst-case delay of each of its channels within `budget` under
+  /// `model` (per-length wire delay + per-node processing). Merged
+  /// structures whose detours/hops blow the budget are dropped; a
+  /// point-to-point singleton violating it makes the instance infeasible
+  /// (std::runtime_error), since no structure can be faster than the
+  /// dedicated straight-line implementation.
+  struct DelayBudget {
+    sim::DelayModel model;
+    double budget{0.0};
+  };
+  std::optional<DelayBudget> delay_budget;
+
+  /// Wall-clock budget for the whole synthesis run (generation + covering).
+  /// Point-to-point singletons are ALWAYS generated in full -- they are the
+  /// last-resort cover -- but merging enumeration stops once the deadline
+  /// expires (stats.deadline_expired records this) and the remaining budget
+  /// is handed to the cover solver.
+  support::Deadline deadline;
+
+  /// Worker threads for subset pricing. 1 (default) prices on the caller's
+  /// thread; N > 1 fans each k's surviving subsets out to a fixed pool of N
+  /// workers, merging results in enumeration order so the candidate set is
+  /// BIT-IDENTICAL to the serial run (docs/performance.md); 0 means all
+  /// hardware threads. Enumeration and pruning always stay serial -- they
+  /// are cheap and their order carries Theorem 3.1 semantics.
+  int threads = 1;
+
+  /// Optional pricing memoization shared across synthesize() calls
+  /// (synth/pricing_cache.hpp). Borrowed, not owned; must outlive the run.
+  /// Thread-safe; hits skip the placement solves entirely.
+  PricingCache* pricing_cache = nullptr;
+
+  /// Deterministic failure forcing for tests; see FaultInjection.
+  FaultInjection fault_injection;
+
+  /// Cover-solver configuration (Lagrangian bounds, reduced-cost fixing,
+  /// search order, ...). The 3-argument synthesize() overload uses this;
+  /// the 4-argument overload overrides it explicitly. The synthesizer
+  /// additionally seeds `solver.warm_start` with the point-to-point
+  /// singleton cover when the caller left it empty.
+  ucp::BnbOptions solver;
+};
+
+}  // namespace cdcs::synth

@@ -1,0 +1,236 @@
+#include "synth/pipeline.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+
+#include "model/validator.hpp"
+#include "synth/assemble.hpp"
+#include "synth/candidate_generator.hpp"
+#include "ucp/bnb.hpp"
+#include "ucp/greedy.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+double gap_against(double achieved, double lower_bound) {
+  if (lower_bound <= 0.0 || achieved <= lower_bound) return 0.0;
+  return (achieved - lower_bound) / lower_bound;
+}
+
+/// Bit-exact signature of one cover solve: the full matrix plus every
+/// BnbOptions field the search reads. Two runs with equal signatures (and
+/// unlimited deadlines) are the same deterministic computation, so the
+/// previous CoverSolution -- nodes_explored, bounds, multipliers and all --
+/// IS the result of redoing the solve. Encoded as doubles: every encoded
+/// integer (row/column indices, node budgets) is far below 2^53, so the
+/// round-trip is exact.
+std::vector<double> cover_signature(std::size_t num_rows,
+                                    const CandidateSet& set,
+                                    const ucp::BnbOptions& solver) {
+  std::vector<double> sig;
+  sig.reserve(8 + set.candidates.size() * 4 + solver.warm_start.size() +
+              solver.warm_multipliers.size());
+  sig.push_back(static_cast<double>(num_rows));
+  sig.push_back(static_cast<double>(set.candidates.size()));
+  for (const Candidate& c : set.candidates) {
+    sig.push_back(c.cost);
+    sig.push_back(static_cast<double>(c.arcs.size()));
+    for (model::ArcId a : c.arcs) sig.push_back(static_cast<double>(a.index()));
+  }
+  sig.push_back(static_cast<double>(solver.max_nodes));
+  sig.push_back(static_cast<double>(
+      (std::uint64_t{solver.use_row_dominance} << 0) |
+      (std::uint64_t{solver.use_column_dominance} << 1) |
+      (std::uint64_t{solver.use_mis_lower_bound} << 2) |
+      (std::uint64_t{solver.use_lagrangian_bound} << 3) |
+      (std::uint64_t{solver.use_reduced_cost_fixing} << 4) |
+      (std::uint64_t{solver.search_order == ucp::SearchOrder::kBestFirst}
+       << 5)));
+  sig.push_back(static_cast<double>(solver.column_dominance_max_depth));
+  sig.push_back(static_cast<double>(solver.lagrangian_root_iterations));
+  sig.push_back(static_cast<double>(solver.lagrangian_node_iterations));
+  sig.push_back(static_cast<double>(solver.reduced_cost_fixing_period));
+  sig.push_back(static_cast<double>(solver.best_first_max_frontier));
+  sig.push_back(static_cast<double>(solver.dense_dp_max_rows));
+  sig.push_back(static_cast<double>(solver.warm_start.size()));
+  for (std::size_t j : solver.warm_start) {
+    sig.push_back(static_cast<double>(j));
+  }
+  sig.push_back(static_cast<double>(solver.warm_multipliers.size()));
+  for (double m : solver.warm_multipliers) sig.push_back(m);
+  return sig;
+}
+
+}  // namespace
+
+ucp::CoverProblem build_cover_problem(std::size_t num_rows,
+                                      const CandidateSet& set) {
+  ucp::CoverProblem cover(num_rows);
+  for (const Candidate& c : set.candidates) {
+    std::vector<std::size_t> rows;
+    rows.reserve(c.arcs.size());
+    for (model::ArcId a : c.arcs) rows.push_back(a.index());
+    cover.add_column(rows, c.cost);
+  }
+  return cover;
+}
+
+ucp::BnbOptions effective_solver_options(const SynthesisOptions& options,
+                                         const ucp::BnbOptions& solver_options,
+                                         std::size_t num_rows,
+                                         std::size_t num_candidates) {
+  ucp::BnbOptions solver = solver_options;
+  if (solver.deadline.unlimited()) solver.deadline = options.deadline;
+  if (options.fault_injection.expire_solver_deadline) {
+    solver.deadline = support::Deadline::expire_after_checks(0);
+  }
+  // Seed the incumbent with the anytime ladder's last rung: generation
+  // emits the singletons first (candidate i covers exactly arc i), so
+  // {0..rows-1} is always a feasible cover and branch-and-bound pruning
+  // starts with a real upper bound even when greedy underperforms.
+  if (solver.warm_start.empty() && num_candidates >= num_rows) {
+    solver.warm_start.resize(num_rows);
+    std::iota(solver.warm_start.begin(), solver.warm_start.end(),
+              std::size_t{0});
+  }
+  return solver;
+}
+
+support::Expected<SynthesisResult> finish_pipeline(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
+    SessionState* session, SynthesisResult result) {
+  const GenerationStats& stats = result.candidate_set.stats;
+
+  const std::size_t num_rows = cg.num_channels();
+  const ucp::CoverProblem cover =
+      build_cover_problem(num_rows, result.candidate_set);
+  const ucp::BnbOptions solver = effective_solver_options(
+      options, solver_options, num_rows, result.candidate_set.candidates.size());
+
+  // Cover stage: reuse the session's previous solution when this instance
+  // is bit-identical to the one it solved (same matrix, same solver
+  // configuration, no deadline in play -- an expired deadline makes the
+  // result time-dependent, which a signature cannot capture).
+  const bool reusable = session != nullptr && solver.deadline.unlimited();
+  std::vector<double> signature;
+  if (reusable) {
+    signature = cover_signature(num_rows, result.candidate_set, solver);
+  }
+  if (reusable && !session->last_cover_signature.empty() &&
+      signature == session->last_cover_signature) {
+    result.cover = session->last_cover;
+    session->cover_reuses += 1;
+  } else {
+    result.cover = ucp::solve_exact(cover, solver);
+    if (session != nullptr) {
+      session->cover_solves += 1;
+      if (reusable) {
+        session->last_cover_signature = std::move(signature);
+        session->last_cover = result.cover;
+      } else {
+        // A deadline-bound solve is not reusable; drop any stale state so
+        // a later unlimited run cannot match against it.
+        session->last_cover_signature.clear();
+        session->last_cover = {};
+      }
+    }
+  }
+
+  DegradationReport& deg = result.degradation;
+  deg.lower_bound = result.cover.lower_bound;
+
+  if (options.fault_injection.drop_incumbent) {
+    result.cover.chosen.clear();
+    result.cover.cost = 0.0;
+    result.cover.optimal = false;
+  }
+
+  const bool generation_complete =
+      !stats.enumeration_truncated && !stats.deadline_expired;
+  const bool solver_usable = num_rows == 0 ||
+                             (!result.cover.chosen.empty() &&
+                              cover.covers_all(result.cover.chosen));
+
+  if (solver_usable) {
+    if (result.cover.optimal && generation_complete) {
+      deg.stage = SynthesisStage::kExact;
+    } else {
+      deg.stage = SynthesisStage::kIncumbent;
+      if (!result.cover.optimal) {
+        deg.reason = result.cover.deadline_expired
+                         ? "deadline expired in the cover solver; best "
+                           "incumbent returned"
+                         : "cover solver node budget exhausted; best "
+                           "incumbent returned";
+      } else {
+        deg.reason = stats.deadline_expired
+                         ? "deadline expired during candidate enumeration; "
+                           "cover is optimal over the partial candidate set"
+                         : "candidate enumeration truncated at "
+                           "max_subsets_per_k; cover is optimal over the "
+                           "partial candidate set";
+      }
+    }
+  } else {
+    // The solver produced nothing usable (deadline hit before any incumbent,
+    // or fault injection discarded it). Greedy cover next.
+    ucp::CoverSolution greedy;
+    if (!options.fault_injection.fail_greedy_cover) {
+      greedy = ucp::solve_greedy(cover);
+    }
+    if (!greedy.chosen.empty() && cover.covers_all(greedy.chosen)) {
+      result.cover = std::move(greedy);
+      result.cover.deadline_expired = true;
+      deg.stage = SynthesisStage::kGreedy;
+      deg.reason = "cover solver returned no usable incumbent; greedy cover";
+    } else {
+      // Last rung: one optimum point-to-point link per arc. Generation
+      // emits the singletons first (candidate i covers exactly arc i) and
+      // never deadline-gates them, so this cover always exists here.
+      if (result.candidate_set.candidates.size() < num_rows) {
+        return support::Status::Internal(
+            "point-to-point fallback: candidate set is missing singletons");
+      }
+      result.cover = ucp::CoverSolution{};
+      result.cover.chosen.resize(num_rows);
+      std::iota(result.cover.chosen.begin(), result.cover.chosen.end(),
+                std::size_t{0});
+      result.cover.cost = cover.cost_of(result.cover.chosen);
+      result.cover.deadline_expired = true;
+      deg.stage = SynthesisStage::kPointToPoint;
+      deg.reason =
+          "no usable incumbent and no greedy cover; every arc implemented "
+          "point-to-point";
+    }
+    result.cover.lower_bound = deg.lower_bound;
+  }
+  deg.optimality_gap = deg.degraded()
+                           ? gap_against(result.cover.cost, deg.lower_bound)
+                           : 0.0;
+
+  result.implementation = assemble(cg, library,
+                                   result.candidate_set.candidates,
+                                   result.cover.chosen);
+  result.total_cost = result.implementation->cost();
+  result.validation = model::validate(*result.implementation, options.policy);
+  return result;
+}
+
+support::Expected<SynthesisResult> run_pipeline(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
+    SessionState* session) {
+  SynthesisResult result;
+  support::Expected<CandidateSet> gen =
+      generate_candidates(cg, library, options);
+  if (!gen.ok()) {
+    return std::move(gen).take_status().with_context("candidate generation");
+  }
+  result.candidate_set = *std::move(gen);
+  return finish_pipeline(cg, library, options, solver_options, session,
+                         std::move(result));
+}
+
+}  // namespace cdcs::synth

@@ -1,0 +1,78 @@
+// The staged synthesis pipeline (Fig. 2 + covering + materialization),
+// factored out of the one-shot synthesize() wrappers so the incremental
+// synth::Engine drives the SAME stages over its session state:
+//
+//   generate  -- candidate enumeration + pricing (candidate_generator.hpp;
+//                pricing memoized via SynthesisOptions::pricing_cache)
+//   cover     -- build the UCP matrix and solve it exactly, or reuse the
+//                session's previous solution when the matrix and solver
+//                configuration are bit-identical to the last solve
+//   ladder    -- anytime degradation (exact -> incumbent -> greedy -> ptp)
+//   assemble  -- materialize the chosen columns (assemble.hpp)
+//   validate  -- independent Def 2.4 / flow check
+//
+// Reuse is strictly output-preserving: a SessionState only ever short-cuts
+// work whose result is provably bit-identical to redoing it (the cover
+// signature captures every solver input), so a warm run returns exactly the
+// bytes a cold run would -- the invariant the incremental oracle tests pin
+// (docs/architecture.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/status.hpp"
+#include "synth/options.hpp"
+#include "synth/result.hpp"
+#include "ucp/cover.hpp"
+
+namespace cdcs::synth {
+
+/// Persistent cover-solver state a session threads through run_pipeline.
+/// The one-shot synthesize() wrappers pass nullptr (every stage runs cold).
+struct SessionState {
+  /// Signature of the last exactly-solved cover instance: the full UCP
+  /// matrix plus every solver option that steers the search (see
+  /// cover_signature in pipeline.cpp). Empty = nothing reusable held.
+  std::vector<double> last_cover_signature;
+  /// What solve_exact returned for that signature (stored pre-ladder, so
+  /// fault injection and fallbacks never contaminate it).
+  ucp::CoverSolution last_cover;
+
+  /// Session counters (Engine::stats()).
+  std::size_t cover_solves{0};
+  std::size_t cover_reuses{0};
+};
+
+/// Stage 2 -> 3 bridge: the UCP matrix (row i = constraint arc i, one
+/// column per candidate, weighted by candidate cost).
+ucp::CoverProblem build_cover_problem(std::size_t num_rows,
+                                      const CandidateSet& set);
+
+/// The solver configuration stage 3 actually runs: `solver_options` with
+/// the pipeline deadline inherited, fault injection applied, and -- when the
+/// caller left warm_start empty and the singletons exist -- the
+/// point-to-point singleton cover seeded as the incumbent.
+ucp::BnbOptions effective_solver_options(const SynthesisOptions& options,
+                                         const ucp::BnbOptions& solver_options,
+                                         std::size_t num_rows,
+                                         std::size_t num_candidates);
+
+/// Stages 3-5 (cover, ladder, assemble, validate) on a result whose
+/// candidate_set stage 2 already filled -- the entry point for callers that
+/// interpose on the candidate list between generation and covering (the
+/// engine's warm-start column mapping). `session` may be nullptr.
+support::Expected<SynthesisResult> finish_pipeline(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
+    SessionState* session, SynthesisResult result);
+
+/// Stages 2-5 end to end. `session` may be nullptr (one-shot run). Does not
+/// gate inputs and may throw; synthesize()/Engine::apply wrap it in the
+/// check_inputs gate and the catch-all.
+support::Expected<SynthesisResult> run_pipeline(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
+    SessionState* session);
+
+}  // namespace cdcs::synth

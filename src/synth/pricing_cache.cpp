@@ -1,5 +1,7 @@
 #include "synth/pricing_cache.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <stdexcept>
 
@@ -13,10 +15,12 @@ inline void fnv_mix(std::size_t& h, std::uint64_t v) {
   }
 }
 
-/// Position of each of `arcs` within `subset`; the pricers only permute,
-/// never substitute, so every arc must be found.
+/// Canonical position of each of `arcs` within `subset`; the pricers only
+/// permute, never substitute, so every arc must be found.
+/// `inverse_canonical[p]` is the canonical position of caller position p.
 std::vector<std::uint32_t> permutation_into(
     const std::vector<model::ArcId>& subset,
+    const std::vector<std::uint32_t>& inverse_canonical,
     const std::vector<model::ArcId>& arcs) {
   std::vector<std::uint32_t> perm;
   perm.reserve(arcs.size());
@@ -32,37 +36,52 @@ std::vector<std::uint32_t> permutation_into(
       throw std::logic_error(
           "pricing cache: plan references an arc outside its subset");
     }
-    perm.push_back(pos);
+    perm.push_back(inverse_canonical[pos]);
   }
   return perm;
 }
 
 void apply_permutation(std::vector<model::ArcId>& arcs,
                        const std::vector<std::uint32_t>& perm,
-                       const std::vector<model::ArcId>& subset) {
+                       const std::vector<model::ArcId>& subset,
+                       const std::vector<std::uint32_t>& canonical_order) {
   arcs.resize(perm.size());
-  for (std::size_t i = 0; i < perm.size(); ++i) arcs[i] = subset[perm[i]];
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    arcs[i] = subset[canonical_order[perm[i]]];
+  }
 }
 
 }  // namespace
 
 PricingCache::Entry PricingCache::Entry::make(
-    const std::vector<model::ArcId>& subset, std::optional<MergingPlan> star,
-    std::optional<ChainPlan> chain, std::optional<TreePlan> tree) {
+    const std::vector<model::ArcId>& subset,
+    const std::vector<std::uint32_t>& canonical_order,
+    std::optional<MergingPlan> star, std::optional<ChainPlan> chain,
+    std::optional<TreePlan> tree) {
+  std::vector<std::uint32_t> inverse(canonical_order.size());
+  for (std::uint32_t c = 0; c < canonical_order.size(); ++c) {
+    inverse[canonical_order[c]] = c;
+  }
   Entry e;
   e.star = std::move(star);
   e.chain = std::move(chain);
   e.tree = std::move(tree);
-  if (e.star) e.star_perm_ = permutation_into(subset, e.star->arcs);
-  if (e.chain) e.chain_perm_ = permutation_into(subset, e.chain->arcs);
-  if (e.tree) e.tree_perm_ = permutation_into(subset, e.tree->arcs);
+  if (e.star) e.star_perm_ = permutation_into(subset, inverse, e.star->arcs);
+  if (e.chain) {
+    e.chain_perm_ = permutation_into(subset, inverse, e.chain->arcs);
+  }
+  if (e.tree) e.tree_perm_ = permutation_into(subset, inverse, e.tree->arcs);
   return e;
 }
 
-void PricingCache::Entry::retarget(const std::vector<model::ArcId>& subset) {
-  if (star) apply_permutation(star->arcs, star_perm_, subset);
-  if (chain) apply_permutation(chain->arcs, chain_perm_, subset);
-  if (tree) apply_permutation(tree->arcs, tree_perm_, subset);
+void PricingCache::Entry::retarget(
+    const std::vector<model::ArcId>& subset,
+    const std::vector<std::uint32_t>& canonical_order) {
+  if (star) apply_permutation(star->arcs, star_perm_, subset, canonical_order);
+  if (chain) {
+    apply_permutation(chain->arcs, chain_perm_, subset, canonical_order);
+  }
+  if (tree) apply_permutation(tree->arcs, tree_perm_, subset, canonical_order);
 }
 
 std::size_t PricingCache::KeyHash::operator()(const Key& k) const {
@@ -123,14 +142,10 @@ PricingCache::Key make_pricing_key(const model::ConstraintGraph& cg,
   key.chain_enabled = chain_enabled;
   key.tree_enabled = tree_enabled;
   key.arc_geometry.reserve(subset.size() * 5);
-  for (model::ArcId a : subset) {
-    const geom::Point2D u = cg.position(cg.source(a));
-    const geom::Point2D v = cg.position(cg.target(a));
-    key.arc_geometry.push_back(u.x);
-    key.arc_geometry.push_back(u.y);
-    key.arc_geometry.push_back(v.x);
-    key.arc_geometry.push_back(v.y);
-    key.arc_geometry.push_back(cg.bandwidth(a));
+  for (std::uint32_t pos : canonical_subset_order(cg, subset)) {
+    for (double v : arc_geometry_record(cg, subset[pos])) {
+      key.arc_geometry.push_back(v);
+    }
   }
   return key;
 }

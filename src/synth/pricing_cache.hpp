@@ -24,6 +24,15 @@
 // cached entry carries position permutations into its subset so lookup()
 // can retarget the plans onto the caller's arc ids (Entry::retarget).
 //
+// The key's per-arc records are stored in CANONICAL order -- sorted by the
+// geometry record itself, not by the caller's arc ids -- and the entry's
+// permutations are relative to that canonical order. Two sessions that
+// enumerate the geometrically same subset with permuted arc insertion
+// orders (and therefore permuted subset orders, since subsets follow arc-id
+// order) thus share one entry: the same subset shuffled is a HIT, not a
+// miss, and retargeting maps the plans through the canonical order onto
+// whatever arc ids the calling graph uses (canonical_subset_order).
+//
 // Thread safety: lookup/insert take a mutex (pricing is milliseconds, the
 // critical section is a map probe); hit/miss counters are atomics. The
 // cache never evicts -- covering instances price at most a few thousand
@@ -37,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "synth/canonical_order.hpp"
 #include "synth/chain_pricer.hpp"
 #include "synth/merging_pricer.hpp"
 #include "synth/tree_pricer.hpp"
@@ -53,7 +63,8 @@ class PricingCache {
     model::CapacityPolicy policy{};
     bool chain_enabled{false};
     bool tree_enabled{false};
-    /// Five doubles per arc: source x/y, target x/y, bandwidth.
+    /// Five doubles per arc: source x/y, target x/y, bandwidth -- in
+    /// CANONICAL order (sorted by the record), not subset order.
     std::vector<double> arc_geometry;
 
     friend bool operator==(const Key&, const Key&) = default;
@@ -68,18 +79,22 @@ class PricingCache {
     std::optional<TreePlan> tree;
 
     /// Builds an entry from freshly priced plans, recording each plan's
-    /// arc order as positions into `subset` for later retargeting.
+    /// arc order as positions into the CANONICAL record order of `subset`
+    /// (`canonical_order`, from canonical_subset_order) for retargeting.
     static Entry make(const std::vector<model::ArcId>& subset,
+                      const std::vector<std::uint32_t>& canonical_order,
                       std::optional<MergingPlan> star,
                       std::optional<ChainPlan> chain,
                       std::optional<TreePlan> tree);
 
-    /// Rewrites the plans' arc ids onto `subset` (the caller's graph),
-    /// preserving each plan's internal order via the stored permutations.
-    void retarget(const std::vector<model::ArcId>& subset);
+    /// Rewrites the plans' arc ids onto `subset` (the caller's graph, whose
+    /// canonical record order is `canonical_order`), preserving each plan's
+    /// internal order via the stored canonical permutations.
+    void retarget(const std::vector<model::ArcId>& subset,
+                  const std::vector<std::uint32_t>& canonical_order);
 
    private:
-    /// plan.arcs[i] == subset[perm[i]] at make() time, per structure.
+    /// plan.arcs[i] == subset[canonical_order[perm[i]]], per structure.
     std::vector<std::uint32_t> star_perm_;
     std::vector<std::uint32_t> chain_perm_;
     std::vector<std::uint32_t> tree_perm_;
@@ -117,7 +132,8 @@ class PricingCache {
   std::atomic<std::size_t> misses_{0};
 };
 
-/// Builds the canonical signature of `subset` under (cg, library, policy).
+/// Builds the canonical signature of `subset` under (cg, library, policy),
+/// with the per-arc records in canonical_subset_order.
 PricingCache::Key make_pricing_key(const model::ConstraintGraph& cg,
                                    const commlib::Library& library,
                                    const std::vector<model::ArcId>& subset,

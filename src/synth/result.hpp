@@ -1,0 +1,81 @@
+// Synthesis result types -- the anytime-ladder stage, the degradation
+// report, and SynthesisResult itself. Split from synthesizer.hpp so result
+// consumers (reporting, IO, benches, the incremental engine's callers) see
+// only the data model: no candidate enumeration, no assembler, no cover
+// solver headers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/validator.hpp"
+#include "synth/candidate.hpp"
+#include "ucp/cover.hpp"
+
+namespace cdcs::synth {
+
+/// The rung of the anytime ladder that produced the returned cover.
+enum class SynthesisStage {
+  kExact,         ///< proven-optimal cover over the full candidate set
+  kIncumbent,     ///< solver's best feasible cover (budget/deadline cut off)
+  kGreedy,        ///< ln(n) greedy cover (solver returned nothing usable)
+  kPointToPoint,  ///< every arc on its own optimum point-to-point link
+};
+
+constexpr std::string_view to_string(SynthesisStage stage) {
+  switch (stage) {
+    case SynthesisStage::kExact:
+      return "exact";
+    case SynthesisStage::kIncumbent:
+      return "incumbent";
+    case SynthesisStage::kGreedy:
+      return "greedy";
+    case SynthesisStage::kPointToPoint:
+      return "point-to-point";
+  }
+  return "unknown";
+}
+
+/// How (and how far) the run degraded from the exact algorithm.
+struct DegradationReport {
+  SynthesisStage stage{SynthesisStage::kExact};
+  /// Human-readable cause when stage != kExact ("deadline expired in the
+  /// cover solver", ...). Empty for exact runs.
+  std::string reason;
+  /// Lower bound on the optimal cover cost over the generated candidate
+  /// set (== achieved cost for exact runs; the subgradient Lagrangian root
+  /// bound -- falling back to the independent-rows bound -- otherwise).
+  /// When candidate enumeration itself was cut short the true optimum over
+  /// the full set could be lower still.
+  double lower_bound{0.0};
+  /// (achieved - lower_bound) / lower_bound; 0 for exact runs or when the
+  /// bound is degenerate (<= 0).
+  double optimality_gap{0.0};
+
+  bool degraded() const { return stage != SynthesisStage::kExact; }
+};
+
+struct SynthesisResult {
+  CandidateSet candidate_set;
+  ucp::CoverSolution cover;         ///< chosen indices == candidate indices
+  double total_cost{0.0};           ///< Def 2.5 cost of `implementation`
+  std::unique_ptr<model::ImplementationGraph> implementation;
+  model::ValidationReport validation;
+  DegradationReport degradation;    ///< which ladder rung produced `cover`
+
+  const std::vector<Candidate>& candidates() const {
+    return candidate_set.candidates;
+  }
+  /// The selected candidates (columns of the UCP optimum).
+  std::vector<const Candidate*> selected() const {
+    std::vector<const Candidate*> sel;
+    for (std::size_t j : cover.chosen) {
+      sel.push_back(&candidate_set.candidates[j]);
+    }
+    return sel;
+  }
+};
+
+}  // namespace cdcs::synth

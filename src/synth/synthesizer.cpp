@@ -1,143 +1,18 @@
 #include "synth/synthesizer.hpp"
 
 #include <exception>
-#include <numeric>
+#include <string>
 #include <utility>
 
 #include "model/sanitize.hpp"
-#include "model/validator.hpp"
-#include "ucp/greedy.hpp"
+#include "synth/pipeline.hpp"
 
 namespace cdcs::synth {
-namespace {
 
-double gap_against(double achieved, double lower_bound) {
-  if (lower_bound <= 0.0 || achieved <= lower_bound) return 0.0;
-  return (achieved - lower_bound) / lower_bound;
-}
-
-/// The pipeline proper; the public synthesize() wraps it in the input gate
-/// and the catch-all so no exception escapes the API boundary.
-support::Expected<SynthesisResult> run_pipeline(
-    const model::ConstraintGraph& cg, const commlib::Library& library,
-    const SynthesisOptions& options, const ucp::BnbOptions& solver_options) {
-  SynthesisResult result;
-  support::Expected<CandidateSet> gen =
-      generate_candidates(cg, library, options);
-  if (!gen.ok()) {
-    return std::move(gen).take_status().with_context("candidate generation");
-  }
-  result.candidate_set = *std::move(gen);
-  const GenerationStats& stats = result.candidate_set.stats;
-
-  const std::size_t num_rows = cg.num_channels();
-  ucp::CoverProblem cover(num_rows);
-  for (const Candidate& c : result.candidate_set.candidates) {
-    std::vector<std::size_t> rows;
-    rows.reserve(c.arcs.size());
-    for (model::ArcId a : c.arcs) rows.push_back(a.index());
-    cover.add_column(rows, c.cost);
-  }
-
-  ucp::BnbOptions solver = solver_options;
-  if (solver.deadline.unlimited()) solver.deadline = options.deadline;
-  if (options.fault_injection.expire_solver_deadline) {
-    solver.deadline = support::Deadline::expire_after_checks(0);
-  }
-  // Seed the incumbent with the anytime ladder's last rung: generation
-  // emits the singletons first (candidate i covers exactly arc i), so
-  // {0..rows-1} is always a feasible cover and branch-and-bound pruning
-  // starts with a real upper bound even when greedy underperforms.
-  if (solver.warm_start.empty() &&
-      result.candidate_set.candidates.size() >= num_rows) {
-    solver.warm_start.resize(num_rows);
-    std::iota(solver.warm_start.begin(), solver.warm_start.end(),
-              std::size_t{0});
-  }
-  result.cover = ucp::solve_exact(cover, solver);
-
-  DegradationReport& deg = result.degradation;
-  deg.lower_bound = result.cover.lower_bound;
-
-  if (options.fault_injection.drop_incumbent) {
-    result.cover.chosen.clear();
-    result.cover.cost = 0.0;
-    result.cover.optimal = false;
-  }
-
-  const bool generation_complete =
-      !stats.enumeration_truncated && !stats.deadline_expired;
-  const bool solver_usable = num_rows == 0 ||
-                             (!result.cover.chosen.empty() &&
-                              cover.covers_all(result.cover.chosen));
-
-  if (solver_usable) {
-    if (result.cover.optimal && generation_complete) {
-      deg.stage = SynthesisStage::kExact;
-    } else {
-      deg.stage = SynthesisStage::kIncumbent;
-      if (!result.cover.optimal) {
-        deg.reason = result.cover.deadline_expired
-                         ? "deadline expired in the cover solver; best "
-                           "incumbent returned"
-                         : "cover solver node budget exhausted; best "
-                           "incumbent returned";
-      } else {
-        deg.reason = stats.deadline_expired
-                         ? "deadline expired during candidate enumeration; "
-                           "cover is optimal over the partial candidate set"
-                         : "candidate enumeration truncated at "
-                           "max_subsets_per_k; cover is optimal over the "
-                           "partial candidate set";
-      }
-    }
-  } else {
-    // The solver produced nothing usable (deadline hit before any incumbent,
-    // or fault injection discarded it). Greedy cover next.
-    ucp::CoverSolution greedy;
-    if (!options.fault_injection.fail_greedy_cover) {
-      greedy = ucp::solve_greedy(cover);
-    }
-    if (!greedy.chosen.empty() && cover.covers_all(greedy.chosen)) {
-      result.cover = std::move(greedy);
-      result.cover.deadline_expired = true;
-      deg.stage = SynthesisStage::kGreedy;
-      deg.reason = "cover solver returned no usable incumbent; greedy cover";
-    } else {
-      // Last rung: one optimum point-to-point link per arc. Generation
-      // emits the singletons first (candidate i covers exactly arc i) and
-      // never deadline-gates them, so this cover always exists here.
-      if (result.candidate_set.candidates.size() < num_rows) {
-        return support::Status::Internal(
-            "point-to-point fallback: candidate set is missing singletons");
-      }
-      result.cover = ucp::CoverSolution{};
-      result.cover.chosen.resize(num_rows);
-      std::iota(result.cover.chosen.begin(), result.cover.chosen.end(),
-                std::size_t{0});
-      result.cover.cost = cover.cost_of(result.cover.chosen);
-      result.cover.deadline_expired = true;
-      deg.stage = SynthesisStage::kPointToPoint;
-      deg.reason =
-          "no usable incumbent and no greedy cover; every arc implemented "
-          "point-to-point";
-    }
-    result.cover.lower_bound = deg.lower_bound;
-  }
-  deg.optimality_gap = deg.degraded()
-                           ? gap_against(result.cover.cost, deg.lower_bound)
-                           : 0.0;
-
-  result.implementation = assemble(cg, library,
-                                   result.candidate_set.candidates,
-                                   result.cover.chosen);
-  result.total_cost = result.implementation->cost();
-  result.validation = model::validate(*result.implementation, options.policy);
-  return result;
-}
-
-}  // namespace
-
+// Both overloads are one-shot sessions: the same staged pipeline the
+// incremental Engine drives (synth/pipeline.hpp), run with no session state,
+// wrapped in the input gate and the catch-all so no exception escapes the
+// API boundary.
 support::Expected<SynthesisResult> synthesize(
     const model::ConstraintGraph& cg, const commlib::Library& library,
     const SynthesisOptions& options) {
@@ -152,7 +27,7 @@ support::Expected<SynthesisResult> synthesize(
   if (!gate.ok()) return std::move(gate).with_context("synthesize");
   try {
     support::Expected<SynthesisResult> result =
-        run_pipeline(cg, library, options, solver_options);
+        run_pipeline(cg, library, options, solver_options, nullptr);
     if (!result.ok()) {
       return std::move(result).take_status().with_context("synthesize");
     }

@@ -21,78 +21,19 @@
 //
 // and reports which rung it landed on (plus a lower bound and optimality
 // gap) in SynthesisResult::degradation.
+//
+// The result types live in synth/result.hpp and the options in
+// synth/options.hpp; the staged pipeline these wrappers drive is
+// synth/pipeline.hpp, and the incremental session entry point is
+// synth/engine.hpp. Including this header pulls neither the assembler nor
+// the cover solver.
 #pragma once
 
-#include <memory>
-#include <string>
-
 #include "support/status.hpp"
-#include "synth/assemble.hpp"
-#include "ucp/bnb.hpp"
+#include "synth/options.hpp"
+#include "synth/result.hpp"
 
 namespace cdcs::synth {
-
-/// The rung of the anytime ladder that produced the returned cover.
-enum class SynthesisStage {
-  kExact,         ///< proven-optimal cover over the full candidate set
-  kIncumbent,     ///< solver's best feasible cover (budget/deadline cut off)
-  kGreedy,        ///< ln(n) greedy cover (solver returned nothing usable)
-  kPointToPoint,  ///< every arc on its own optimum point-to-point link
-};
-
-constexpr std::string_view to_string(SynthesisStage stage) {
-  switch (stage) {
-    case SynthesisStage::kExact:
-      return "exact";
-    case SynthesisStage::kIncumbent:
-      return "incumbent";
-    case SynthesisStage::kGreedy:
-      return "greedy";
-    case SynthesisStage::kPointToPoint:
-      return "point-to-point";
-  }
-  return "unknown";
-}
-
-/// How (and how far) the run degraded from the exact algorithm.
-struct DegradationReport {
-  SynthesisStage stage{SynthesisStage::kExact};
-  /// Human-readable cause when stage != kExact ("deadline expired in the
-  /// cover solver", ...). Empty for exact runs.
-  std::string reason;
-  /// Lower bound on the optimal cover cost over the generated candidate
-  /// set (== achieved cost for exact runs; the subgradient Lagrangian root
-  /// bound -- falling back to the independent-rows bound -- otherwise).
-  /// When candidate enumeration itself was cut short the true optimum over
-  /// the full set could be lower still.
-  double lower_bound{0.0};
-  /// (achieved - lower_bound) / lower_bound; 0 for exact runs or when the
-  /// bound is degenerate (<= 0).
-  double optimality_gap{0.0};
-
-  bool degraded() const { return stage != SynthesisStage::kExact; }
-};
-
-struct SynthesisResult {
-  CandidateSet candidate_set;
-  ucp::CoverSolution cover;         ///< chosen indices == candidate indices
-  double total_cost{0.0};           ///< Def 2.5 cost of `implementation`
-  std::unique_ptr<model::ImplementationGraph> implementation;
-  model::ValidationReport validation;
-  DegradationReport degradation;    ///< which ladder rung produced `cover`
-
-  const std::vector<Candidate>& candidates() const {
-    return candidate_set.candidates;
-  }
-  /// The selected candidates (columns of the UCP optimum).
-  std::vector<const Candidate*> selected() const {
-    std::vector<const Candidate*> sel;
-    for (std::size_t j : cover.chosen) {
-      sel.push_back(&candidate_set.candidates[j]);
-    }
-    return sel;
-  }
-};
 
 /// Solves Problem 2.1 for (cg, library). The returned implementation graph
 /// keeps references to `cg` and `library`; both must outlive the result.
@@ -109,6 +50,10 @@ struct SynthesisResult {
 /// overrides that with an explicit BnbOptions. Either way the solver's
 /// incumbent is warm-started with the point-to-point singleton cover, so
 /// pruning starts from the anytime ladder's last-resort upper bound.
+///
+/// Both overloads are thin wrappers over a throwaway synth::Engine session
+/// (synth/engine.hpp); edit streams should hold a session open instead of
+/// calling these in a loop.
 support::Expected<SynthesisResult> synthesize(
     const model::ConstraintGraph& cg, const commlib::Library& library,
     const SynthesisOptions& options = {});

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "geom/steiner.hpp"
+#include "synth/canonical_order.hpp"
 
 namespace cdcs::synth {
 namespace {
@@ -87,7 +88,10 @@ std::optional<TreePlan> price_tree_merging(const model::ConstraintGraph& cg,
                                            const support::Deadline* deadline) {
   if (deadline && deadline->expired()) return std::nullopt;
   if (subset.size() < 2 || subset.size() > 9) return std::nullopt;
-  std::sort(subset.begin(), subset.end());
+  // Canonical geometry order, NOT ArcId order: the priced plan must be
+  // a pure function of the subset's geometry (synth/canonical_order.hpp)
+  // so renumbered or reordered arc ids price bit-identically.
+  canonicalize_subset(cg, subset);
   const geom::Norm norm = cg.norm();
 
   const geom::Point2D first_src = cg.position(cg.source(subset.front()));

@@ -61,11 +61,20 @@ class Solver {
     root.uncovered.set_all();
     root.available.set_all();
 
+    // Caller-provided multipliers seed the ROOT subgradient ascent (a warm
+    // re-solve of a near-identical instance converges in a few corrective
+    // steps instead of the full cold ascent). Ignored unless sized to the
+    // row count; empty reproduces the cold search tree node-for-node.
+    std::vector<double> root_lambda;
+    if (opt_.warm_multipliers.size() == p_.num_rows()) {
+      root_lambda = opt_.warm_multipliers;
+    }
+
     complete_ = true;
     if (opt_.search_order == SearchOrder::kBestFirst) {
-      run_best_first(std::move(root));
+      run_best_first(std::move(root), std::move(root_lambda));
     } else {
-      branch(std::move(root), 0.0, {}, 0, {});
+      branch(std::move(root), 0.0, {}, 0, std::move(root_lambda));
     }
 
     CoverSolution sol;
@@ -75,6 +84,7 @@ class Solver {
     sol.optimal = complete_ && best_cost_ < kInf;
     sol.nodes_explored = nodes_;
     sol.deadline_expired = deadline_hit_;
+    sol.root_multipliers = std::move(root_multipliers_);
     return sol;
   }
 
@@ -318,7 +328,10 @@ class Solver {
     LagrangianBound lagr;
     bool lagr_ran = false;
     const double bound = node_bound(s, cost, depth, lambda, lagr, lagr_ran);
-    if (depth == 0) root_bound_ = cost + bound;
+    if (depth == 0) {
+      root_bound_ = cost + bound;
+      if (lagr_ran) root_multipliers_ = lagr.multipliers;
+    }
     if (cost + bound >= best_cost_) return;
     if (lagr_ran && should_fix(depth)) fix_columns(s, cost, lagr);
 
@@ -365,11 +378,11 @@ class Solver {
     return a.seq > b.seq;
   }
 
-  void run_best_first(SearchState root) {
+  void run_best_first(SearchState root, std::vector<double> root_lambda) {
     std::vector<FrontierNode> heap;
     std::uint64_t next_seq = 0;
-    heap.push_back(FrontierNode{std::move(root), 0.0, {}, {}, 0.0, 0,
-                                next_seq++});
+    heap.push_back(FrontierNode{std::move(root), 0.0, {},
+                                std::move(root_lambda), 0.0, 0, next_seq++});
 
     while (!heap.empty()) {
       std::pop_heap(heap.begin(), heap.end(), frontier_after);
@@ -403,7 +416,10 @@ class Solver {
       bool lagr_ran = false;
       const double bound = node_bound(node.s, node.cost, node.depth,
                                       node.lambda, lagr, lagr_ran);
-      if (node.depth == 0) root_bound_ = node.cost + bound;
+      if (node.depth == 0) {
+        root_bound_ = node.cost + bound;
+        if (lagr_ran) root_multipliers_ = lagr.multipliers;
+      }
       if (node.cost + bound >= best_cost_) continue;
       if (lagr_ran && should_fix(node.depth)) {
         fix_columns(node.s, node.cost, lagr);
@@ -449,6 +465,7 @@ class Solver {
   std::size_t nodes_{0};
   std::size_t last_fix_nodes_{0};
   double root_bound_{0.0};
+  std::vector<double> root_multipliers_;
   bool complete_{true};
   bool deadline_hit_{false};
 };

@@ -32,77 +32,15 @@
 // tree node-for-node, which determinism tests pin. The solver is exact
 // whenever it finishes within the node budget; the `optimal` flag reports
 // this.
+//
+// BnbOptions itself lives in ucp/bnb_options.hpp so option-carrying types
+// (SynthesisOptions, engines, CLIs) need not include the solver.
 #pragma once
 
-#include <vector>
-
-#include "support/deadline.hpp"
+#include "ucp/bnb_options.hpp"
 #include "ucp/cover.hpp"
-#include "ucp/lagrangian.hpp"
 
 namespace cdcs::ucp {
-
-/// Node-expansion order of the branch-and-bound.
-enum class SearchOrder {
-  /// Classic recursive include/exclude DFS -- the reference tree whose node
-  /// counts are pinned for determinism.
-  kDepthFirst,
-  /// Explicit frontier ordered by node lower bound (ties by creation order,
-  /// so still fully deterministic). Reaches the optimum sooner on wide
-  /// trees; proves optimality the moment the best frontier bound meets the
-  /// incumbent. Costs memory proportional to the frontier.
-  kBestFirst,
-};
-
-struct BnbOptions {
-  std::size_t max_nodes = 10'000'000;
-  /// Wall-clock budget (plus cooperative cancellation); polled once per
-  /// branch node and periodically inside the dense DP. On expiry the best
-  /// incumbent so far is returned with `optimal = false` and
-  /// `deadline_expired = true`.
-  support::Deadline deadline;
-  bool use_row_dominance = true;
-  bool use_column_dominance = true;
-  bool use_mis_lower_bound = true;
-  /// Column dominance is O(columns^2); beyond this depth it is skipped.
-  int column_dominance_max_depth = 4;
-
-  /// Subgradient Lagrangian node bounds (dominate the MIS bound; see
-  /// ucp/lagrangian.hpp). Disabling this and `use_reduced_cost_fixing`
-  /// reproduces the v1 search tree exactly.
-  bool use_lagrangian_bound = true;
-  /// Subgradient iterations at the root (where the bound pays for the whole
-  /// tree) and at interior nodes (warm-started from the parent, so a few
-  /// corrective steps suffice).
-  std::size_t lagrangian_root_iterations = 120;
-  std::size_t lagrangian_node_iterations = 8;
-
-  /// Permanently drop columns whose reduced cost pushes them strictly past
-  /// the incumbent (requires the Lagrangian bound). Applied at the root and
-  /// then every `reduced_cost_fixing_period` nodes. Never removes a column
-  /// belonging to ANY optimal cover (the test is strict).
-  bool use_reduced_cost_fixing = true;
-  std::size_t reduced_cost_fixing_period = 64;
-
-  /// Node-expansion order; kDepthFirst is the pinned reference tree.
-  SearchOrder search_order = SearchOrder::kDepthFirst;
-  /// Frontier cap for kBestFirst; beyond it the search stops and returns
-  /// the incumbent (optimal = false), like exhausting `max_nodes`.
-  std::size_t best_first_max_frontier = 1'000'000;
-
-  /// Optional feasible cover (column indices) seeding the incumbent on top
-  /// of the built-in greedy seed; the cheaper of the two wins. Ignored if it
-  /// does not cover every row. The synthesizer passes the point-to-point
-  /// singleton cover here so the solver starts with the anytime ladder's
-  /// last-resort upper bound already in hand.
-  std::vector<std::size_t> warm_start;
-
-  /// Instances with at most this many rows are solved by the exact dense
-  /// subset DP (ucp/dp.hpp) instead of branching -- orders of magnitude
-  /// faster on the narrow-and-wide matrices synthesis produces. Set to 0 to
-  /// force branch-and-bound.
-  std::size_t dense_dp_max_rows = 20;
-};
 
 /// Exact minimum-weight cover. Returns cost = +infinity and empty `chosen`
 /// when the problem is infeasible. `optimal` is true when the search

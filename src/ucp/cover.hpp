@@ -78,6 +78,12 @@ struct CoverSolution {
   /// True when the solver stopped because its wall-clock deadline expired
   /// (as opposed to completing or exhausting the node budget).
   bool deadline_expired{false};
+  /// The Lagrangian multipliers the root subgradient ascent converged to
+  /// (one per row), when the solver ran it (branch-and-bound path with
+  /// use_lagrangian_bound; empty on the dense-DP path or when disabled).
+  /// Feed back as BnbOptions::warm_multipliers to warm-start a re-solve of
+  /// a near-identical problem.
+  std::vector<double> root_multipliers;
 };
 
 /// Root lower bound on the optimal cover cost: greedily collects rows that

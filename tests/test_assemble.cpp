@@ -3,6 +3,8 @@
 #include "commlib/standard_libraries.hpp"
 #include "io/report.hpp"
 #include "model/validator.hpp"
+#include "synth/assemble.hpp"
+#include "synth/candidate_generator.hpp"
 #include "synth/synthesizer.hpp"
 
 namespace cdcs::synth {

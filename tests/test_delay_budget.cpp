@@ -3,6 +3,7 @@
 #include "baseline/baselines.hpp"
 #include "commlib/standard_libraries.hpp"
 #include "sim/delay.hpp"
+#include "synth/plan_delay.hpp"
 #include "synth/synthesizer.hpp"
 #include "workloads/wan2002.hpp"
 

@@ -183,7 +183,30 @@ TEST(Pricer, ManhattanNormStarMerging) {
   EXPECT_GE(plan->cost, separate);
 }
 
-TEST(Pricer, ArcsGetSortedByIndex) {
+TEST(Pricer, ArcsGetCanonicalGeometryOrder) {
+  // The plan lists arcs in canonical geometry-record order
+  // (synth/canonical_order.hpp), independent of the ids or the order the
+  // caller passes -- the invariant that keeps pricing a pure function of
+  // geometry across renumbered graphs.
+  ConstraintGraph cg;
+  const VertexId u = cg.add_port("u", {0, 0});
+  const VertexId v = cg.add_port("v", {10, 0});
+  const VertexId w = cg.add_port("w", {0, 5});
+  const VertexId x = cg.add_port("x", {10, 5});
+  cg.add_channel(w, x, 10.0);  // ArcId 0: record starts (0, 5, ...)
+  cg.add_channel(u, v, 10.0);  // ArcId 1: record starts (0, 0, ...)
+  for (const auto& subset : {std::vector<ArcId>{ArcId{0}, ArcId{1}},
+                             std::vector<ArcId>{ArcId{1}, ArcId{0}}}) {
+    const auto plan = price_merging(cg, commlib::wan_library(), subset);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->arcs[0], ArcId{1});  // geometry sorts arc 1 first
+    EXPECT_EQ(plan->arcs[1], ArcId{0});
+  }
+}
+
+TEST(Pricer, GeometricallyIdenticalArcsKeepCallerOrder) {
+  // Arcs with identical geometry records are indistinguishable to pricing;
+  // the canonical sort is stable, so they stay in presentation order.
   ConstraintGraph cg;
   const VertexId u = cg.add_port("u", {0, 0});
   const VertexId v = cg.add_port("v", {10, 0});
@@ -192,8 +215,8 @@ TEST(Pricer, ArcsGetSortedByIndex) {
   const auto plan =
       price_merging(cg, commlib::wan_library(), {ArcId{1}, ArcId{0}});
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->arcs[0], ArcId{0});
-  EXPECT_EQ(plan->arcs[1], ArcId{1});
+  EXPECT_EQ(plan->arcs[0], ArcId{1});
+  EXPECT_EQ(plan->arcs[1], ArcId{0});
 }
 
 }  // namespace

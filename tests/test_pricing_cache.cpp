@@ -77,8 +77,9 @@ TEST(PricingCacheAccounting, LookupInsertLookup) {
 
   // An all-nullopt entry is a definitive "no structure realizable" answer
   // and must round-trip like any other.
-  cache.insert(key, PricingCache::Entry::make({model::ArcId{0}}, std::nullopt,
-                                              std::nullopt, std::nullopt));
+  cache.insert(key, PricingCache::Entry::make({model::ArcId{0}}, {0},
+                                              std::nullopt, std::nullopt,
+                                              std::nullopt));
   EXPECT_EQ(cache.stats().entries, 1u);
 
   const auto entry = cache.lookup(key);
@@ -124,6 +125,58 @@ TEST(PricingCacheAccounting, RepeatedSynthesisHitsEverySubset) {
     EXPECT_DOUBLE_EQ(second->candidates()[i].cost, first->candidates()[i].cost);
     EXPECT_EQ(second->candidates()[i].arcs, first->candidates()[i].arcs);
   }
+}
+
+// Two sessions over geometrically identical graphs whose arcs were
+// inserted in different orders (so ArcId values are permuted) must share
+// cache entries: the key is canonicalized by geometry record, not by the
+// caller's subset order. Regression test for the cross-session warm-start
+// use case (reload a design file whose channel order changed).
+TEST(PricingCacheAccounting, PermutedArcInsertionOrderStillHits) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+
+  // Same ports, same channels, reversed insertion order: arc k here is
+  // arc (7 - k) in the reference graph.
+  model::ConstraintGraph shuffled(geom::Norm::kEuclidean);
+  const model::VertexId a = shuffled.add_port("A", {0.0, 0.0});
+  const model::VertexId b = shuffled.add_port("B", {4.0, 3.0});
+  const model::VertexId c = shuffled.add_port("C", {9.0, 1.0});
+  const model::VertexId d = shuffled.add_port("D", {-2.0, -97.0});
+  const model::VertexId e = shuffled.add_port("E", {0.0, -100.0});
+  const double bw = workloads::kWanBandwidthMbps;
+  shuffled.add_channel(e, d, bw, "a8");
+  shuffled.add_channel(d, e, bw, "a7");
+  shuffled.add_channel(d, c, bw, "a6");
+  shuffled.add_channel(d, b, bw, "a5");
+  shuffled.add_channel(d, a, bw, "a4");
+  shuffled.add_channel(c, a, bw, "a3");
+  shuffled.add_channel(c, b, bw, "a2");
+  shuffled.add_channel(a, b, bw, "a1");
+
+  const commlib::Library lib = commlib::wan_library();
+  PricingCache cache;
+  SynthesisOptions options;
+  options.pricing_cache = &cache;
+
+  const auto cold = synthesize(cg, lib, options);
+  ASSERT_TRUE(cold.ok());
+  const std::size_t priced = cold->candidate_set.stats.pricing_cache_misses;
+  ASSERT_GT(priced, 0u);
+
+  // The shuffled graph enumerates the geometrically same subsets (in a
+  // different order, with different arc ids): every probe must hit.
+  const auto warm = synthesize(shuffled, lib, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->candidate_set.stats.pricing_cache_hits, priced);
+  EXPECT_EQ(warm->candidate_set.stats.pricing_cache_misses, 0u);
+  EXPECT_EQ(cache.stats().entries, priced);
+
+  // And the retargeted plans price identically: same candidate count and
+  // the same optimal cost. (The chosen cover itself may be a different
+  // equal-cost optimum -- permuting arc ids reorders the candidate list,
+  // which legitimately changes UCP tie-breaking.)
+  EXPECT_DOUBLE_EQ(warm->total_cost, cold->total_cost);
+  ASSERT_EQ(warm->candidates().size(), cold->candidates().size());
 }
 
 TEST(PricingCacheAccounting, LibraryChangeInvalidatesEverything) {

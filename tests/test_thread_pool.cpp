@@ -4,6 +4,7 @@
 // threads may poll one object without tearing the fault-injection count or
 // double-firing the expiry callback.
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -153,9 +154,14 @@ TEST(DeadlineConcurrency, CancelTokenObservedByAllPollers) {
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&d, &all_saw_expiry] {
-      // Spin until this thread observes the cancellation.
-      for (int i = 0; i < 1000000; ++i) {
+      // Spin until this thread observes the cancellation. Bounded by wall
+      // clock, not iterations: under a loaded ctest -j the cancelling
+      // thread may not be scheduled for many milliseconds.
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (std::chrono::steady_clock::now() < give_up) {
         if (d.expired()) return;
+        std::this_thread::yield();
       }
       all_saw_expiry.store(false);
     });

@@ -82,6 +82,34 @@ def main():
             f"WAN synthesis total_cost changed {base_cost} -> {fresh_cost}"
         )
 
+    # Incremental edit replay: the speedup is a same-machine ratio like
+    # the v2/legacy wall ratio, so it transfers across CI hardware. The
+    # hard >= 5x floor is enforced inside bench_perf_summary itself; here
+    # we additionally catch drift against the checked-in baseline.
+    b_inc = base.get("incremental_replay")
+    e_inc = fresh.get("incremental_replay")
+    if b_inc is not None:
+        if e_inc is None:
+            errors.append("incremental_replay section missing from fresh run")
+        else:
+            if e_inc["speedup"] < 5.0:
+                errors.append(
+                    f"incremental replay speedup {e_inc['speedup']:.2f}x "
+                    "below the 5x acceptance floor"
+                )
+            if e_inc["speedup"] < b_inc["speedup"] * 0.8:
+                errors.append(
+                    "incremental replay speedup regressed "
+                    f"{b_inc['speedup']:.2f}x -> {e_inc['speedup']:.2f}x "
+                    "(>20%)"
+                )
+            if e_inc["pricing_hit_rate"] < b_inc["pricing_hit_rate"] - 1e-9:
+                errors.append(
+                    "incremental pricing hit rate dropped "
+                    f"{b_inc['pricing_hit_rate']} -> "
+                    f"{e_inc['pricing_hit_rate']}"
+                )
+
     if errors:
         fail(errors)
     print("bench regression check: OK "
