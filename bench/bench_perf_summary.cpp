@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "commlib/standard_libraries.hpp"
+#include "support/metrics.hpp"
 #include "synth/engine.hpp"
 #include "synth/pricing_cache.hpp"
 #include "synth/synthesizer.hpp"
@@ -35,6 +36,12 @@ using Clock = std::chrono::steady_clock;
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0)
       .count();
+}
+
+std::uint64_t counter_total(const cdcs::support::MetricsSnapshot& s,
+                            const char* name) {
+  const auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
 }
 
 /// Same generator as bench_ucp_solver.cpp / Exact.SeedCorpusNodeCounts.
@@ -75,6 +82,14 @@ int main(int argc, char** argv) {
   const model::ConstraintGraph cg = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
   int failures = 0;
+
+  // Baseline for the trailing "metrics" section: everything the bench does
+  // below accumulates into the global registry; the delta is this run's
+  // totals. Timing stays DISABLED (no set_timing_enabled) so only
+  // deterministic event counts land in the registry -- wall-clock numbers
+  // come from the explicit Clock measurements, never from metrics.
+  const support::MetricsSnapshot metrics_baseline =
+      support::MetricsRegistry::global().snapshot();
 
   std::fprintf(out, "{\n  \"host\": {\"hardware_threads\": %u},\n",
                std::thread::hardware_concurrency());
@@ -257,13 +272,52 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  \"pricing_cache\": {\"entries\": %zu, "
                "\"cold_run_misses\": %zu, \"warm_run_hits\": %zu, "
-               "\"warm_run_misses\": %zu}\n}\n",
+               "\"warm_run_misses\": %zu},\n",
                warm.entries, cold.misses, warm_stats.pricing_cache_hits,
                warm_stats.pricing_cache_misses);
   if (warm_stats.pricing_cache_misses != 0) {
     std::fprintf(stderr, "CACHE REGRESSION: warm run missed %zu subsets\n",
                  warm_stats.pricing_cache_misses);
     ++failures;
+  }
+
+  // --- Registry totals across the whole bench run ----------------------
+  // Whole-process deltas from the metrics registry (support/metrics.hpp):
+  // every number here is an event COUNT, fully deterministic for this
+  // fixed workload, so check_bench_regression.py can compare it exactly
+  // across machines. cache_hit_rate is hits/(hits+misses) over every
+  // cache-backed synthesize() above (warm-cache sweep + incremental replay
+  // + the pricing_cache section).
+  {
+    const support::MetricsSnapshot m =
+        support::MetricsRegistry::global().snapshot().delta_since(
+            metrics_baseline);
+    const std::uint64_t hits = counter_total(m, "synth.pricing_cache.hits");
+    const std::uint64_t misses =
+        counter_total(m, "synth.pricing_cache.misses");
+    const std::uint64_t lookups = hits + misses;
+    std::fprintf(
+        out,
+        "  \"metrics\": {\"synth_runs\": %llu, "
+        "\"subsets_examined\": %llu, \"ucp_solves\": %llu, "
+        "\"ucp_dense_dp_solves\": %llu, \"ucp_nodes_total\": %llu, "
+        "\"ucp_rc_fixed_columns\": %llu, \"engine_applies\": %llu, "
+        "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+        "\"cache_hit_rate\": %.4f}\n}\n",
+        static_cast<unsigned long long>(counter_total(m, "synth.runs")),
+        static_cast<unsigned long long>(
+            counter_total(m, "synth.subsets_examined")),
+        static_cast<unsigned long long>(counter_total(m, "ucp.solves")),
+        static_cast<unsigned long long>(counter_total(m, "ucp.dp_solves")),
+        static_cast<unsigned long long>(
+            counter_total(m, "ucp.nodes_explored")),
+        static_cast<unsigned long long>(
+            counter_total(m, "ucp.rc_fixed_columns")),
+        static_cast<unsigned long long>(counter_total(m, "engine.applies")),
+        static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses),
+        lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                    : 0.0);
   }
 
   if (out != stdout) std::fclose(out);

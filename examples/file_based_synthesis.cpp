@@ -43,7 +43,20 @@
 //                            cost; node counts may differ)
 //   --dot FILE               write the result as Graphviz DOT
 //   --save FILE              write the implementation graph (io format)
+//   --trace-out FILE         record a Chrome trace_event JSON trace of the
+//                            run (load in https://ui.perfetto.dev). The file
+//                            is written on EVERY exit path -- a failing
+//                            synthesis still flushes a valid (truncated)
+//                            trace of what ran (docs/observability.md)
+//   --metrics-out FILE       write the run's metrics delta as flat JSON
+//                            (counters/gauges/histograms); enables wall-time
+//                            timing
+//   --report-perf            print the consolidated perf section (per-stage
+//                            wall time, cache, UCP telemetry) instead of the
+//                            one-line Perf summary; enables timing
 //   --quiet                  suppress the full report (exit code only)
+//
+// Every value-taking option also accepts --flag=value.
 //
 // Exit codes (stable; see docs/robustness.md):
 //   0 success, 1 validation failure, 2 usage error, 3 parse error,
@@ -61,6 +74,8 @@
 #include "io/text_format.hpp"
 #include "model/sanitize.hpp"
 #include "sim/delay.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 #include "synth/engine.hpp"
 #include "synth/synthesizer.hpp"
 
@@ -87,7 +102,11 @@ int usage(const char* argv0) {
          "  --warm             warm-start re-solves (with --edit-script)\n"
          "  --dot FILE         write Graphviz DOT\n"
          "  --save FILE        write the implementation graph\n"
-         "  --quiet            suppress the report\n";
+         "  --trace-out FILE   write a Chrome trace_event JSON trace\n"
+         "  --metrics-out FILE write the run's metrics as flat JSON\n"
+         "  --report-perf      print the consolidated perf section\n"
+         "  --quiet            suppress the report\n"
+         "(value options also accept --flag=value)\n";
   return 2;
 }
 
@@ -98,9 +117,19 @@ int fail(const cdcs::support::Status& status) {
   return cdcs::support::exit_code(status.code());
 }
 
-}  // namespace
+/// Observability state that must survive run()'s early returns: main()
+/// flushes the trace and metrics files AFTER run() finishes, whatever its
+/// exit path, so a synthesis failure mid-session still leaves a valid
+/// (truncated-but-well-formed) trace on disk.
+struct Observability {
+  std::string trace_out;
+  std::string metrics_out;
+  bool report_perf = false;
+  std::optional<cdcs::support::ScopedTraceSession> session;
+  cdcs::support::MetricsSnapshot baseline;
+};
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv, Observability& obs) {
   using namespace cdcs;
 
   synth::SynthesisOptions options;
@@ -117,8 +146,23 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto next = [&]() -> const char* {
+    std::string_view arg = argv[i];
+    // --flag=value: split once; next() consumes the inline value first.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.starts_with("--")) {
+      if (const std::size_t eq = arg.find('=');
+          eq != std::string_view::npos) {
+        inline_value = std::string(arg.substr(eq + 1));
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&]() -> std::string {
+      if (has_inline) {
+        has_inline = false;
+        return inline_value;
+      }
       if (i + 1 >= argc) {
         std::cerr << arg << " needs an argument\n";
         std::exit(2);
@@ -126,7 +170,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--policy") {
-      const std::string_view v = next();
+      const std::string v = next();
       if (v == "sum") {
         options.policy = model::CapacityPolicy::kSharedSum;
       } else if (v == "max") {
@@ -135,7 +179,7 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
     } else if (arg == "--pivot") {
-      const std::string_view v = next();
+      const std::string v = next();
       if (v == "min-d") {
         options.pivot_rule = synth::PivotRule::kMinDistance;
       } else if (v == "any") {
@@ -146,7 +190,7 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
     } else if (arg == "--max-k") {
-      options.max_merge_k = std::atoi(next());
+      options.max_merge_k = std::atoi(next().c_str());
     } else if (arg == "--lean") {
       options.drop_unprofitable = true;
     } else if (arg == "--no-chains") {
@@ -154,11 +198,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--tables") {
       print_tables = true;
     } else if (arg == "--deadline-ms") {
-      options.deadline = support::Deadline::after_ms(std::atof(next()));
+      options.deadline = support::Deadline::after_ms(std::atof(next().c_str()));
     } else if (arg == "--threads") {
-      options.threads = std::atoi(next());
+      options.threads = std::atoi(next().c_str());
     } else if (arg == "--search-order") {
-      const std::string_view v = next();
+      const std::string v = next();
       if (v == "dfs") {
         options.solver.search_order = ucp::SearchOrder::kDepthFirst;
       } else if (v == "best-first") {
@@ -180,14 +224,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--warm") {
       warm = true;
     } else if (arg == "--delay") {
-      delay_model.link_delay_per_length = std::atof(next());
-      delay_model.node_delay = std::atof(next());
-      delay_budget = std::atof(next());
+      delay_model.link_delay_per_length = std::atof(next().c_str());
+      delay_model.node_delay = std::atof(next().c_str());
+      delay_budget = std::atof(next().c_str());
       check_delay = true;
     } else if (arg == "--dot") {
       dot_file = next();
     } else if (arg == "--save") {
       save_file = next();
+    } else if (arg == "--trace-out") {
+      obs.trace_out = next();
+    } else if (arg == "--metrics-out") {
+      obs.metrics_out = next();
+    } else if (arg == "--report-perf") {
+      obs.report_perf = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.starts_with("--")) {
@@ -195,8 +245,19 @@ int main(int argc, char** argv) {
     } else {
       positional.emplace_back(arg);
     }
+    if (has_inline) return usage(argv[0]);  // --flag=value on a plain flag
   }
   if (positional.size() != 2) return usage(argv[0]);
+
+  // Observability setup precedes everything that can fail so partial runs
+  // are captured too. Timing (clock reads in ScopedTimer) is opt-in via the
+  // flags that consume it; the baseline makes the exported metrics a
+  // per-run delta of the process-global registry.
+  if (!obs.trace_out.empty()) obs.session.emplace();
+  if (!obs.metrics_out.empty() || obs.report_perf) {
+    support::set_timing_enabled(true);
+  }
+  obs.baseline = support::MetricsRegistry::global().snapshot();
 
   std::ifstream graph_file(positional[0]);
   if (!graph_file) {
@@ -309,7 +370,15 @@ int main(int argc, char** argv) {
   }
   const model::ConstraintGraph& result_cg = engine ? engine->graph() : cg;
   const synth::SynthesisResult& result = *synthesis;
-  if (!quiet) std::cout << io::describe(result, result_cg, lib);
+  if (!quiet) {
+    std::cout << io::describe(result, result_cg, lib,
+                              /*include_perf_line=*/!obs.report_perf);
+    if (obs.report_perf) {
+      std::cout << io::describe_perf(
+          support::MetricsRegistry::global().snapshot().delta_since(
+              obs.baseline));
+    }
+  }
 
   if (check_delay) {
     const sim::DelayReport delays =
@@ -338,4 +407,40 @@ int main(int argc, char** argv) {
     if (!quiet) std::cout << "wrote " << save_file << '\n';
   }
   return result.validation.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Observability obs;
+  const int code = run(argc, argv, obs);
+
+  // Flush observability files on EVERY exit path (success, validation
+  // failure, synthesis error mid-edit-script): whatever events made it into
+  // the ring are exported as a well-formed trace -- the exporter closes any
+  // span the failure left open.
+  if (obs.session.has_value()) {
+    obs.session->close();
+    std::ofstream out(obs.trace_out);
+    if (!out) {
+      std::cerr << "cannot write trace '" << obs.trace_out << "'\n";
+      return code == 0 ? 2 : code;
+    }
+    const std::size_t events =
+        cdcs::support::write_chrome_trace(out, obs.session->sink());
+    std::cout << "wrote trace " << obs.trace_out << " (" << events
+              << " event(s))\n";
+  }
+  if (!obs.metrics_out.empty()) {
+    std::ofstream out(obs.metrics_out);
+    if (!out) {
+      std::cerr << "cannot write metrics '" << obs.metrics_out << "'\n";
+      return code == 0 ? 2 : code;
+    }
+    cdcs::support::write_metrics_json(
+        out, cdcs::support::MetricsRegistry::global().snapshot().delta_since(
+                 obs.baseline));
+    std::cout << "wrote metrics " << obs.metrics_out << '\n';
+  }
+  return code;
 }

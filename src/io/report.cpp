@@ -1,5 +1,6 @@
 #include "io/report.hpp"
 
+#include <cstdint>
 #include <sstream>
 
 namespace cdcs::io {
@@ -63,7 +64,7 @@ std::string describe_candidate(const synth::Candidate& c,
 
 std::string describe(const synth::SynthesisResult& result,
                      const model::ConstraintGraph& cg,
-                     const commlib::Library& lib) {
+                     const commlib::Library& lib, bool include_perf_line) {
   std::ostringstream os;
   const auto& stats = result.candidate_set.stats;
 
@@ -97,8 +98,9 @@ std::string describe(const synth::SynthesisResult& result,
   }
   os << "UCP: " << (result.cover.optimal ? "proven optimal" : "incumbent")
      << " in " << result.cover.nodes_explored << " nodes\n";
-  if (stats.threads_used > 1 ||
-      stats.pricing_cache_hits + stats.pricing_cache_misses > 0) {
+  if (include_perf_line &&
+      (stats.threads_used > 1 ||
+       stats.pricing_cache_hits + stats.pricing_cache_misses > 0)) {
     os << "Perf: " << stats.threads_used << " pricing thread"
        << (stats.threads_used == 1 ? "" : "s");
     const std::size_t probes =
@@ -120,6 +122,114 @@ std::string describe(const synth::SynthesisResult& result,
      << (result.validation.ok() ? "PASS" : "FAIL") << '\n';
   for (const std::string& p : result.validation.problems) {
     os << "  problem: " << p << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+std::uint64_t counter_or(const support::MetricsSnapshot& m,
+                         const std::string& name) {
+  const auto it = m.counters.find(name);
+  return it == m.counters.end() ? 0 : it->second;
+}
+
+double gauge_or(const support::MetricsSnapshot& m, const std::string& name) {
+  const auto it = m.gauges.find(name);
+  return it == m.gauges.end() ? 0.0 : it->second;
+}
+
+std::string ms_of_us(double us) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << us / 1000.0 << " ms";
+  return os.str();
+}
+
+std::string pct(std::uint64_t part, std::uint64_t whole) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << (whole == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(part) / static_cast<double>(whole))
+     << "%";
+  return os.str();
+}
+
+}  // namespace
+
+std::string describe_perf(const support::MetricsSnapshot& m) {
+  std::ostringstream os;
+  os << "Perf:\n";
+
+  // Per-stage wall time; present only when timing was enabled for the run.
+  static constexpr const char* kStages[] = {"generate", "cover", "ladder",
+                                            "assemble", "validate"};
+  std::uint64_t total_us = 0;
+  for (const char* stage : kStages) {
+    total_us += counter_or(m, std::string("synth.stage.") + stage + ".wall_us");
+  }
+  if (total_us > 0) {
+    os << "  stages (wall):";
+    const char* sep = " ";
+    for (const char* stage : kStages) {
+      const std::uint64_t us =
+          counter_or(m, std::string("synth.stage.") + stage + ".wall_us");
+      os << sep << stage << " " << ms_of_us(static_cast<double>(us));
+      sep = ", ";
+    }
+    os << "\n";
+  }
+
+  const std::uint64_t hits = counter_or(m, "synth.pricing_cache.hits");
+  const std::uint64_t misses = counter_or(m, "synth.pricing_cache.misses");
+  os << "  pricing: " << counter_or(m, "synth.subsets_examined")
+     << " subset(s) examined, cache " << hits << "/" << (hits + misses)
+     << " hits (" << pct(hits, hits + misses) << ")";
+  if (const std::uint64_t ev = counter_or(m, "synth.pricing_cache.evictions");
+      ev > 0) {
+    os << ", " << ev << " eviction(s)";
+  }
+  os << "\n";
+  os << "  pricers: ptp " << counter_or(m, "pricer.ptp.calls") << ", star "
+     << counter_or(m, "pricer.star.calls") << ", chain "
+     << counter_or(m, "pricer.chain.calls") << ", tree "
+     << counter_or(m, "pricer.tree.calls") << " call(s)";
+  if (const auto it = m.histograms.find("pricer.subset.us");
+      it != m.histograms.end() && it->second.count > 0) {
+    os << "; subset pricing mean " << ms_of_us(it->second.mean());
+  }
+  os << "\n";
+
+  os << "  ucp: " << counter_or(m, "ucp.solves") << " solve(s)";
+  if (const std::uint64_t dp = counter_or(m, "ucp.dp_solves"); dp > 0) {
+    os << " (" << dp << " dense-DP)";
+  }
+  os << ", " << counter_or(m, "ucp.cover_reuses") << " cover reuse(s), "
+     << counter_or(m, "ucp.nodes_explored") << " node(s), "
+     << counter_or(m, "ucp.incumbent_updates") << " incumbent update(s), "
+     << counter_or(m, "ucp.rc_fixed_columns")
+     << " column(s) fixed by reduced cost\n";
+
+  if (const std::uint64_t degraded = counter_or(m, "synth.degraded_runs");
+      degraded > 0) {
+    os << "  degraded: " << degraded << " of " << counter_or(m, "synth.runs")
+       << " run(s)\n";
+  }
+
+  const auto tasks = m.histograms.find("thread_pool.task.us");
+  const double peak_depth = gauge_or(m, "thread_pool.queue_depth");
+  if (peak_depth > 0.0 ||
+      (tasks != m.histograms.end() && tasks->second.count > 0)) {
+    os << "  thread pool: peak queue depth "
+       << static_cast<std::uint64_t>(peak_depth);
+    if (tasks != m.histograms.end() && tasks->second.count > 0) {
+      os << ", " << tasks->second.count << " task(s), mean "
+         << ms_of_us(tasks->second.mean());
+    }
+    os << "\n";
   }
   return os.str();
 }

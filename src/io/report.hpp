@@ -3,15 +3,27 @@
 
 #include <string>
 
+#include "support/metrics.hpp"
 #include "synth/synthesizer.hpp"
 
 namespace cdcs::io {
 
 /// One line per selected candidate: arcs covered, structure, link usage,
 /// cost; followed by totals, candidate statistics and validation status.
+/// `include_perf_line` controls the one-line "Perf:" summary; the CLI's
+/// --report-perf turns it off and prints describe_perf() instead.
 std::string describe(const synth::SynthesisResult& result,
                      const model::ConstraintGraph& cg,
-                     const commlib::Library& library);
+                     const commlib::Library& library,
+                     bool include_perf_line = true);
+
+/// Consolidated performance section over a per-run metrics delta
+/// (MetricsSnapshot::delta_since): per-stage wall time, pricing-cache and
+/// pricer-call totals, UCP search telemetry, and thread-pool load. Metric
+/// names are the registry taxonomy in docs/observability.md; sections whose
+/// metrics are absent (e.g. wall times without --metrics-out/--report-perf
+/// enabling timing) are omitted.
+std::string describe_perf(const support::MetricsSnapshot& delta);
 
 /// Short structural summary of one candidate ("merge {a4,a5,a6} via optical
 /// trunk ..." / "a1: radio matching ...").

@@ -1,0 +1,238 @@
+#include "support/metrics.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace cdcs::support {
+namespace {
+
+std::atomic<bool> g_timing_enabled{false};
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t Gauge::encode(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::decode(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  // cells: one per bucket (bounds + overflow), then count, then sum bits.
+  const std::size_t cells = bounds_.size() + 1 + 2;
+  for (Shard& s : shards_) {
+    s.cells = std::make_unique<std::atomic<std::uint64_t>[]>(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+      s.cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<double> Histogram::latency_us_bounds() {
+  // 1us .. ~17s in powers of 4: 13 buckets, covers a placement solve and a
+  // whole WAN synthesis alike.
+  std::vector<double> b;
+  for (double v = 1.0; v <= 68'719'476.0; v *= 4.0) b.push_back(v);
+  return b;
+}
+
+void Histogram::add_sum(Shard& shard, double v) {
+  const std::size_t sum_cell = bounds_.size() + 1 + 1;
+  std::uint64_t cur = shard.cells[sum_cell].load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = std::bit_cast<double>(cur) + v;
+    if (shard.cells[sum_cell].compare_exchange_weak(
+            cur, std::bit_cast<std::uint64_t>(next),
+            std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  Shard& shard = shards_[trace_thread_id() % kMetricShards];
+  std::size_t bucket = bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  shard.cells[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.cells[bounds_.size() + 1].fetch_add(1, std::memory_order_relaxed);
+  add_sum(shard, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      snap.buckets[i] += s.cells[i].load(std::memory_order_relaxed);
+    }
+    snap.count += s.cells[bounds_.size() + 1].load(std::memory_order_relaxed);
+    snap.sum += std::bit_cast<double>(
+        s.cells[bounds_.size() + 2].load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  const std::size_t cells = bounds_.size() + 1 + 2;
+  for (Shard& s : shards_) {
+    for (std::size_t i = 0; i < cells; ++i) {
+      s.cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d = *this;
+  for (auto& [name, v] : d.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end() && it->second <= v) v -= it->second;
+  }
+  for (auto& [name, h] : d.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) continue;
+    const Histogram::Snapshot& e = it->second;
+    if (e.count > h.count || e.buckets.size() != h.buckets.size()) continue;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (e.buckets[i] <= h.buckets[i]) h.buckets[i] -= e.buckets[i];
+    }
+    h.count -= e.count;
+    h.sum -= e.sum;
+  }
+  return d;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::latency_us_bounds() : bounds);
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+void set_timing_enabled(bool enabled) {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool timing_enabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(const char* name, const char* category,
+                         Histogram* latency_hist, Counter* wall_us_total,
+                         std::string args)
+    : hist_(latency_hist),
+      total_(wall_us_total),
+      span_(name, category, std::move(args)) {
+  if (timing_enabled() || tracing_enabled()) start_ns_ = steady_now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (start_ns_ == 0) return;
+  const double us =
+      static_cast<double>(steady_now_ns() - start_ns_) / 1000.0;
+  if (hist_ != nullptr) hist_->observe(us);
+  if (total_ != nullptr) {
+    total_->add(static_cast<std::uint64_t>(us < 0.0 ? 0.0 : us));
+  }
+}
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  auto write_name = [&os](const std::string& name) {
+    os << '"';
+    for (char c : name) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << '"';
+  };
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_name(name);
+    os << ": " << v;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snapshot.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_name(name);
+    os << ": " << v;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_name(name);
+    os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "[";
+      if (i < h.bounds.size()) {
+        os << h.bounds[i];
+      } else {
+        os << "\"+inf\"";
+      }
+      os << ", " << h.buckets[i] << "]";
+    }
+    os << "]}";
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace cdcs::support

@@ -1,0 +1,208 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms with
+// lock-free sharded hot paths, plus a flat-JSON exporter
+// (docs/observability.md).
+//
+// Design:
+//   * The PRIMITIVES (Counter/Gauge/Histogram) are freestanding objects a
+//     subsystem can own directly -- e.g. synth::PricingCache holds its
+//     hit/miss Counters as members, and its public Stats struct is a
+//     snapshot of them (the single source of truth for cache accounting).
+//   * The REGISTRY maps stable dotted names ("ucp.nodes_explored",
+//     "synth.stage.cover.wall_us") to process-global instances;
+//     MetricsRegistry::global() is what the pipeline instrumentation and
+//     the --metrics-out exporter share. counter()/gauge()/histogram() are
+//     get-or-create and return references with registry lifetime, so hot
+//     paths resolve a name once and then touch only the primitive.
+//   * Writes are wait-free on the hot path: each Counter/Histogram is
+//     sharded into cache-line-padded atomics indexed by a per-thread slot,
+//     so concurrent writers from the thread pool do not contend; snapshot()
+//     sums the shards. Gauges are a single atomic (last-writer-wins).
+//   * Deterministic-safe: recording a metric never branches on or feeds
+//     back into any computation, so instrumented and uninstrumented runs
+//     produce bit-identical results (pinned by tests/test_trace.cpp).
+//
+// Wall-time metrics: clock reads are NOT free, so duration instrumentation
+// goes through ScopedTimer, which reads the clock only when timing has been
+// enabled (set_timing_enabled, flipped on by --metrics-out/--report-perf
+// and benches) or a trace sink is installed -- otherwise it is as inert as
+// a disabled Span.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/trace.hpp"
+
+namespace cdcs::support {
+
+/// Number of independent write shards per counter/histogram. Threads map to
+/// shards by their trace_thread_id, so the synthesis pool's workers (a
+/// handful) virtually never collide on a cache line.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Monotonically increasing sum, written with relaxed sharded atomics.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t shard_index() {
+    return trace_thread_id() % kMetricShards;
+  }
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Last-writer-wins instantaneous value (queue depth, frontier size).
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(encode(v), std::memory_order_relaxed);
+  }
+  /// Tracks the maximum of all set_max() calls (and plain set() resets it).
+  void set_max(double v) {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (decode(cur) < v &&
+           !bits_.compare_exchange_weak(cur, encode(v),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+  void reset() { bits_.store(encode(0.0), std::memory_order_relaxed); }
+
+ private:
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram: counts per upper-bound bucket plus sum/count
+/// (so mean is exact even where buckets are coarse). Bucket bounds are set
+/// at construction and immutable; values land in the first bucket whose
+/// bound is >= v, or the implicit +inf overflow bucket.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; empty means a single +inf bucket
+  /// (the histogram degenerates to sum/count -- still useful for means).
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default latency buckets: powers-of-4 microseconds from 1us to ~17s.
+  static std::vector<double> latency_us_bounds();
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< upper bounds, +inf implicit
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+    std::uint64_t count{0};
+    double sum{0.0};
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    // buckets + [count, sum-as-bits] appended; sized at construction.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+  };
+  void add_sum(Shard& shard, double v);
+
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Everything the registry held at one instant, keyed by metric name.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+
+  /// This snapshot minus `earlier`, counter- and histogram-wise (gauges
+  /// keep their current value): the per-run view of an accumulating
+  /// registry, what --report-perf prints for a single synthesis.
+  MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
+};
+
+/// Name -> metric map. get-or-create accessors hand out references that
+/// live as long as the registry; hot paths should cache them.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// On first use creates the histogram with `bounds` (or the default
+  /// latency buckets when omitted); later calls ignore `bounds`.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every metric (for test isolation; production code never calls
+  /// this -- per-run views use snapshot deltas instead).
+  void reset();
+
+  /// The process-global registry the pipeline instrumentation writes to.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Whether ScopedTimer reads the clock when no trace sink is installed.
+/// Off by default: an untraced, un-metered run performs no timing syscalls.
+void set_timing_enabled(bool enabled);
+bool timing_enabled();
+
+/// RAII wall-clock probe: opens a trace span AND (when timing is on)
+/// records the elapsed microseconds into a histogram and/or counter on
+/// destruction. Inert -- no clock read, no span -- when neither a trace
+/// sink nor timing is enabled.
+class ScopedTimer {
+ public:
+  /// Either sink may be null. `name`/`category` follow Span rules (static
+  /// strings).
+  ScopedTimer(const char* name, const char* category,
+              Histogram* latency_hist = nullptr,
+              Counter* wall_us_total = nullptr, std::string args = {});
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  Counter* total_;
+  std::int64_t start_ns_{0};  ///< 0 = inert
+  Span span_;
+};
+
+/// Flat metrics JSON: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {"buckets": [[bound, count], ...], "count": N,
+/// "sum": S}}}. Keys sorted (std::map), so output is diffable.
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+}  // namespace cdcs::support

@@ -15,6 +15,12 @@
 //      tricks beyond a stop flag, no lock-free queue -- the tasks this pool
 //      carries are millisecond-scale placement solves, so queue overhead is
 //      noise.
+//
+// Observability (docs/observability.md): submit() samples the queue depth
+// into the thread_pool.queue_depth gauge, and each executed task gets a
+// "task" span plus a thread_pool.task.us latency histogram sample -- all
+// gated on tracing_enabled()/timing_enabled(), so an uninstrumented run
+// reads no clock and takes no extra locks.
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +34,9 @@
 #include <utility>
 #include <vector>
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
 namespace cdcs::support {
 
 class ThreadPool {
@@ -35,7 +44,10 @@ class ThreadPool {
   /// Spawns `workers` threads (at least 1). The pool is fixed-size for its
   /// whole lifetime; sizing policy (hardware_concurrency, --threads) is the
   /// caller's job via resolve_thread_count().
-  explicit ThreadPool(std::size_t workers) {
+  explicit ThreadPool(std::size_t workers)
+      : queue_depth_(
+            MetricsRegistry::global().gauge("thread_pool.queue_depth")),
+        task_us_(MetricsRegistry::global().histogram("thread_pool.task.us")) {
     if (workers == 0) workers = 1;
     threads_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
@@ -64,10 +76,15 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
+    std::size_t depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.emplace([task] { (*task)(); });
+      depth = queue_.size();
     }
+    // High-water mark of pending (not yet dequeued) tasks. One relaxed
+    // atomic; never observed by the tasks themselves.
+    queue_depth_.set_max(static_cast<double>(depth));
     cv_.notify_one();
     return result;
   }
@@ -83,10 +100,15 @@ class ThreadPool {
         job = std::move(queue_.front());
         queue_.pop();
       }
-      job();
+      {
+        ScopedTimer span("task", "thread_pool", &task_us_);
+        job();
+      }
     }
   }
 
+  Gauge& queue_depth_;    ///< registry-owned; see class comment
+  Histogram& task_us_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;

@@ -1,0 +1,272 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace cdcs::support {
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* phase_string(TraceEvent::Phase phase) {
+  switch (phase) {
+    case TraceEvent::Phase::kBegin:
+      return "B";
+    case TraceEvent::Phase::kEnd:
+      return "E";
+    case TraceEvent::Phase::kCounter:
+      return "C";
+    case TraceEvent::Phase::kInstant:
+      return "i";
+  }
+  return "i";
+}
+
+/// JSON string escaping for names/categories (they are code literals, but
+/// the exporter must emit valid JSON no matter what they contain).
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":";
+  write_json_string(os, e.name);
+  os << ",\"cat\":";
+  write_json_string(os, *e.category ? e.category : "synth");
+  os << ",\"ph\":\"" << phase_string(e.phase) << "\"";
+  os << ",\"ts\":" << e.timestamp_us;
+  os << ",\"pid\":1,\"tid\":" << e.thread_id;
+  if (e.phase == TraceEvent::Phase::kCounter) {
+    // Counter payloads live in "args"; Perfetto draws one track per key.
+    os << ",\"args\":{\"value\":" << e.value << "}";
+  } else if (e.phase == TraceEvent::Phase::kInstant) {
+    os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (!e.args.empty()) os << ",\"args\":" << e.args;
+  } else if (e.phase == TraceEvent::Phase::kBegin && !e.args.empty()) {
+    os << ",\"args\":" << e.args;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 16)), epoch_ns_(steady_ns()) {
+  ring_.reserve(capacity_);
+}
+
+void TraceSink::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  wrapped_ = true;
+  ++dropped_;
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::int64_t TraceSink::now_us() const {
+  return (steady_ns() - epoch_ns_) / 1000;
+}
+
+void install_trace_sink(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* trace_sink() { return g_sink.load(std::memory_order_acquire); }
+
+std::uint32_t trace_thread_id() {
+  thread_local std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Span::Span(const char* name, const char* category, std::string args)
+    : sink_(trace_sink()), name_(name), category_(category) {
+  if (sink_ == nullptr) return;
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.phase = TraceEvent::Phase::kBegin;
+  e.timestamp_us = sink_->now_us();
+  e.thread_id = trace_thread_id();
+  e.args = std::move(args);
+  sink_->record(std::move(e));
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.phase = TraceEvent::Phase::kEnd;
+  e.timestamp_us = sink_->now_us();
+  e.thread_id = trace_thread_id();
+  sink_->record(std::move(e));
+}
+
+void trace_counter(const char* name, double value, const char* category) {
+  TraceSink* sink = trace_sink();
+  if (sink == nullptr) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.timestamp_us = sink->now_us();
+  e.thread_id = trace_thread_id();
+  e.value = value;
+  sink->record(std::move(e));
+}
+
+void trace_instant(const char* name, const char* category, std::string args) {
+  TraceSink* sink = trace_sink();
+  if (sink == nullptr) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.timestamp_us = sink->now_us();
+  e.thread_id = trace_thread_id();
+  e.args = std::move(args);
+  sink->record(std::move(e));
+}
+
+ScopedTraceSession::ScopedTraceSession(std::size_t capacity)
+    : sink_(capacity) {
+  install_trace_sink(&sink_);
+}
+
+ScopedTraceSession::~ScopedTraceSession() { close(); }
+
+void ScopedTraceSession::close() {
+  if (!installed_) return;
+  installed_ = false;
+  if (trace_sink() == &sink_) install_trace_sink(nullptr);
+}
+
+std::size_t write_chrome_trace(std::ostream& os,
+                               const std::vector<TraceEvent>& events) {
+  // Balance begin/end pairs per thread so a ring-truncated stream still
+  // exports as well-formed JSON with matched spans: an E whose B was
+  // overwritten is dropped; a B still open at the end of the stream gets a
+  // synthetic E stamped with the stream's final timestamp.
+  std::vector<const TraceEvent*> keep;
+  keep.reserve(events.size());
+  // Per-thread stack of indices into `keep` holding open begins.
+  std::vector<std::vector<std::size_t>> open;
+  std::int64_t last_ts = 0;
+  for (const TraceEvent& e : events) {
+    last_ts = std::max(last_ts, e.timestamp_us);
+    if (e.thread_id >= open.size()) open.resize(e.thread_id + 1);
+    switch (e.phase) {
+      case TraceEvent::Phase::kBegin:
+        open[e.thread_id].push_back(keep.size());
+        keep.push_back(&e);
+        break;
+      case TraceEvent::Phase::kEnd:
+        if (open[e.thread_id].empty()) continue;  // orphan: begin overwritten
+        open[e.thread_id].pop_back();
+        keep.push_back(&e);
+        break;
+      default:
+        keep.push_back(&e);
+    }
+  }
+
+  std::size_t written = keep.size();
+  for (const std::vector<std::size_t>& o : open) written += o.size();
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent* e : keep) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+    write_event(os, *e);
+  }
+  // Synthetic ends for spans the stream left open (deepest first so the
+  // nesting closes inside-out per thread).
+  for (std::uint32_t tid = 0; tid < open.size(); ++tid) {
+    for (std::size_t i = open[tid].size(); i-- > 0;) {
+      const TraceEvent* b = keep[open[tid][i]];
+      TraceEvent e;
+      e.name = b->name;
+      e.category = b->category;
+      e.phase = TraceEvent::Phase::kEnd;
+      e.timestamp_us = last_ts;
+      e.thread_id = tid;
+      if (!first) os << ",";
+      first = false;
+      os << "\n";
+      write_event(os, e);
+    }
+  }
+  os << "\n]}\n";
+  return written;
+}
+
+std::size_t write_chrome_trace(std::ostream& os, const TraceSink& sink) {
+  return write_chrome_trace(os, sink.snapshot());
+}
+
+}  // namespace cdcs::support

@@ -1,13 +1,13 @@
 #include "synth/candidate_generator.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <numeric>
 
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "synth/mergeability.hpp"
 #include "synth/plan_delay.hpp"
@@ -41,17 +41,35 @@ bool next_combination(std::vector<std::size_t>& idx, std::size_t n) {
   return false;
 }
 
+/// Pricer call/latency telemetry, resolved once per generation run so the
+/// per-subset hot path touches only the sharded primitives
+/// (docs/observability.md lists the metric names).
+struct PricerMetrics {
+  support::Counter* star_calls;
+  support::Counter* chain_calls;
+  support::Counter* tree_calls;
+  support::Histogram* subset_us;
+
+  static PricerMetrics resolve() {
+    auto& reg = support::MetricsRegistry::global();
+    return PricerMetrics{&reg.counter("pricer.star.calls"),
+                         &reg.counter("pricer.chain.calls"),
+                         &reg.counter("pricer.tree.calls"),
+                         &reg.histogram("pricer.subset.us")};
+  }
+};
+
 /// Prices one subset through all enabled structure pricers, consulting the
 /// memoization cache when present. Pure per subset (pricers read only the
 /// subset's geometry, the library, and the policy), which is what makes the
 /// parallel fan-out deterministic. Runs on worker threads: everything it
-/// touches is either const-shared or the thread-safe cache/deadline.
+/// touches is either const-shared or the thread-safe cache/deadline/metrics.
 PricedStructures price_subset(const model::ConstraintGraph& cg,
                               const commlib::Library& library,
                               const SynthesisOptions& options,
                               const std::vector<model::ArcId>& subset,
-                              std::atomic<std::size_t>& cache_hits,
-                              std::atomic<std::size_t>& cache_misses) {
+                              const PricerMetrics& metrics) {
+  support::ScopedTimer timer("price.subset", "pricer", metrics.subset_us);
   // The pricers canonicalize their input to the subset's geometry order
   // internally (synth/canonical_order.hpp), so the priced result is a pure
   // function of the subset's geometry -- which is exactly what licenses
@@ -66,22 +84,28 @@ PricedStructures price_subset(const model::ConstraintGraph& cg,
                            options.enable_chain_topology,
                            options.enable_tree_topology);
     if (std::optional<PricingCache::Entry> entry = cache->lookup(*key)) {
-      cache_hits.fetch_add(1, std::memory_order_relaxed);
       entry->retarget(subset, canonical_order);
       return PricedStructures{std::move(entry->star), std::move(entry->chain),
                               std::move(entry->tree)};
     }
-    cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 
   PricedStructures p;
-  p.star = price_merging(cg, library, subset, options.policy,
-                         &options.deadline);
+  {
+    support::Span span("price.star", "pricer");
+    metrics.star_calls->add(1);
+    p.star = price_merging(cg, library, subset, options.policy,
+                           &options.deadline);
+  }
   if (options.enable_chain_topology) {
+    support::Span span("price.chain", "pricer");
+    metrics.chain_calls->add(1);
     p.chain = price_chain_merging(cg, library, subset, options.policy, {},
                                   &options.deadline);
   }
   if (options.enable_tree_topology) {
+    support::Span span("price.tree", "pricer");
+    metrics.tree_calls->add(1);
     p.tree = price_tree_merging(cg, library, subset, options.policy,
                                 &options.deadline);
   }
@@ -192,6 +216,15 @@ class MidpointGrid {
 support::Expected<CandidateSet> generate_candidates(
     const model::ConstraintGraph& cg, const commlib::Library& library,
     const SynthesisOptions& options) {
+  auto& registry = support::MetricsRegistry::global();
+  support::ScopedTimer stage_timer(
+      "generate", "pipeline", &registry.histogram("synth.stage.generate.us"),
+      &registry.counter("synth.stage.generate.wall_us"));
+  // The cache's counters are the one place hits/misses are counted; this
+  // run's share is the delta across the run (PricingCache::Stats snapshots).
+  const PricingCache::Stats cache_before =
+      options.pricing_cache != nullptr ? options.pricing_cache->stats()
+                                       : PricingCache::Stats{};
   CandidateSet out;
   const std::vector<model::ArcId> arcs = cg.arcs();
   const std::size_t n = arcs.size();
@@ -217,8 +250,11 @@ support::Expected<CandidateSet> generate_candidates(
   const DelayConstraint* delay =
       options.delay_budget ? &delay_constraint : nullptr;
 
+  support::Counter& ptp_calls = registry.counter("pricer.ptp.calls");
   std::vector<double> ptp_cost(n, 0.0);
   for (model::ArcId a : arcs) {
+    support::Span ptp_span("price.ptp", "pricer");
+    ptp_calls.add(1);
     std::optional<PtpPlan> plan =
         best_point_to_point(cg.distance(a), cg.bandwidth(a), library, delay);
     if (!plan) {
@@ -243,8 +279,7 @@ support::Expected<CandidateSet> generate_candidates(
   stats.threads_used = threads;
   std::unique_ptr<support::ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<support::ThreadPool>(threads);
-  std::atomic<std::size_t> cache_hits{0};
-  std::atomic<std::size_t> cache_misses{0};
+  const PricerMetrics pricer_metrics = PricerMetrics::resolve();
 
   // Pricing-batch size: large enough to amortize fan-out overhead and keep
   // every worker busy, small enough to bound the held-subsets memory when
@@ -342,8 +377,8 @@ support::Expected<CandidateSet> generate_candidates(
       // enumeration order, so phase 3 is the same fold as the serial run.
       std::vector<PricedStructures> priced = support::parallel_map_ordered(
           pool.get(), batch.size(), [&](std::size_t i) {
-            return price_subset(cg, library, options, batch[i], cache_hits,
-                                cache_misses);
+            return price_subset(cg, library, options, batch[i],
+                                pricer_metrics);
           });
 
       // Phase 3 (serial, enumeration order): delay-gate the structures,
@@ -412,8 +447,25 @@ support::Expected<CandidateSet> generate_candidates(
     }
     if (survivors_this_k == 0) break;  // Gamma's column set is empty
   }
-  stats.pricing_cache_hits = cache_hits.load(std::memory_order_relaxed);
-  stats.pricing_cache_misses = cache_misses.load(std::memory_order_relaxed);
+  if (options.pricing_cache != nullptr) {
+    // Saturating delta: a concurrent clear() of a shared cache can only
+    // shrink the counters; report zero rather than wrapping.
+    const PricingCache::Stats after = options.pricing_cache->stats();
+    stats.pricing_cache_hits =
+        after.hits >= cache_before.hits ? after.hits - cache_before.hits : 0;
+    stats.pricing_cache_misses = after.misses >= cache_before.misses
+                                     ? after.misses - cache_before.misses
+                                     : 0;
+    registry.counter("synth.pricing_cache.evictions")
+        .add(after.evictions >= cache_before.evictions
+                 ? after.evictions - cache_before.evictions
+                 : 0);
+  }
+  registry.counter("synth.subsets_examined").add(stats.subsets_examined);
+  registry.counter("synth.candidates").add(out.candidates.size());
+  registry.counter("synth.pricing_cache.hits").add(stats.pricing_cache_hits);
+  registry.counter("synth.pricing_cache.misses")
+      .add(stats.pricing_cache_misses);
   return out;
 }
 

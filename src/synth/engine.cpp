@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "model/sanitize.hpp"
+#include "support/metrics.hpp"
 #include "synth/candidate_generator.hpp"
 
 namespace cdcs::synth {
@@ -20,9 +21,13 @@ Engine::Engine(model::ConstraintGraph graph, commlib::Library library,
   if (options_.pricing_cache == nullptr) {
     options_.pricing_cache = &own_cache_;
   }
+  cache_baseline_ = options_.pricing_cache->stats();
 }
 
 support::Expected<SynthesisResult> Engine::apply(const model::Delta& delta) {
+  support::Span span("engine.apply", "engine",
+                     "{\"revision\":" + std::to_string(graph_.revision()) +
+                         ",\"ops\":" + std::to_string(delta.ops.size()) + "}");
   support::Expected<model::DeltaEffect> effect =
       model::apply_delta(graph_, delta);
   if (!effect.ok()) {
@@ -30,6 +35,9 @@ support::Expected<SynthesisResult> Engine::apply(const model::Delta& delta) {
   }
   stats_.last_dirty_arcs = effect->dirty_arcs.size();
   stats_.revision = graph_.revision();
+  support::MetricsRegistry::global()
+      .counter("engine.dirty_arcs")
+      .add(effect->dirty_arcs.size());
 
   if (policy_ == WarmPolicy::kWarmStart && effect->structure_changed) {
     // Remap the previous solve's state across the arc renumbering: a chosen
@@ -73,6 +81,7 @@ support::Expected<SynthesisResult> Engine::apply(const model::Delta& delta) {
 }
 
 support::Expected<SynthesisResult> Engine::resynthesize() {
+  support::Span span("engine.resynthesize", "engine");
   stats_.last_dirty_arcs = 0;
   stats_.revision = graph_.revision();
   return synthesize_current();
@@ -132,8 +141,7 @@ support::Expected<SynthesisResult> Engine::synthesize_current() {
     stats_.applies += 1;
     stats_.cover_solves = session_.cover_solves;
     stats_.cover_reuses = session_.cover_reuses;
-    stats_.pricing_hits += result->candidate_set.stats.pricing_cache_hits;
-    stats_.pricing_misses += result->candidate_set.stats.pricing_cache_misses;
+    support::MetricsRegistry::global().counter("engine.applies").add(1);
 
     last_chosen_arc_sets_.clear();
     for (std::size_t j : result->cover.chosen) {
@@ -154,6 +162,15 @@ support::Expected<SynthesisResult> Engine::synthesize_current() {
 
 Engine::SessionStats Engine::stats() const {
   SessionStats s = stats_;
+  // Pricing accounting reads the cache's own counters (the single place
+  // hits/misses are incremented) rather than re-accumulating per-run
+  // deltas, so SessionStats can never drift from PricingCache::Stats.
+  const PricingCache::Stats cs = options_.pricing_cache->stats();
+  s.pricing_hits =
+      cs.hits >= cache_baseline_.hits ? cs.hits - cache_baseline_.hits : 0;
+  s.pricing_misses = cs.misses >= cache_baseline_.misses
+                         ? cs.misses - cache_baseline_.misses
+                         : 0;
   s.revision = graph_.revision();
   return s;
 }

@@ -84,7 +84,12 @@ class Engine {
     std::size_t applies{0};        ///< successful apply()/resynthesize() runs
     std::size_t cover_solves{0};   ///< exact cover solves actually run
     std::size_t cover_reuses{0};   ///< cover solves skipped (identical UCP)
-    std::size_t pricing_hits{0};   ///< cumulative pricing-cache hits
+    /// Pricing-cache traffic since the engine was constructed -- a snapshot
+    /// delta of the cache's own counters (the single source of truth; see
+    /// PricingCache::Stats), so it agrees with cache->stats() even when an
+    /// apply() fails after generation. Over a cache SHARED with other
+    /// concurrent users it includes their traffic too.
+    std::size_t pricing_hits{0};
     std::size_t pricing_misses{0};
     std::size_t last_dirty_arcs{0};  ///< dirtied by the latest delta
     std::uint64_t revision{0};       ///< graph revision after latest apply
@@ -99,6 +104,8 @@ class Engine {
   SynthesisOptions options_;
   WarmPolicy policy_;
   PricingCache own_cache_;  ///< used unless options_.pricing_cache is set
+  /// Cache counters at construction; stats() reports the delta since.
+  PricingCache::Stats cache_baseline_;
   SessionState session_;
   SessionStats stats_;
 

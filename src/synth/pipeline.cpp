@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "model/validator.hpp"
+#include "support/metrics.hpp"
 #include "synth/assemble.hpp"
 #include "synth/candidate_generator.hpp"
 #include "ucp/bnb.hpp"
@@ -102,6 +103,7 @@ support::Expected<SynthesisResult> finish_pipeline(
     const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
     SessionState* session, SynthesisResult result) {
   const GenerationStats& stats = result.candidate_set.stats;
+  auto& registry = support::MetricsRegistry::global();
 
   const std::size_t num_rows = cg.num_channels();
   const ucp::CoverProblem cover =
@@ -120,10 +122,17 @@ support::Expected<SynthesisResult> finish_pipeline(
   }
   if (reusable && !session->last_cover_signature.empty() &&
       signature == session->last_cover_signature) {
+    support::Span span("cover", "pipeline", "{\"reused\":true}");
     result.cover = session->last_cover;
     session->cover_reuses += 1;
+    registry.counter("ucp.cover_reuses").add(1);
   } else {
+    support::ScopedTimer span("cover", "pipeline",
+                              &registry.histogram("synth.stage.cover.us"),
+                              &registry.counter("synth.stage.cover.wall_us"));
     result.cover = ucp::solve_exact(cover, solver);
+    registry.counter("ucp.solves").add(1);
+    registry.counter("ucp.nodes_explored").add(result.cover.nodes_explored);
     if (session != nullptr) {
       session->cover_solves += 1;
       if (reusable) {
@@ -138,6 +147,10 @@ support::Expected<SynthesisResult> finish_pipeline(
     }
   }
 
+  {
+  support::ScopedTimer ladder_span(
+      "ladder", "pipeline", &registry.histogram("synth.stage.ladder.us"),
+      &registry.counter("synth.stage.ladder.wall_us"));
   DegradationReport& deg = result.degradation;
   deg.lower_bound = result.cover.lower_bound;
 
@@ -209,12 +222,30 @@ support::Expected<SynthesisResult> finish_pipeline(
   deg.optimality_gap = deg.degraded()
                            ? gap_against(result.cover.cost, deg.lower_bound)
                            : 0.0;
+  if (deg.degraded()) {
+    registry.counter("synth.degraded_runs").add(1);
+    support::trace_instant("degraded", "pipeline",
+                           "{\"stage\":\"" +
+                               std::string(to_string(deg.stage)) + "\"}");
+  }
+  }  // ladder span
 
-  result.implementation = assemble(cg, library,
-                                   result.candidate_set.candidates,
-                                   result.cover.chosen);
-  result.total_cost = result.implementation->cost();
-  result.validation = model::validate(*result.implementation, options.policy);
+  {
+    support::ScopedTimer span(
+        "assemble", "pipeline", &registry.histogram("synth.stage.assemble.us"),
+        &registry.counter("synth.stage.assemble.wall_us"));
+    result.implementation = assemble(cg, library,
+                                     result.candidate_set.candidates,
+                                     result.cover.chosen);
+    result.total_cost = result.implementation->cost();
+  }
+  {
+    support::ScopedTimer span(
+        "validate", "pipeline", &registry.histogram("synth.stage.validate.us"),
+        &registry.counter("synth.stage.validate.wall_us"));
+    result.validation = model::validate(*result.implementation, options.policy);
+  }
+  registry.counter("synth.runs").add(1);
   return result;
 }
 

@@ -102,10 +102,10 @@ std::optional<PricingCache::Entry> PricingCache::lookup(const Key& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.add(1);
     return std::nullopt;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.add(1);
   return it->second;
 }
 
@@ -116,8 +116,9 @@ void PricingCache::insert(const Key& key, Entry entry) {
 
 PricingCache::Stats PricingCache::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.evictions = evictions_.value();
   std::lock_guard<std::mutex> lock(mu_);
   s.entries = map_.size();
   return s;
@@ -125,9 +126,10 @@ PricingCache::Stats PricingCache::stats() const {
 
 void PricingCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  evictions_.add(map_.size());
   map_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
+  hits_.reset();
+  misses_.reset();
 }
 
 PricingCache::Key make_pricing_key(const model::ConstraintGraph& cg,

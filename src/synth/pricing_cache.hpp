@@ -34,18 +34,22 @@
 // whatever arc ids the calling graph uses (canonical_subset_order).
 //
 // Thread safety: lookup/insert take a mutex (pricing is milliseconds, the
-// critical section is a map probe); hit/miss counters are atomics. The
-// cache never evicts -- covering instances price at most a few thousand
-// subsets -- so correctness never depends on retention policy.
+// critical section is a map probe); hit/miss counters are sharded
+// support::Counter metrics -- the SINGLE source of truth for cache
+// accounting (GenerationStats and Engine::SessionStats report deltas of
+// these counters, never their own increments; see docs/observability.md).
+// The cache never evicts on its own -- covering instances price at most a
+// few thousand subsets -- so correctness never depends on retention policy;
+// clear() is the only eviction path and counts what it dropped.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "support/metrics.hpp"
 #include "synth/canonical_order.hpp"
 #include "synth/chain_pricer.hpp"
 #include "synth/merging_pricer.hpp"
@@ -100,10 +104,14 @@ class PricingCache {
     std::vector<std::uint32_t> tree_perm_;
   };
 
+  /// Snapshot of the cache's metric counters (the one place hits/misses
+  /// are counted; everything else diffs snapshots of this).
   struct Stats {
     std::size_t hits{0};
     std::size_t misses{0};
     std::size_t entries{0};
+    /// Entries dropped by clear() over the cache's lifetime.
+    std::size_t evictions{0};
 
     double hit_rate() const {
       const std::size_t total = hits + misses;
@@ -128,8 +136,9 @@ class PricingCache {
 
   mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> map_;
-  std::atomic<std::size_t> hits_{0};
-  std::atomic<std::size_t> misses_{0};
+  support::Counter hits_;
+  support::Counter misses_;
+  support::Counter evictions_;
 };
 
 /// Builds the canonical signature of `subset` under (cg, library, policy),

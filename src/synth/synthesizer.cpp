@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "model/sanitize.hpp"
+#include "support/metrics.hpp"
 #include "synth/pipeline.hpp"
 
 namespace cdcs::synth {
@@ -23,6 +24,9 @@ support::Expected<SynthesisResult> synthesize(
     const model::ConstraintGraph& cg, const commlib::Library& library,
     const SynthesisOptions& options,
     const ucp::BnbOptions& solver_options) {
+  support::ScopedTimer run_span(
+      "synthesize", "pipeline",
+      &support::MetricsRegistry::global().histogram("synth.run.us"));
   support::Status gate = model::check_inputs(cg, library);
   if (!gate.ok()) return std::move(gate).with_context("synthesize");
   try {

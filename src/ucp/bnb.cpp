@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <utility>
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 #include "ucp/dp.hpp"
 #include "ucp/greedy.hpp"
 #include "ucp/lagrangian.hpp"
@@ -37,10 +40,22 @@ struct SearchState {
 // visit order, and all tie-breaks are EXACTLY the v1 solver's, so
 // nodes_explored is identical to the legacy implementation (pinned by
 // Exact.SeedCorpusNodeCounts in tests/test_ucp.cpp).
+// Search telemetry (all of it write-only: nothing below feeds back into the
+// branching decisions, so traced and untraced runs explore the same tree):
+//   * every kProgressPeriod nodes, counter events ucp.nodes / ucp.incumbent /
+//     ucp.lower_bound chart the search's convergence over time in Perfetto;
+//   * every incumbent improvement emits an instant event with the new cost;
+//   * reduced-cost fixing victims and incumbent updates accumulate locally
+//     and land in the metrics registry ONCE per run() (ucp.rc_fixed_columns,
+//     ucp.incumbent_updates), keeping the per-node path free of shared
+//     atomics. The sink is captured at construction so a solve emits to one
+//     consistent sink even if the global pointer changes mid-search.
 class Solver {
  public:
+  static constexpr std::size_t kProgressPeriod = 1024;
+
   Solver(const CoverProblem& problem, const BnbOptions& options)
-      : p_(problem), opt_(options) {
+      : p_(problem), opt_(options), sink_(support::trace_sink()) {
     // Per-row columns sorted by (weight, index): the MIS bound's
     // cheapest-available probe and the Lagrangian MIS seeding both read it.
     row_cols_by_weight_.resize(p_.num_rows());
@@ -76,6 +91,11 @@ class Solver {
     } else {
       branch(std::move(root), 0.0, {}, 0, std::move(root_lambda));
     }
+    report_progress();  // final sample, so short solves chart too
+
+    auto& registry = support::MetricsRegistry::global();
+    registry.counter("ucp.rc_fixed_columns").add(rc_fixed_);
+    registry.counter("ucp.incumbent_updates").add(incumbent_updates_);
 
     CoverSolution sol;
     sol.chosen = best_;
@@ -269,6 +289,40 @@ class Solver {
       if (through > budget * (1.0 + 1e-12) + 1e-9) victims.push_back(j);
     });
     for (std::size_t j : victims) s.available.reset(j);
+    rc_fixed_ += victims.size();
+  }
+
+  /// New incumbent found: record it plus its telemetry (counted locally;
+  /// flushed to the registry once per run()).
+  void accept_incumbent(double cost, const std::vector<std::size_t>& chosen) {
+    best_cost_ = cost;
+    best_ = chosen;
+    ++incumbent_updates_;
+    if (sink_ != nullptr) {
+      support::trace_instant("ucp.incumbent_improved", "ucp",
+                             "{\"cost\":" + std::to_string(cost) +
+                                 ",\"nodes\":" + std::to_string(nodes_) + "}");
+    }
+  }
+
+  /// Emits the periodic search-progress counter tracks (node rate,
+  /// incumbent, strongest root bound). Inert without a sink.
+  void report_progress() {
+    if (sink_ == nullptr) return;
+    last_progress_nodes_ = nodes_;
+    support::trace_counter("ucp.nodes", static_cast<double>(nodes_), "ucp");
+    if (best_cost_ < kInf) {
+      support::trace_counter("ucp.incumbent", best_cost_, "ucp");
+    }
+    if (root_bound_ > 0.0) {
+      support::trace_counter("ucp.lower_bound", root_bound_, "ucp");
+    }
+  }
+
+  void maybe_report_progress() {
+    if (sink_ != nullptr && nodes_ - last_progress_nodes_ >= kProgressPeriod) {
+      report_progress();
+    }
   }
 
   bool should_fix(int depth) {
@@ -315,13 +369,11 @@ class Solver {
       return;
     }
     ++nodes_;
+    maybe_report_progress();
 
     if (!reduce(s, cost, chosen, depth)) return;
     if (s.uncovered.none()) {
-      if (cost < best_cost_) {
-        best_cost_ = cost;
-        best_ = chosen;
-      }
+      if (cost < best_cost_) accept_incumbent(cost, chosen);
       if (depth == 0) root_bound_ = cost;
       return;
     }
@@ -402,13 +454,11 @@ class Solver {
         break;
       }
       ++nodes_;
+      maybe_report_progress();
 
       if (!reduce(node.s, node.cost, node.chosen, node.depth)) continue;
       if (node.s.uncovered.none()) {
-        if (node.cost < best_cost_) {
-          best_cost_ = node.cost;
-          best_ = node.chosen;
-        }
+        if (node.cost < best_cost_) accept_incumbent(node.cost, node.chosen);
         if (node.depth == 0) root_bound_ = node.cost;
         continue;
       }
@@ -459,11 +509,15 @@ class Solver {
 
   const CoverProblem& p_;
   const BnbOptions& opt_;
+  support::TraceSink* sink_;  ///< captured once; null = telemetry inert
   std::vector<std::vector<std::size_t>> row_cols_by_weight_;
   double best_cost_{kInf};
   std::vector<std::size_t> best_;
   std::size_t nodes_{0};
   std::size_t last_fix_nodes_{0};
+  std::size_t last_progress_nodes_{0};
+  std::size_t rc_fixed_{0};
+  std::size_t incumbent_updates_{0};
   double root_bound_{0.0};
   std::vector<double> root_multipliers_;
   bool complete_{true};
@@ -493,10 +547,16 @@ CoverSolution seeded_fallback(const CoverProblem& problem,
 
 CoverSolution solve_exact(const CoverProblem& problem,
                           const BnbOptions& options) {
+  support::Span span("ucp.solve", "ucp",
+                     "{\"rows\":" + std::to_string(problem.num_rows()) +
+                         ",\"cols\":" + std::to_string(problem.num_columns()) +
+                         "}");
   CoverSolution sol;
   double bnb_root_bound = 0.0;
   if (problem.num_rows() <=
       std::min(options.dense_dp_max_rows, kDenseDpMaxRows)) {
+    support::Span dp_span("ucp.dense_dp", "ucp");
+    support::MetricsRegistry::global().counter("ucp.dp_solves").add(1);
     if (!options.deadline.expired()) {
       sol = solve_dp(problem, options.deadline);
     } else {

@@ -12,7 +12,12 @@ and fails (exit 1) on:
   * a wall-clock regression beyond 20%, measured machine-independently as
     the v2/legacy wall RATIO per instance (both sides of the ratio come
     from the same run on the same machine, so CI hardware drops out);
-  * a WAN end-to-end total-cost change (determinism canary).
+  * a WAN end-to-end total-cost change (determinism canary);
+  * drift in the registry-derived "metrics" totals: the event counts
+    (synthesize runs, UCP solves, subsets examined, engine applies) are
+    exact-match canaries for the fixed bench workload, total UCP nodes
+    must never grow, and the whole-run pricing-cache hit rate must not
+    drop.
 
 Absolute wall-clock milliseconds are intentionally NOT compared: the
 baseline was recorded on a different machine than CI runs on.
@@ -108,6 +113,35 @@ def main():
                     "incremental pricing hit rate dropped "
                     f"{b_inc['pricing_hit_rate']} -> "
                     f"{e_inc['pricing_hit_rate']}"
+                )
+
+    # Registry-derived totals (the "metrics" section comes straight from the
+    # support::MetricsRegistry delta across the bench run). All machine-
+    # independent: event counts, not durations.
+    b_m = base.get("metrics")
+    e_m = fresh.get("metrics")
+    if b_m is not None:
+        if e_m is None:
+            errors.append("metrics section missing from fresh run")
+        else:
+            for key in ("synth_runs", "ucp_solves", "subsets_examined",
+                        "engine_applies"):
+                if key in b_m and e_m.get(key) != b_m[key]:
+                    errors.append(
+                        f"metrics.{key} changed {b_m[key]} -> "
+                        f"{e_m.get(key)} (fixed workload: counts are exact)"
+                    )
+            if e_m.get("ucp_nodes_total", 0) > b_m.get("ucp_nodes_total", 0):
+                errors.append(
+                    "metrics.ucp_nodes_total grew "
+                    f"{b_m['ucp_nodes_total']} -> {e_m['ucp_nodes_total']} "
+                    "(search got weaker)"
+                )
+            if e_m.get("cache_hit_rate", 0.0) \
+                    < b_m.get("cache_hit_rate", 0.0) - 1e-9:
+                errors.append(
+                    "metrics.cache_hit_rate dropped "
+                    f"{b_m['cache_hit_rate']} -> {e_m['cache_hit_rate']}"
                 )
 
     if errors:
