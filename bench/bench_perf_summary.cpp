@@ -303,7 +303,8 @@ int main(int argc, char** argv) {
         "\"ucp_dense_dp_solves\": %llu, \"ucp_nodes_total\": %llu, "
         "\"ucp_rc_fixed_columns\": %llu, \"engine_applies\": %llu, "
         "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-        "\"cache_hit_rate\": %.4f}\n}\n",
+        "\"cache_hit_rate\": %.4f, "
+        "\"fault_fires\": %llu, \"journal_appends\": %llu}\n}\n",
         static_cast<unsigned long long>(counter_total(m, "synth.runs")),
         static_cast<unsigned long long>(
             counter_total(m, "synth.subsets_examined")),
@@ -317,7 +318,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(hits),
         static_cast<unsigned long long>(misses),
         lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
-                    : 0.0);
+                    : 0.0,
+        // Robustness guard (docs/robustness.md): the bench harness must
+        // never run with fault injection armed or journaling on -- both
+        // totals are pinned at zero by tools/check_bench_regression.py.
+        static_cast<unsigned long long>(counter_total(m, "fault.fires")),
+        static_cast<unsigned long long>(
+            counter_total(m, "io.journal.appends")));
   }
 
   if (out != stdout) std::fclose(out);

@@ -41,6 +41,16 @@
 //   --warm                   with --edit-script: warm-start the cover
 //                            solver from the previous solve (same optimal
 //                            cost; node counts may differ)
+//   --journal FILE           with --edit-script: write-ahead log the
+//                            session to FILE (io/journal.hpp) -- base
+//                            snapshot plus every applied batch -- so a
+//                            crash at any point is recoverable via
+//                            Engine::recover (docs/robustness.md)
+//   --fault-plan SPEC        arm deterministic fault injection: rules
+//                            'site@n' (nth hit), 'site%k' (every k-th),
+//                            'site~p' (seeded probability) joined with
+//                            ';', optional 'seed=N'. Sites are listed in
+//                            docs/robustness.md; unknown sites fail usage
 //   --dot FILE               write the result as Graphviz DOT
 //   --save FILE              write the implementation graph (io format)
 //   --trace-out FILE         record a Chrome trace_event JSON trace of the
@@ -64,6 +74,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "io/dot.hpp"
@@ -74,6 +85,7 @@
 #include "io/text_format.hpp"
 #include "model/sanitize.hpp"
 #include "sim/delay.hpp"
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 #include "synth/engine.hpp"
@@ -100,6 +112,9 @@ int usage(const char* argv0) {
          "  --repair           repair invalid constraint graphs\n"
          "  --edit-script FILE incremental replay through one session\n"
          "  --warm             warm-start re-solves (with --edit-script)\n"
+         "  --journal FILE     write-ahead log the session (--edit-script)\n"
+         "  --fault-plan SPEC  arm fault injection ('site@n;site%k;site~p"
+         ";seed=N')\n"
          "  --dot FILE         write Graphviz DOT\n"
          "  --save FILE        write the implementation graph\n"
          "  --trace-out FILE   write a Chrome trace_event JSON trace\n"
@@ -142,6 +157,7 @@ int run(int argc, char** argv, Observability& obs) {
   std::string dot_file;
   std::string save_file;
   std::string edit_script_file;
+  std::string journal_file;
   bool warm = false;
   std::vector<std::string> positional;
 
@@ -223,6 +239,17 @@ int run(int argc, char** argv, Observability& obs) {
       edit_script_file = next();
     } else if (arg == "--warm") {
       warm = true;
+    } else if (arg == "--journal") {
+      journal_file = next();
+    } else if (arg == "--fault-plan") {
+      auto plan = support::FaultPlan::parse(next());
+      if (!plan.ok()) {
+        std::cerr << "bad --fault-plan: " << plan.status().to_string()
+                  << '\n';
+        return 2;
+      }
+      options.fault_injection.injector =
+          std::make_shared<support::FaultInjector>(*std::move(plan));
     } else if (arg == "--delay") {
       delay_model.link_delay_per_length = std::atof(next().c_str());
       delay_model.node_delay = std::atof(next().c_str());
@@ -248,6 +275,11 @@ int run(int argc, char** argv, Observability& obs) {
     if (has_inline) return usage(argv[0]);  // --flag=value on a plain flag
   }
   if (positional.size() != 2) return usage(argv[0]);
+  if (!journal_file.empty() && edit_script_file.empty()) {
+    std::cerr << "--journal requires --edit-script (journaling is a session "
+                 "feature)\n";
+    return 2;
+  }
 
   // Observability setup precedes everything that can fail so partial runs
   // are captured too. Timing (clock reads in ScopedTimer) is opt-in via the
@@ -327,6 +359,13 @@ int run(int argc, char** argv, Observability& obs) {
     engine.emplace(std::move(cg), lib, options,
                    warm ? synth::Engine::WarmPolicy::kWarmStart
                         : synth::Engine::WarmPolicy::kBitIdentical);
+    if (!journal_file.empty()) {
+      if (const support::Status st = engine->open_journal(journal_file);
+          !st.ok()) {
+        return fail(st);
+      }
+      if (!quiet) std::cout << "journaling to " << journal_file << '\n';
+    }
     synthesis = engine->resynthesize();
     if (!synthesis.ok()) return fail(synthesis.status());
     if (!quiet) {

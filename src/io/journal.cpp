@@ -1,0 +1,354 @@
+#include "io/journal.hpp"
+
+#include <array>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "io/edit_script.hpp"
+#include "io/text_format.hpp"
+#include "support/metrics.hpp"
+
+namespace cdcs::io {
+namespace {
+
+namespace fs = std::filesystem;
+using support::Status;
+
+constexpr std::string_view kGraphTag = "graph\n";
+constexpr std::string_view kDeltaTag = "delta\n";
+constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc
+/// Sanity ceiling on a record's payload length. A torn header can decode
+/// to any u32; lengths past this are treated as part of the torn tail
+/// rather than attempted as allocations.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32_le(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+std::string encode_record(const std::string& payload) {
+  std::string record;
+  record.reserve(kHeaderBytes + payload.size());
+  put_u32_le(record, static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(record, crc32(payload));
+  record += payload;
+  return record;
+}
+
+/// Best-effort truncate of `path` back to `size` bytes (clears a torn
+/// record before a retry or after a failed append).
+Status truncate_file(const std::string& path, std::uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) {
+    return Status::Internal("cannot truncate journal '" + path + "' to " +
+                            std::to_string(size) + " bytes: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+support::Expected<JournalWriter> JournalWriter::create(
+    std::string path, const model::ConstraintGraph& base,
+    JournalOptions options) {
+  JournalWriter w;
+  w.path_ = std::move(path);
+  w.options_ = std::move(options);
+  if (w.fires(support::fault_sites::kJournalOpen)) {
+    return Status::Internal("injected fault at " +
+                            std::string(support::fault_sites::kJournalOpen) +
+                            " opening journal '" + w.path_ + "'");
+  }
+  {
+    std::ofstream out(w.path_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot create journal '" + w.path_ + "'");
+    }
+    out.write(kJournalMagic.data(),
+              static_cast<std::streamsize>(kJournalMagic.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal("cannot write journal magic to '" + w.path_ +
+                              "'");
+    }
+  }
+  w.end_offset_ = kJournalMagic.size();
+  w.open_ = true;
+  Status s = w.append_record(std::string(kGraphTag) +
+                             write_constraint_graph(base));
+  if (!s.ok()) {
+    return std::move(s).with_context("writing base snapshot to journal '" +
+                                     w.path_ + "'");
+  }
+  return w;
+}
+
+support::Expected<JournalWriter> JournalWriter::append_to(
+    std::string path, std::uint64_t valid_prefix_bytes,
+    std::vector<std::uint64_t> record_offsets, JournalOptions options) {
+  JournalWriter w;
+  w.path_ = std::move(path);
+  w.options_ = std::move(options);
+  if (w.fires(support::fault_sites::kJournalOpen)) {
+    return Status::Internal("injected fault at " +
+                            std::string(support::fault_sites::kJournalOpen) +
+                            " reopening journal '" + w.path_ + "'");
+  }
+  std::error_code ec;
+  const std::uint64_t size = fs::file_size(w.path_, ec);
+  if (ec) {
+    return Status::Internal("cannot stat journal '" + w.path_ +
+                            "': " + ec.message());
+  }
+  if (size < valid_prefix_bytes) {
+    return Status::InvalidInput(
+        "journal '" + w.path_ + "' is " + std::to_string(size) +
+        " bytes, shorter than its claimed valid prefix of " +
+        std::to_string(valid_prefix_bytes));
+  }
+  if (size > valid_prefix_bytes) {  // heal the torn tail
+    Status s = truncate_file(w.path_, valid_prefix_bytes);
+    if (!s.ok()) return s;
+    support::MetricsRegistry::global()
+        .counter("io.journal.truncations")
+        .add(1);
+  }
+  w.end_offset_ = valid_prefix_bytes;
+  w.record_offsets_ = std::move(record_offsets);
+  w.open_ = true;
+  return w;
+}
+
+support::Status JournalWriter::append_delta(const model::Delta& delta) {
+  EditScript script;
+  script.batches.push_back(delta);
+  return append_record(std::string(kDeltaTag) + write_edit_script(script));
+}
+
+support::Status JournalWriter::append_record(const std::string& payload) {
+  if (!open_) {
+    return Status::Internal("append to a closed journal writer");
+  }
+  const std::string record = encode_record(payload);
+  auto& registry = support::MetricsRegistry::global();
+  Status last_failure;
+  const int attempts = options_.max_write_attempts < 1
+                           ? 1
+                           : options_.max_write_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      registry.counter("io.journal.retries").add(1);
+      if (options_.backoff_base_ms != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<unsigned>(attempt - 1) * options_.backoff_base_ms));
+      }
+    }
+    if (fires(support::fault_sites::kJournalWrite)) {
+      // Simulate a torn write: half the record lands, then the write
+      // "fails". The truncate below (and read_journal's torn-tail
+      // handling) must both cope.
+      {
+        // Scoped so the stream is flushed and CLOSED before the truncate
+        // below -- a live ofstream would re-extend the file from its
+        // buffer when destroyed after fs::resize_file.
+        std::ofstream out(path_, std::ios::binary | std::ios::in |
+                                     std::ios::out);
+        if (out) {
+          out.seekp(static_cast<std::streamoff>(end_offset_));
+          out.write(record.data(),
+                    static_cast<std::streamsize>(record.size() / 2));
+        }
+      }
+      last_failure = Status::Internal(
+          "injected fault at " +
+          std::string(support::fault_sites::kJournalWrite));
+      (void)truncate_file(path_, end_offset_);
+      continue;
+    }
+    {
+      std::ofstream out(path_,
+                        std::ios::binary | std::ios::in | std::ios::out);
+      if (!out) {
+        last_failure =
+            Status::Internal("cannot open journal '" + path_ + "'");
+        continue;
+      }
+      out.seekp(static_cast<std::streamoff>(end_offset_));
+      out.write(record.data(), static_cast<std::streamsize>(record.size()));
+      out.flush();
+      if (!out) {
+        last_failure = Status::Internal("short write appending " +
+                                        std::to_string(record.size()) +
+                                        " bytes to journal '" + path_ + "'");
+        (void)truncate_file(path_, end_offset_);
+        continue;
+      }
+    }
+    if (fires(support::fault_sites::kJournalFsync)) {
+      // A failed sync leaves the record's durability unknown; re-write it
+      // from the record boundary so the retry re-establishes a known
+      // state.
+      last_failure = Status::Internal(
+          "injected fault at " +
+          std::string(support::fault_sites::kJournalFsync));
+      (void)truncate_file(path_, end_offset_);
+      continue;
+    }
+    record_offsets_.push_back(end_offset_);
+    end_offset_ += record.size();
+    registry.counter("io.journal.appends").add(1);
+    registry.counter("io.journal.bytes").add(record.size());
+    return Status::Ok();
+  }
+  return std::move(last_failure)
+      .with_context("journal append failed after " +
+                    std::to_string(attempts) + " attempt(s)");
+}
+
+support::Status JournalWriter::truncate_last_record() {
+  if (!open_) {
+    return Status::Internal("truncate on a closed journal writer");
+  }
+  if (record_offsets_.size() <= 1) {
+    return Status::Internal(
+        "cannot truncate the base snapshot out of journal '" + path_ + "'");
+  }
+  const std::uint64_t new_end = record_offsets_.back();
+  Status s = truncate_file(path_, new_end);
+  if (!s.ok()) return s;
+  record_offsets_.pop_back();
+  end_offset_ = new_end;
+  support::MetricsRegistry::global().counter("io.journal.truncations").add(1);
+  return Status::Ok();
+}
+
+support::Expected<JournalContents> read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidInput("cannot open journal '" + path + "'");
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Internal("I/O error reading journal '" + path + "'");
+  }
+  if (data.size() < kJournalMagic.size() ||
+      std::string_view(data).substr(0, kJournalMagic.size()) !=
+          kJournalMagic) {
+    return Status::ParseError("'" + path + "' is not a journal (bad magic; " +
+                              "expected leading \"" +
+                              std::string(kJournalMagic) + "\")");
+  }
+
+  JournalContents contents;
+  std::size_t pos = kJournalMagic.size();
+  bool have_base = false;
+  while (pos < data.size()) {
+    // Torn-tail checks: anything that a crash mid-append can produce
+    // (short header, implausible or short payload, checksum mismatch)
+    // ends the valid prefix cleanly.
+    if (data.size() - pos < kHeaderBytes) break;
+    const std::uint32_t length = get_u32_le(data.data() + pos);
+    const std::uint32_t crc = get_u32_le(data.data() + pos + 4);
+    if (length > kMaxPayloadBytes) break;
+    if (data.size() - pos - kHeaderBytes < length) break;
+    const std::string_view payload(data.data() + pos + kHeaderBytes, length);
+    if (crc32(payload) != crc) break;
+
+    // The checksum held, so the payload is exactly what was written; any
+    // parse failure from here is corruption, not a torn tail.
+    const std::uint64_t record_number = contents.records_recovered + 1;
+    const std::string where = "journal '" + path + "' record " +
+                              std::to_string(record_number) + " at offset " +
+                              std::to_string(pos);
+    if (payload.substr(0, kGraphTag.size()) == kGraphTag) {
+      if (have_base) {
+        return Status::ParseError(where + ": unexpected second base snapshot");
+      }
+      auto graph = read_constraint_graph_from_string(
+          std::string(payload.substr(kGraphTag.size())));
+      if (!graph.ok()) {
+        return std::move(graph).take_status().with_context(
+            where + " (base snapshot)");
+      }
+      contents.base = *std::move(graph);
+      have_base = true;
+    } else if (payload.substr(0, kDeltaTag.size()) == kDeltaTag) {
+      if (!have_base) {
+        return Status::ParseError(where +
+                                  ": delta record before the base snapshot");
+      }
+      auto script = read_edit_script_from_string(
+          std::string(payload.substr(kDeltaTag.size())));
+      if (!script.ok()) {
+        return std::move(script).take_status().with_context(where +
+                                                            " (delta batch)");
+      }
+      if (script->batches.size() != 1) {
+        return Status::ParseError(
+            where + ": expected exactly one delta batch, got " +
+            std::to_string(script->batches.size()));
+      }
+      contents.deltas.push_back(std::move(script->batches.front()));
+    } else {
+      return Status::ParseError(where + ": unknown record tag");
+    }
+    pos += kHeaderBytes + length;
+    contents.record_offsets.push_back(
+        static_cast<std::uint64_t>(pos - kHeaderBytes - length));
+    contents.records_recovered = record_number;
+    contents.valid_prefix_bytes = pos;
+  }
+
+  if (!have_base) {
+    return Status::ParseError(
+        "journal '" + path + "' has no complete base snapshot (" +
+        std::to_string(data.size() - kJournalMagic.size()) +
+        " byte(s) of torn tail after the magic)");
+  }
+  contents.bytes_dropped = data.size() - pos;
+  support::MetricsRegistry::global()
+      .counter("io.journal.recovered_records")
+      .add(contents.records_recovered);
+  return contents;
+}
+
+}  // namespace cdcs::io

@@ -1,0 +1,150 @@
+// Append-only edit-batch journal (write-ahead log) for durable incremental
+// synthesis sessions (synth/engine.hpp; format reference in
+// docs/robustness.md and docs/file-formats.md).
+//
+// On-disk layout:
+//
+//     8-byte magic "CDCSWAL1"
+//     record*            where record = [u32 LE payload length]
+//                                       [u32 LE CRC-32 of payload]
+//                                       [payload bytes]
+//
+// The first record's payload is "graph\n" + the constraint-graph text
+// format (io/text_format.hpp): the base snapshot the session opened on.
+// Every later record's payload is "delta\n" + one edit-script batch
+// (io/edit_script.hpp, `solve`-terminated): one applied model::Delta, in
+// apply order. The CRC is the standard reflected CRC-32 (poly 0xEDB88320,
+// init/xor-out 0xFFFFFFFF -- the zlib/binascii one), so corpus files can
+// be forged with stock tooling.
+//
+// Torn tails: a crash mid-append leaves a partial record (short header,
+// short payload, or checksum mismatch). read_journal() stops at the first
+// such record, reports the valid prefix (records_recovered,
+// valid_prefix_bytes) and the dropped byte count, and never fails on a
+// torn tail -- only on a journal whose *checksummed* content is malformed
+// (bad magic, unknown record tag, unparseable payload), which means
+// corruption no replay should trust.
+//
+// Writes: JournalWriter keeps no file handle between appends -- each
+// append opens, seeks to the logical end, writes one record, flushes, and
+// closes, so the file is always a valid prefix plus at most one torn
+// record. Transient write failures (including the io.journal.write /
+// io.journal.fsync fault sites, support/fault.hpp) are retried up to
+// JournalOptions::max_write_attempts times with a deterministic linear
+// backoff (attempt i sleeps (i-1)*backoff_base_ms), truncating the torn
+// record before each retry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/constraint_graph.hpp"
+#include "model/delta.hpp"
+#include "support/fault.hpp"
+#include "support/status.hpp"
+
+namespace cdcs::io {
+
+/// First bytes of every journal file.
+inline constexpr std::string_view kJournalMagic = "CDCSWAL1";
+
+/// Standard reflected CRC-32 (zlib / binascii.crc32). Exposed so tests and
+/// tools can forge or verify record checksums.
+std::uint32_t crc32(std::string_view data);
+
+struct JournalOptions {
+  /// Total attempts per record append (first try + retries), >= 1.
+  int max_write_attempts{3};
+  /// Deterministic linear backoff between attempts: attempt i (1-based)
+  /// sleeps (i-1) * backoff_base_ms before writing. 0 disables sleeping
+  /// (the schedule stays deterministic either way).
+  unsigned backoff_base_ms{0};
+  /// Optional fault injector consulted at io.journal.open /
+  /// io.journal.write / io.journal.fsync (support/fault.hpp).
+  std::shared_ptr<support::FaultInjector> injector;
+};
+
+/// Appends snapshot/delta records to a journal file. Move-only; the
+/// default-constructed writer is closed. Not thread-safe: the owning
+/// engine serializes appends.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(JournalWriter&&) = default;
+  JournalWriter& operator=(JournalWriter&&) = default;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates (truncating) `path` and writes the magic plus the base-graph
+  /// snapshot record. kInternal when the open fault site fires or the
+  /// snapshot append exhausts its retries.
+  static support::Expected<JournalWriter> create(
+      std::string path, const model::ConstraintGraph& base,
+      JournalOptions options = {});
+
+  /// Reopens an existing journal for appending after read_journal():
+  /// `valid_prefix_bytes` and `record_offsets` come straight from
+  /// JournalContents. Truncates any torn tail past the valid prefix.
+  static support::Expected<JournalWriter> append_to(
+      std::string path, std::uint64_t valid_prefix_bytes,
+      std::vector<std::uint64_t> record_offsets, JournalOptions options = {});
+
+  /// Appends one applied edit batch. On failure the file is truncated back
+  /// to the previous record boundary (best effort), so the journal stays a
+  /// valid prefix.
+  support::Status append_delta(const model::Delta& delta);
+
+  /// Removes the most recently appended record from the file -- the undo
+  /// path when the engine rolls back an apply whose journal record already
+  /// landed. The base snapshot cannot be truncated away.
+  support::Status truncate_last_record();
+
+  bool is_open() const { return open_; }
+  void close() { open_ = false; }
+
+  const std::string& path() const { return path_; }
+  /// Total records on disk, including the base snapshot.
+  std::uint64_t records() const { return record_offsets_.size(); }
+  /// Logical end of the journal (= file size while healthy).
+  std::uint64_t end_offset() const { return end_offset_; }
+
+ private:
+  support::Status append_record(const std::string& payload);
+  bool fires(std::string_view site) const {
+    return options_.injector != nullptr &&
+           options_.injector->should_fail(site);
+  }
+
+  std::string path_;
+  JournalOptions options_;
+  std::uint64_t end_offset_{0};
+  std::vector<std::uint64_t> record_offsets_;  ///< start offset per record
+  bool open_{false};
+};
+
+/// What read_journal() recovered.
+struct JournalContents {
+  model::ConstraintGraph base;        ///< the snapshot record
+  std::vector<model::Delta> deltas;   ///< one per delta record, in order
+  /// Valid records (snapshot + deltas) recovered from the prefix.
+  std::uint64_t records_recovered{0};
+  /// Bytes past the valid prefix (a torn or checksum-failed tail).
+  std::uint64_t bytes_dropped{0};
+  bool tail_truncated() const { return bytes_dropped != 0; }
+  /// File offset where the valid prefix ends; truncate here to heal.
+  std::uint64_t valid_prefix_bytes{0};
+  /// Start offset of each valid record (for JournalWriter::append_to).
+  std::vector<std::uint64_t> record_offsets;
+};
+
+/// Reads a journal, stopping cleanly at a torn tail (see the header
+/// comment for exactly which states are torn vs malformed). kParseError on
+/// bad magic, an unknown record tag, a checksummed-but-unparseable
+/// payload, or a torn base snapshot (nothing to recover); the message
+/// names the record number and byte offset.
+support::Expected<JournalContents> read_journal(const std::string& path);
+
+}  // namespace cdcs::io

@@ -116,11 +116,20 @@ class Deadline {
   }
 
   /// Registers a callback invoked exactly once, by whichever poll (from
-  /// whichever thread or copy) first observes expiry. The callback must be
-  /// cheap and must not poll the deadline itself.
+  /// whichever thread or copy) first observes expiry. Copies made AFTER
+  /// registration share the once-only flag, so the callback cannot double-
+  /// fire across copies; re-registering installs a fresh callback with a
+  /// fresh flag. Registering on an already-expired deadline fires the
+  /// callback immediately (polls short-circuit on the latch and would
+  /// otherwise never reach it). The callback must be cheap and must not
+  /// poll the deadline itself.
   Deadline& on_expiry(std::function<void()> callback) {
     on_expiry_ = std::make_shared<ExpiryCallback>();
     on_expiry_->fn = std::move(callback);
+    if (expired_.load(std::memory_order_relaxed) &&
+        !on_expiry_->fired.exchange(true)) {
+      on_expiry_->fn();
+    }
     return *this;
   }
 

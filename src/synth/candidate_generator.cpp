@@ -7,6 +7,7 @@
 #include <memory>
 #include <numeric>
 
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "synth/mergeability.hpp"
@@ -364,7 +365,7 @@ support::Expected<CandidateSet> generate_candidates(
         }
         ++survivors_this_k;
         for (model::ArcId a : subset) participates[a.index()] = true;
-        if (options.fault_injection.fail_merging_pricers) {
+        if (options.fault_injection.fires(support::fault_sites::kPricerMerge)) {
           ++stats.unpriceable_per_k[k];
         } else {
           batch.push_back(subset);

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <exception>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "model/sanitize.hpp"
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "synth/candidate_generator.hpp"
 
@@ -28,9 +30,19 @@ support::Expected<SynthesisResult> Engine::apply(const model::Delta& delta) {
   support::Span span("engine.apply", "engine",
                      "{\"revision\":" + std::to_string(graph_.revision()) +
                          ",\"ops\":" + std::to_string(delta.ops.size()) + "}");
+  // All-or-nothing: snapshot every piece of session state this apply can
+  // touch, so any downstream failure (journal append, injected fault,
+  // synthesis error) restores the session byte-for-byte.
+  model::ConstraintGraph graph_before = graph_;
+  SessionState session_before = session_;
+  SessionStats stats_before = stats_;
+  std::vector<std::vector<std::uint32_t>> sets_before = last_chosen_arc_sets_;
+  std::vector<double> multipliers_before = last_root_multipliers_;
+
   support::Expected<model::DeltaEffect> effect =
       model::apply_delta(graph_, delta);
   if (!effect.ok()) {
+    // apply_delta is itself atomic: nothing to roll back.
     return std::move(effect).take_status().with_context("Engine::apply");
   }
   stats_.last_dirty_arcs = effect->dirty_arcs.size();
@@ -77,7 +89,135 @@ support::Expected<SynthesisResult> Engine::apply(const model::Delta& delta) {
         any ? std::move(remapped_mult) : std::vector<double>{};
   }
 
-  return synthesize_current();
+  // Write-ahead: the delta lands on disk before synthesis runs, so a crash
+  // during (or after) the solve still replays this batch on recovery.
+  bool journaled = false;
+  if (journal_.is_open()) {
+    support::Status logged = journal_.append_delta(delta);
+    if (!logged.ok()) {
+      rollback_apply(std::move(graph_before), std::move(session_before),
+                     std::move(stats_before), std::move(sets_before),
+                     std::move(multipliers_before), /*journaled=*/false);
+      return std::move(logged).with_context("Engine::apply");
+    }
+    journaled = true;
+  }
+
+  if (options_.fault_injection.fires(support::fault_sites::kEngineApply)) {
+    rollback_apply(std::move(graph_before), std::move(session_before),
+                   std::move(stats_before), std::move(sets_before),
+                   std::move(multipliers_before), journaled);
+    return support::Status::Internal(
+               "injected fault at " +
+               std::string(support::fault_sites::kEngineApply))
+        .with_context("Engine::apply");
+  }
+
+  support::Expected<SynthesisResult> result = synthesize_current();
+  if (!result.ok()) {
+    rollback_apply(std::move(graph_before), std::move(session_before),
+                   std::move(stats_before), std::move(sets_before),
+                   std::move(multipliers_before), journaled);
+  }
+  return result;
+}
+
+void Engine::rollback_apply(
+    model::ConstraintGraph&& graph, SessionState&& session,
+    SessionStats&& stats,
+    std::vector<std::vector<std::uint32_t>>&& chosen_sets,
+    std::vector<double>&& multipliers, bool journaled) {
+  graph_ = std::move(graph);
+  session_ = std::move(session);
+  stats_ = std::move(stats);
+  last_chosen_arc_sets_ = std::move(chosen_sets);
+  last_root_multipliers_ = std::move(multipliers);
+  support::MetricsRegistry::global().counter("engine.rollbacks").add(1);
+  if (journaled && journal_.is_open()) {
+    support::Status truncated = journal_.truncate_last_record();
+    if (!truncated.ok()) {
+      // The file now holds a record for a batch the session rolled back.
+      // Stop journaling rather than let the log diverge from the session;
+      // recovery from this file would replay one batch too many.
+      journal_.close();
+    }
+  }
+}
+
+support::Status Engine::open_journal(const std::string& path,
+                                     io::JournalOptions journal_options) {
+  if (journal_options.injector == nullptr) {
+    journal_options.injector = options_.fault_injection.injector;
+  }
+  support::Expected<io::JournalWriter> writer =
+      io::JournalWriter::create(path, graph_, std::move(journal_options));
+  if (!writer.ok()) {
+    return std::move(writer).take_status().with_context(
+        "Engine::open_journal");
+  }
+  journal_ = *std::move(writer);
+  return support::Status::Ok();
+}
+
+support::Expected<std::unique_ptr<Engine>> Engine::recover(
+    const std::string& journal_path, commlib::Library library,
+    SynthesisOptions options, WarmPolicy policy, RecoveryReport* report,
+    io::JournalOptions journal_options) {
+  support::Span span("engine.recover", "engine");
+  if (options.fault_injection.fires(support::fault_sites::kEngineRecover)) {
+    return support::Status::Internal(
+               "injected fault at " +
+               std::string(support::fault_sites::kEngineRecover))
+        .with_context("Engine::recover('" + journal_path + "')");
+  }
+  support::Expected<io::JournalContents> contents =
+      io::read_journal(journal_path);
+  if (!contents.ok()) {
+    return std::move(contents).take_status().with_context("Engine::recover");
+  }
+
+  // Replay graph-only: synthesis is a deterministic function of the graph,
+  // so one resynthesize() on the result reproduces the uninterrupted
+  // session's last solution bit-for-bit (under kBitIdentical).
+  model::ConstraintGraph graph = std::move(contents->base);
+  std::uint64_t replayed = 0;
+  for (const model::Delta& delta : contents->deltas) {
+    support::Expected<model::DeltaEffect> effect =
+        model::apply_delta(graph, delta);
+    if (!effect.ok()) {
+      // The record checksummed clean, so a replay failure means the journal
+      // and the session logic disagree -- corruption or a bug, not a torn
+      // tail.
+      return std::move(effect)
+          .take_status()
+          .with_context("replaying journal record " +
+                        std::to_string(replayed + 2))
+          .with_context("Engine::recover('" + journal_path + "')");
+    }
+    ++replayed;
+  }
+
+  if (journal_options.injector == nullptr) {
+    journal_options.injector = options.fault_injection.injector;
+  }
+  support::Expected<io::JournalWriter> writer = io::JournalWriter::append_to(
+      journal_path, contents->valid_prefix_bytes,
+      std::move(contents->record_offsets), std::move(journal_options));
+  if (!writer.ok()) {
+    return std::move(writer).take_status().with_context("Engine::recover");
+  }
+
+  if (report != nullptr) {
+    report->records_recovered = contents->records_recovered;
+    report->deltas_replayed = replayed;
+    report->bytes_dropped = contents->bytes_dropped;
+    report->tail_truncated = contents->tail_truncated();
+  }
+  auto engine = std::make_unique<Engine>(std::move(graph), std::move(library),
+                                         std::move(options), policy);
+  engine->journal_ = *std::move(writer);
+  support::MetricsRegistry::global().counter("engine.recoveries").add(1);
+  return engine;
 }
 
 support::Expected<SynthesisResult> Engine::resynthesize() {

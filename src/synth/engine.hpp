@@ -32,9 +32,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "commlib/library.hpp"
+#include "io/journal.hpp"
 #include "model/delta.hpp"
 #include "support/status.hpp"
 #include "synth/options.hpp"
@@ -72,13 +75,65 @@ class Engine {
   const SynthesisOptions& options() const { return options_; }
   WarmPolicy policy() const { return policy_; }
 
-  /// Applies `delta` to the session graph (atomically: a rejected batch
-  /// changes nothing) and re-synthesizes. Error statuses are synthesize()'s
-  /// plus kInvalidInput for a bad delta. Like synthesize(), never throws.
+  /// Applies `delta` to the session graph and re-synthesizes. ALL-OR-
+  /// NOTHING: on any failure -- a rejected batch, a journal append that
+  /// exhausts its retries, an injected engine.apply fault, or a synthesis
+  /// error -- the whole session (graph, cover-reuse state, warm-start
+  /// state, stats, journal) is restored to its pre-apply state, and a
+  /// journal record already written for the failed batch is truncated back
+  /// out. Error statuses are synthesize()'s plus kInvalidInput for a bad
+  /// delta. Like synthesize(), never throws.
   support::Expected<SynthesisResult> apply(const model::Delta& delta);
 
   /// Re-synthesizes the current graph without edits (an empty apply()).
   support::Expected<SynthesisResult> resynthesize();
+
+  // -- Durability (docs/robustness.md) ------------------------------------
+  //
+  // open_journal() starts write-ahead logging this session to a journal
+  // file (io/journal.hpp): the current graph is snapshotted as the base
+  // record, and every subsequent successful apply() appends its delta
+  // BEFORE synthesis runs, so a crash at any point leaves base + applied
+  // batches on disk. recover() rebuilds the session from such a journal --
+  // replaying the deltas over the snapshot graph-only, healing a torn
+  // tail by truncating to the last valid record -- and reopens the file
+  // for appending. Under WarmPolicy::kBitIdentical a resynthesize() on the
+  // recovered engine returns bit-identical results (same cover cost, same
+  // ucp_nodes) to the uninterrupted session's last apply(), because
+  // synthesis is a deterministic function of the graph.
+
+  /// Snapshots the current graph into a fresh journal at `path` and turns
+  /// on logging for subsequent apply() calls. `journal_options.injector`
+  /// defaults to this session's fault injector when unset. Replaces any
+  /// journal already open.
+  support::Status open_journal(const std::string& path,
+                               io::JournalOptions journal_options = {});
+
+  /// Stops journaling (the file keeps its records; nothing is deleted).
+  void close_journal() { journal_.close(); }
+
+  bool journaling() const { return journal_.is_open(); }
+
+  struct RecoveryReport {
+    std::uint64_t records_recovered{0};  ///< valid records, incl. snapshot
+    std::uint64_t deltas_replayed{0};
+    std::uint64_t bytes_dropped{0};      ///< torn tail truncated away
+    bool tail_truncated{false};
+  };
+
+  /// Rebuilds a session from a journal: reads the base snapshot, replays
+  /// every recovered delta (graph-only; call resynthesize() on the result
+  /// to rebuild the solution), truncates any torn tail, and reopens the
+  /// journal for appending. `options.fault_injection` is consulted at the
+  /// engine.recover site; `journal_options.injector` defaults from it.
+  /// Returns a pointer because Engine is immovable (it owns a mutex-holding
+  /// pricing cache).
+  static support::Expected<std::unique_ptr<Engine>> recover(
+      const std::string& journal_path, commlib::Library library,
+      SynthesisOptions options = {},
+      WarmPolicy policy = WarmPolicy::kBitIdentical,
+      RecoveryReport* report = nullptr,
+      io::JournalOptions journal_options = {});
 
   struct SessionStats {
     std::size_t applies{0};        ///< successful apply()/resynthesize() runs
@@ -98,6 +153,12 @@ class Engine {
 
  private:
   support::Expected<SynthesisResult> synthesize_current();
+  /// Restores every piece of session state apply() snapshots, and truncates
+  /// the journal record of the failed batch when one was already appended.
+  void rollback_apply(model::ConstraintGraph&& graph, SessionState&& session,
+                      SessionStats&& stats,
+                      std::vector<std::vector<std::uint32_t>>&& chosen_sets,
+                      std::vector<double>&& multipliers, bool journaled);
 
   model::ConstraintGraph graph_;
   commlib::Library library_;
@@ -115,6 +176,10 @@ class Engine {
   // Lagrangian multipliers per row.
   std::vector<std::vector<std::uint32_t>> last_chosen_arc_sets_;
   std::vector<double> last_root_multipliers_;
+
+  /// Write-ahead log of applied deltas; closed unless open_journal() /
+  /// recover() armed it.
+  io::JournalWriter journal_;
 };
 
 }  // namespace cdcs::synth

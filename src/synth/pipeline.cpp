@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "model/validator.hpp"
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "synth/assemble.hpp"
 #include "synth/candidate_generator.hpp"
@@ -83,7 +84,7 @@ ucp::BnbOptions effective_solver_options(const SynthesisOptions& options,
                                          std::size_t num_candidates) {
   ucp::BnbOptions solver = solver_options;
   if (solver.deadline.unlimited()) solver.deadline = options.deadline;
-  if (options.fault_injection.expire_solver_deadline) {
+  if (options.fault_injection.fires(support::fault_sites::kUcpSolve)) {
     solver.deadline = support::Deadline::expire_after_checks(0);
   }
   // Seed the incumbent with the anytime ladder's last rung: generation
@@ -154,7 +155,7 @@ support::Expected<SynthesisResult> finish_pipeline(
   DegradationReport& deg = result.degradation;
   deg.lower_bound = result.cover.lower_bound;
 
-  if (options.fault_injection.drop_incumbent) {
+  if (options.fault_injection.fires(support::fault_sites::kUcpIncumbent)) {
     result.cover.chosen.clear();
     result.cover.cost = 0.0;
     result.cover.optimal = false;
@@ -190,7 +191,7 @@ support::Expected<SynthesisResult> finish_pipeline(
     // The solver produced nothing usable (deadline hit before any incumbent,
     // or fault injection discarded it). Greedy cover next.
     ucp::CoverSolution greedy;
-    if (!options.fault_injection.fail_greedy_cover) {
+    if (!options.fault_injection.fires(support::fault_sites::kUcpGreedy)) {
       greedy = ucp::solve_greedy(cover);
     }
     if (!greedy.chosen.empty() && cover.covers_all(greedy.chosen)) {

@@ -1,0 +1,160 @@
+// support::Deadline semantics pins, with emphasis on the copy behavior of
+// the on_expiry callback (ISSUE: copies share the fired-flag via
+// shared_ptr): the callback fires EXACTLY ONCE across all copies and
+// threads, a copy of a latched deadline stays latched, and registering a
+// callback on an already-expired deadline fires it immediately instead of
+// silently never (the pre-fix bug: polls short-circuit on the latch and
+// never reach the firing path).
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/deadline.hpp"
+
+namespace cdcs::support {
+namespace {
+
+TEST(Deadline, DefaultIsUnlimitedAndNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_FALSE(d.latched());
+}
+
+TEST(Deadline, ExpireAfterChecksCountsPolls) {
+  Deadline d = Deadline::expire_after_checks(2);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_FALSE(d.expired());  // poll 1
+  EXPECT_FALSE(d.expired());  // poll 2
+  EXPECT_TRUE(d.expired());   // poll 3 trips
+  EXPECT_TRUE(d.latched());
+  EXPECT_TRUE(d.expired());   // latched forever
+}
+
+TEST(Deadline, CallbackFiresOnceOnExpiry) {
+  int fired = 0;
+  Deadline d = Deadline::expire_after_checks(0);
+  d.on_expiry([&] { ++fired; });
+  EXPECT_TRUE(d.expired());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Deadline, CallbackFiresOnceAcrossCopies) {
+  // Copies snapshot the poll budget but SHARE the callback's once-only
+  // flag: whichever copy latches first fires it, and no other copy (or the
+  // original) can fire it again.
+  int fired = 0;
+  Deadline original = Deadline::expire_after_checks(0);
+  original.on_expiry([&] { ++fired; });
+  Deadline copy1 = original;
+  Deadline copy2 = original;
+
+  EXPECT_TRUE(copy1.expired());  // copy1 latches and fires
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(copy2.expired());  // snapshot budget: latches, must NOT re-fire
+  EXPECT_TRUE(original.expired());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Deadline, CopyAssignmentSharesTheCallbackFlag) {
+  int fired = 0;
+  Deadline original = Deadline::expire_after_checks(0);
+  original.on_expiry([&] { ++fired; });
+  Deadline assigned;
+  assigned = original;
+
+  EXPECT_TRUE(original.expired());
+  EXPECT_TRUE(assigned.expired());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Deadline, RegisterAfterExpiryFiresImmediately) {
+  // The pre-fix bug: a callback registered after the latch tripped never
+  // fired, because every later poll short-circuits on expired_ and never
+  // reaches latch(). Registration must fire it on the spot instead.
+  Deadline d = Deadline::expire_after_checks(0);
+  EXPECT_TRUE(d.expired());  // latch first
+
+  int fired = 0;
+  d.on_expiry([&] { ++fired; });
+  EXPECT_EQ(fired, 1);       // fired at registration, not never
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(fired, 1);       // and only once
+}
+
+TEST(Deadline, RegisterOnUnexpiredDeadlineDoesNotFireEarly) {
+  Deadline d = Deadline::expire_after_checks(1);
+  int fired = 0;
+  d.on_expiry([&] { ++fired; });
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Deadline, ReRegisteringInstallsAFreshOnceFlag) {
+  // Re-registration replaces the callback AND its once-flag; on an
+  // already-expired deadline each registration fires its own callback
+  // exactly once.
+  Deadline d = Deadline::expire_after_checks(0);
+  int first = 0;
+  int second = 0;
+  d.on_expiry([&] { ++first; });
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(first, 1);
+
+  d.on_expiry([&] { ++second; });  // already expired: fires immediately
+  EXPECT_EQ(second, 1);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Deadline, CopyOfLatchedDeadlineStaysLatched) {
+  Deadline d = Deadline::expire_after_checks(0);
+  EXPECT_TRUE(d.expired());
+  Deadline copy = d;
+  EXPECT_TRUE(copy.latched());
+  EXPECT_TRUE(copy.expired());
+  EXPECT_FALSE(copy.unlimited());
+}
+
+TEST(Deadline, CancelTokenExpiresEveryCopy) {
+  CancelToken token;
+  Deadline d = Deadline::never();
+  d.attach(token);
+  Deadline copy = d;
+  EXPECT_FALSE(d.expired());
+  EXPECT_FALSE(copy.expired());
+  token.cancel();
+  EXPECT_TRUE(d.expired());
+  EXPECT_TRUE(copy.expired());
+}
+
+TEST(Deadline, CallbackFiresOnceUnderConcurrentPolls) {
+  // Many threads hammer copies of one deadline; the callback must fire
+  // exactly once regardless of which thread's poll trips the latch.
+  std::atomic<int> fired{0};
+  Deadline d = Deadline::expire_after_checks(100);
+  d.on_expiry([&] { fired.fetch_add(1, std::memory_order_relaxed); });
+
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&d] {
+      // Each thread polls the SHARED object (copies snapshot the budget,
+      // which would make the race trivial).
+      for (int i = 0; i < 200; ++i) (void)d.expired();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(d.latched());
+  EXPECT_EQ(fired.load(), 1);
+}
+
+}  // namespace
+}  // namespace cdcs::support

@@ -2,15 +2,19 @@
 //
 //   exact -> incumbent -> greedy -> point-to-point
 //
-// Each transition is forced deterministically (FaultInjection switches or a
-// check-counted Deadline, never wall-clock races) on the paper's WAN
+// Each transition is forced deterministically -- a FaultPlan rule on the
+// rung's fault site (support/fault.hpp), or a check-counted Deadline, never
+// wall-clock races -- on the paper's WAN
 // instance, and every rung must still hand back a validator-passing
 // implementation with an honest DegradationReport: the stage, a
 // human-readable reason, the root lower bound, and the optimality gap.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "baseline/baselines.hpp"
 #include "commlib/standard_libraries.hpp"
+#include "support/fault.hpp"
 #include "synth/synthesizer.hpp"
 #include "workloads/wan2002.hpp"
 
@@ -18,6 +22,8 @@ namespace cdcs {
 namespace {
 
 using support::Deadline;
+using support::FaultInjector;
+using support::FaultPlan;
 using synth::SynthesisOptions;
 using synth::SynthesisResult;
 using synth::SynthesisStage;
@@ -26,6 +32,14 @@ struct Wan {
   model::ConstraintGraph cg = workloads::wan2002();
   commlib::Library lib = commlib::wan_library();
 };
+
+/// Arms `opts` with a parsed --fault-plan style spec (the scriptable way
+/// to reach each ladder rung; the legacy bools are pinned separately in
+/// LegacyBoolsStillDriveTheLadder).
+void arm(SynthesisOptions& opts, const std::string& spec) {
+  opts.fault_injection.injector =
+      std::make_shared<FaultInjector>(FaultPlan::parse(spec).value());
+}
 
 double exact_cost(const Wan& w) {
   static const double cost =
@@ -48,7 +62,7 @@ TEST(Degradation, UnlimitedRunIsExactWithZeroGap) {
 TEST(Degradation, ExpiredSolverDeadlineFallsToIncumbent) {
   Wan w;
   SynthesisOptions opts;
-  opts.fault_injection.expire_solver_deadline = true;
+  arm(opts, "ucp.solve@1");
   const SynthesisResult result =
       synth::synthesize(w.cg, w.lib, opts).value();
   EXPECT_EQ(result.degradation.stage, SynthesisStage::kIncumbent);
@@ -98,7 +112,7 @@ TEST(Degradation, CheckCountedDeadlineIsDeterministic) {
 TEST(Degradation, DroppedIncumbentFallsToGreedy) {
   Wan w;
   SynthesisOptions opts;
-  opts.fault_injection.drop_incumbent = true;
+  arm(opts, "ucp.incumbent@1");
   const SynthesisResult result =
       synth::synthesize(w.cg, w.lib, opts).value();
   EXPECT_EQ(result.degradation.stage, SynthesisStage::kGreedy);
@@ -112,8 +126,7 @@ TEST(Degradation, DroppedIncumbentFallsToGreedy) {
 TEST(Degradation, LastRungIsPointToPoint) {
   Wan w;
   SynthesisOptions opts;
-  opts.fault_injection.drop_incumbent = true;
-  opts.fault_injection.fail_greedy_cover = true;
+  arm(opts, "ucp.incumbent@1;ucp.greedy@1");
   const SynthesisResult result =
       synth::synthesize(w.cg, w.lib, opts).value();
   EXPECT_EQ(result.degradation.stage, SynthesisStage::kPointToPoint);
@@ -137,7 +150,7 @@ TEST(Degradation, LastRungIsPointToPoint) {
 TEST(Degradation, FailedPricersLeaveOnlySingletons) {
   Wan w;
   SynthesisOptions opts;
-  opts.fault_injection.fail_merging_pricers = true;
+  arm(opts, "pricer.merge%1");  // every merged-subset pricing attempt
   const SynthesisResult result =
       synth::synthesize(w.cg, w.lib, opts).value();
   // Generation yields only the |A| point-to-point columns; the solver then
@@ -147,6 +160,29 @@ TEST(Degradation, FailedPricersLeaveOnlySingletons) {
       baseline::point_to_point_baseline(w.cg, w.lib);
   EXPECT_NEAR(result.total_cost, ptp.cost, 1e-6 * ptp.cost);
   EXPECT_TRUE(result.validation.ok());
+}
+
+TEST(Degradation, LegacyBoolsStillDriveTheLadder) {
+  // The pre-FaultPlan switches are shims over the same sites (see
+  // synth/options.hpp) and must keep forcing their rungs.
+  Wan w;
+  {
+    SynthesisOptions opts;
+    opts.fault_injection.expire_solver_deadline = true;
+    const SynthesisResult result =
+        synth::synthesize(w.cg, w.lib, opts).value();
+    EXPECT_EQ(result.degradation.stage, SynthesisStage::kIncumbent);
+    EXPECT_TRUE(result.validation.ok());
+  }
+  {
+    SynthesisOptions opts;
+    opts.fault_injection.drop_incumbent = true;
+    opts.fault_injection.fail_greedy_cover = true;
+    const SynthesisResult result =
+        synth::synthesize(w.cg, w.lib, opts).value();
+    EXPECT_EQ(result.degradation.stage, SynthesisStage::kPointToPoint);
+    EXPECT_TRUE(result.validation.ok());
+  }
 }
 
 TEST(Degradation, DegradedCostNeverBeatsTheReportedLowerBound) {

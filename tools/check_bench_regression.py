@@ -143,6 +143,15 @@ def main():
                     "metrics.cache_hit_rate dropped "
                     f"{b_m['cache_hit_rate']} -> {e_m['cache_hit_rate']}"
                 )
+            # Robustness guards: the bench harness must run with fault
+            # injection unarmed and journaling off, so both totals are
+            # pinned at exactly zero (when the bench emits them at all).
+            for key in ("fault_fires", "journal_appends"):
+                if e_m.get(key, 0) != 0:
+                    errors.append(
+                        f"metrics.{key} = {e_m[key]} in the bench run "
+                        "(fault injection / journaling must be off)"
+                    )
 
     if errors:
         fail(errors)

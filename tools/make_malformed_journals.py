@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Regenerates the malformed-journal corpus under data/edits/.
+
+The journal format (docs/robustness.md, src/io/journal.cpp):
+
+    "CDCSWAL1" magic, then records of [u32 LE length][u32 LE crc32][payload].
+
+CRC-32 is the reflected 0xEDB88320 polynomial -- exactly binascii.crc32 --
+so this script can forge records byte-for-byte. Each corpus file is a
+journal that a crash (or bit rot) could plausibly produce; the expected
+reader behavior is pinned in tests/test_journal.cpp (JournalCorpus.*).
+"""
+
+import binascii
+import pathlib
+import struct
+
+MAGIC = b"CDCSWAL1"
+
+BASE_GRAPH = b"""# Tiny corpus graph: 3 ports, 2 channels.
+norm euclidean
+port A 0 0
+port B 3 4
+port C 6 0
+channel c1 A B 10
+channel c2 B C 12
+"""
+
+DELTA_1 = b"set-bandwidth c1 12\nsolve\n"
+DELTA_2 = b"move-port B 3.5 4.5\nsolve\n"
+DELTA_3 = b"set-bandwidth c2 14\nsolve\n"
+
+
+def record(payload: bytes, crc: int | None = None) -> bytes:
+    if crc is None:
+        crc = binascii.crc32(payload) & 0xFFFFFFFF
+    return struct.pack("<II", len(payload), crc) + payload
+
+
+def snapshot() -> bytes:
+    return record(b"graph\n" + BASE_GRAPH)
+
+
+def delta(body: bytes) -> bytes:
+    return record(b"delta\n" + body)
+
+
+def main() -> None:
+    out_dir = pathlib.Path(__file__).resolve().parent.parent / "data" / "edits"
+
+    # A checksum mismatch after one good delta: the reader keeps the
+    # 2-record prefix and drops the bad record as a torn tail.
+    bad_crc = delta(DELTA_2)
+    bad_crc = bad_crc[:4] + struct.pack(
+        "<I", struct.unpack("<I", bad_crc[4:8])[0] ^ 1) + bad_crc[8:]
+    (out_dir / "malformed_bad_crc.journal").write_bytes(
+        MAGIC + snapshot() + delta(DELTA_1) + bad_crc)
+
+    # A crash mid-header: 5 of the 8 header bytes landed.
+    (out_dir / "malformed_truncated_length.journal").write_bytes(
+        MAGIC + snapshot() + delta(DELTA_1) + record(b"delta\n" + DELTA_2)[:5])
+
+    # A crash mid-payload: the third delta record is half-written.
+    torn = delta(DELTA_3)
+    (out_dir / "malformed_torn_tail.journal").write_bytes(
+        MAGIC + snapshot() + delta(DELTA_1) + delta(DELTA_2)
+        + torn[: len(torn) // 2])
+
+    # Not a journal at all.
+    (out_dir / "malformed_bad_magic.journal").write_bytes(
+        b"NOTAWAL0" + snapshot())
+
+    for name in sorted(p.name for p in out_dir.glob("malformed_*.journal")):
+        print(f"wrote {name}")
+
+
+if __name__ == "__main__":
+    main()
