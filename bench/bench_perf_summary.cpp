@@ -7,7 +7,10 @@
 //     against the serial run -- a determinism violation fails the tool);
 //   * branch-and-bound nodes_explored on the bench_ucp_solver corpus
 //     (must never grow: the bitset reductions are semantics-preserving);
-//   * pricing-cache hit accounting for a repeated synthesize() call.
+//   * pricing-cache hit accounting for a repeated synthesize() call;
+//   * the partitioned-synthesis scaling gate on a pinned 1k-arc geo-WAN
+//     instance (stitched cost, summed cluster lower bound, optimality gap,
+//     thread-count determinism, and the exact-vs-partitioned speedup).
 //
 // CI redirects this to BENCH_pr.json and uploads it as an artifact; the
 // checked-in copy at the repo root records the numbers for this tree on
@@ -15,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
@@ -24,9 +28,12 @@
 #include "commlib/standard_libraries.hpp"
 #include "support/metrics.hpp"
 #include "synth/engine.hpp"
+#include "synth/partition.hpp"
 #include "synth/pricing_cache.hpp"
 #include "synth/synthesizer.hpp"
 #include "ucp/bnb.hpp"
+#include "workloads/fingerprint.hpp"
+#include "workloads/scale_gen.hpp"
 #include "workloads/wan2002.hpp"
 
 namespace {
@@ -304,7 +311,7 @@ int main(int argc, char** argv) {
         "\"ucp_rc_fixed_columns\": %llu, \"engine_applies\": %llu, "
         "\"cache_hits\": %llu, \"cache_misses\": %llu, "
         "\"cache_hit_rate\": %.4f, "
-        "\"fault_fires\": %llu, \"journal_appends\": %llu}\n}\n",
+        "\"fault_fires\": %llu, \"journal_appends\": %llu},\n",
         static_cast<unsigned long long>(counter_total(m, "synth.runs")),
         static_cast<unsigned long long>(
             counter_total(m, "synth.subsets_examined")),
@@ -325,6 +332,117 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(counter_total(m, "fault.fires")),
         static_cast<unsigned long long>(
             counter_total(m, "io.journal.appends")));
+  }
+
+  // --- Partitioned synthesis scaling gate -------------------------------
+  // Deliberately AFTER the metrics delta above: the exact-path comparison
+  // below is deadline-bounded, so its event counts (subsets examined, UCP
+  // nodes) depend on machine speed and must not land in the exact-match
+  // "metrics" section. Everything emitted here is either machine-
+  // independent (stitched cost, lower bound, cluster shape, fingerprint)
+  // or a same-machine ratio/flag (the exact-vs-partitioned comparison).
+  //
+  // Acceptance gates (this binary exits non-zero on violation):
+  //   * the 1k-arc geo-WAN instance synthesizes end-to-end through the
+  //     partitioned path with optimality gap <= 10% of the summed
+  //     per-cluster lower bounds;
+  //   * the result is bit-identical at 1, 2, and 8 worker threads;
+  //   * the exact monolithic path, given a 10x-partitioned-wall budget on
+  //     the same instance, either blows the deadline or is >= 10x slower.
+  {
+    const model::ConstraintGraph big =
+        workloads::geo_wan(workloads::GeoWanParams::sized(1000, 7));
+    // Input canary: the cost comparison in check_bench_regression.py is
+    // only sound while the generator is bit-stable across machines.
+    constexpr std::uint64_t kPinnedFingerprint = 0x65b4e049bc0a41e8ull;
+    const std::uint64_t fp = workloads::fingerprint(big);
+    if (fp != kPinnedFingerprint) {
+      std::fprintf(stderr,
+                   "GENERATOR DRIFT: geo_wan(1000, seed 7) fingerprint "
+                   "%016llx != pinned %016llx\n",
+                   static_cast<unsigned long long>(fp),
+                   static_cast<unsigned long long>(kPinnedFingerprint));
+      ++failures;
+    }
+
+    synth::SynthesisOptions popts;
+    popts.partitioning.enabled = true;
+    const synth::Partition part =
+        synth::partition_graph(big, popts.partitioning);
+
+    double best_ms = 1e100;
+    double cost = 0.0, lower_bound = 0.0, gap = 0.0;
+    std::vector<std::size_t> chosen;
+    bool threads_identical = true;
+    for (const int threads : {1, 2, 8}) {
+      popts.threads = threads;
+      const auto t0 = Clock::now();
+      const synth::SynthesisResult r =
+          synth::synthesize(big, lib, popts).value();
+      best_ms = std::min(best_ms, ms_since(t0));
+      if (!r.validation.ok()) {
+        std::fprintf(stderr, "PARTITIONED: validation failed at %d threads\n",
+                     threads);
+        ++failures;
+      }
+      if (threads == 1) {
+        cost = r.total_cost;
+        lower_bound = r.degradation.lower_bound;
+        gap = r.degradation.optimality_gap;
+        chosen = r.cover.chosen;
+      } else if (r.total_cost != cost || r.cover.chosen != chosen) {
+        std::fprintf(stderr,
+                     "PARTITIONED DETERMINISM VIOLATION: %d threads cost "
+                     "%.9f != %.9f (or cover differs)\n",
+                     threads, r.total_cost, cost);
+        threads_identical = false;
+        ++failures;
+      }
+    }
+    if (gap > 0.10) {
+      std::fprintf(stderr,
+                   "PARTITIONED GAP REGRESSION: optimality gap %.4f "
+                   "exceeds the 10%% acceptance bound\n",
+                   gap);
+      ++failures;
+    }
+
+    synth::SynthesisOptions eopts;
+    const double exact_budget_ms = std::max(10.0 * best_ms, 1000.0);
+    eopts.deadline = support::Deadline::after_ms(exact_budget_ms);
+    const auto t0 = Clock::now();
+    const synth::SynthesisResult exact =
+        synth::synthesize(big, lib, eopts).value();
+    const double exact_ms = ms_since(t0);
+    const bool exact_expired =
+        exact.degradation.stage != synth::SynthesisStage::kExact;
+    const bool exact_timeout_or_10x =
+        exact_expired || exact_ms >= 10.0 * best_ms;
+    if (!exact_timeout_or_10x) {
+      std::fprintf(stderr,
+                   "PARTITIONED SPEEDUP REGRESSION: exact path finished in "
+                   "%.1fms vs partitioned %.1fms (< 10x, no timeout) -- "
+                   "partitioning is not earning its approximation\n",
+                   exact_ms, best_ms);
+      ++failures;
+    }
+
+    std::fprintf(
+        out,
+        "  \"partitioned_scaling\": {\"workload\": \"geo_wan\", "
+        "\"arcs\": %zu, \"seed\": 7, \"fingerprint\": \"%016llx\", "
+        "\"clusters\": %zu, \"interior_clusters\": %zu, "
+        "\"boundary_arcs\": %zu, \"cost\": %.6f, \"lower_bound\": %.6f, "
+        "\"optimality_gap\": %.6f, \"threads_identical\": %s, "
+        "\"partitioned_wall_ms\": %.3f, \"exact_budget_ms\": %.1f, "
+        "\"exact_wall_ms\": %.3f, \"exact_deadline_expired\": %s, "
+        "\"exact_timeout_or_10x\": %s}\n}\n",
+        big.num_channels(), static_cast<unsigned long long>(fp),
+        part.clusters.size(), part.num_interior, part.boundary_arcs.size(),
+        cost, lower_bound, gap, threads_identical ? "true" : "false",
+        best_ms, exact_budget_ms, exact_ms,
+        exact_expired ? "true" : "false",
+        exact_timeout_or_10x ? "true" : "false");
   }
 
   if (out != stdout) std::fclose(out);

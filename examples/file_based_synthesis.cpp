@@ -17,9 +17,23 @@
 //   --deadline-ms MS         wall-clock budget; on expiry the synthesizer
 //                            degrades to the best anytime cover and reports
 //                            the stage + optimality gap (never fails)
-//   --threads N              worker threads for candidate pricing (default
-//                            1; 0 = all hardware threads). Results are
-//                            bit-identical for every N (docs/performance.md)
+//   --threads N              worker threads for candidate pricing and
+//                            per-cluster synthesis (default 0 = all
+//                            hardware threads). Results are bit-identical
+//                            for every N (docs/performance.md)
+//   --partition              enable hierarchical partitioned synthesis:
+//                            cluster the arcs geometrically, synthesize
+//                            each cluster independently (in parallel), and
+//                            stitch the per-cluster optima. Scales to
+//                            thousands of arcs; reports the summed cluster
+//                            lower bound and the optimality gap. Instances
+//                            at or below the threshold still take the
+//                            exact path (docs/performance.md)
+//   --partition-threshold N  arc count at or below which --partition falls
+//                            back to the exact monolithic pipeline
+//                            (default 64)
+//   --partition-cluster-arcs N  target maximum arcs per cluster
+//                            (default 24)
 //   --search-order dfs|best-first
 //                            cover-solver node order (default dfs); both
 //                            prove the same optimal cost
@@ -105,6 +119,12 @@ int usage(const char* argv0) {
          "  --tables           print Gamma/Delta matrices\n"
          "  --deadline-ms MS   wall-clock budget (degrades, never fails)\n"
          "  --threads N        pricing worker threads (0 = all hardware)\n"
+         "  --partition        hierarchical partitioned synthesis "
+         "(large instances)\n"
+         "  --partition-threshold N   exact-path fallback arc count "
+         "(default 64)\n"
+         "  --partition-cluster-arcs N   target max arcs per cluster "
+         "(default 24)\n"
          "  --search-order dfs|best-first   cover-solver node order\n"
          "  --no-lagrangian    disable Lagrangian solver bounds\n"
          "  --no-rc-fixing     disable reduced-cost column fixing\n"
@@ -217,6 +237,14 @@ int run(int argc, char** argv, Observability& obs) {
       options.deadline = support::Deadline::after_ms(std::atof(next().c_str()));
     } else if (arg == "--threads") {
       options.threads = std::atoi(next().c_str());
+    } else if (arg == "--partition") {
+      options.partitioning.enabled = true;
+    } else if (arg == "--partition-threshold") {
+      options.partitioning.arc_threshold =
+          static_cast<std::size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--partition-cluster-arcs") {
+      options.partitioning.max_cluster_arcs =
+          static_cast<std::size_t>(std::atoi(next().c_str()));
     } else if (arg == "--search-order") {
       const std::string v = next();
       if (v == "dfs") {

@@ -116,6 +116,12 @@ std::string describe(const synth::SynthesisResult& result,
   if (deg.degraded()) {
     os << " (" << deg.reason << "; lower bound " << deg.lower_bound
        << ", optimality gap " << deg.optimality_gap * 100.0 << "%)";
+  } else if (deg.lower_bound > 0.0) {
+    // Exact runs carry a meaningful bound too (== the achieved cost, gap
+    // 0%); print it whenever it exists so every run reports how far from
+    // the proven floor it landed, not only the degraded ones.
+    os << " (lower bound " << deg.lower_bound << ", optimality gap "
+       << deg.optimality_gap * 100.0 << "%)";
   }
   os << '\n';
   os << "Validation: "

@@ -85,6 +85,46 @@ struct FaultInjection {
   }
 };
 
+/// Hierarchical partitioned synthesis (synth/partition.hpp,
+/// synth/partitioned_synthesizer.hpp; docs/performance.md). Large instances
+/// are clustered geometrically, each cluster is synthesized by the ordinary
+/// pipeline, boundary arcs are re-priced and re-covered in their own repair
+/// groups, and the per-cluster covers are stitched into one result whose
+/// lower_bound is the sum of the cluster Lagrangian roots. Deterministic:
+/// the same instance partitions and stitches identically at every thread
+/// count. Small instances (below `arc_threshold`) always take the exact
+/// single-pipeline path untouched, so pinned costs and node counts on the
+/// paper corpus cannot change. The incremental synth::Engine ignores this
+/// block (sessions always run the plain pipeline).
+struct PartitioningOptions {
+  /// Master switch; off = the plain pipeline regardless of instance size.
+  bool enabled = false;
+  /// Instances with fewer arcs than this run the plain pipeline even when
+  /// `enabled` (the exact fallback of docs/performance.md).
+  std::size_t arc_threshold = 64;
+  /// k-d median splitting of arc midpoints stops once a leaf holds at most
+  /// this many arcs; every emitted cluster (interior or repair) obeys it.
+  std::size_t max_cluster_arcs = 24;
+  /// Slack multiplier on the Lemma 3.1 mergeability radius used to flag
+  /// boundary arcs: arc `a` in cluster C is boundary when some other
+  /// cluster C' has 2*dist(m_a, bbox(C')) < margin*(d(a) + maxlen(C')).
+  /// 1.0 = exactly the radius within which a cross-cluster pair could
+  /// survive the geometric pruning; larger = more conservative repair.
+  double boundary_margin = 1.0;
+  /// Cap on the fraction of arcs extracted into boundary-repair groups
+  /// (highest violation margin first; deterministic tie-break on arc
+  /// index). Keeps hotspot-style traffic, where every long arc looks
+  /// boundary, from collapsing the partition.
+  double max_boundary_fraction = 0.25;
+  /// Per-cluster cap on merging size (applied as max_merge_k inside each
+  /// cluster, taking the caller's own max_merge_k when that is tighter).
+  /// A geometrically tight 24-arc cluster would otherwise enumerate
+  /// exponentially many large subsets; mergings beyond 4-way essentially
+  /// never win in the corpus geometries. 0 = inherit the caller's
+  /// max_merge_k unchanged.
+  int cluster_max_merge_k = 4;
+};
+
 struct SynthesisOptions {
   model::CapacityPolicy policy = model::CapacityPolicy::kSharedSum;
   PivotRule pivot_rule = PivotRule::kMinDistance;
@@ -146,13 +186,17 @@ struct SynthesisOptions {
   /// is handed to the cover solver.
   support::Deadline deadline;
 
-  /// Worker threads for subset pricing. 1 (default) prices on the caller's
-  /// thread; N > 1 fans each k's surviving subsets out to a fixed pool of N
-  /// workers, merging results in enumeration order so the candidate set is
-  /// BIT-IDENTICAL to the serial run (docs/performance.md); 0 means all
-  /// hardware threads. Enumeration and pruning always stay serial -- they
-  /// are cheap and their order carries Theorem 3.1 semantics.
-  int threads = 1;
+  /// Worker threads for subset pricing and partitioned cluster fan-out.
+  /// 0 (default) means all hardware threads; N >= 1 is taken literally
+  /// (1 = price on the caller's thread). N > 1 fans each k's surviving
+  /// subsets out to a fixed pool of N workers, merging results in
+  /// enumeration order so the candidate set is BIT-IDENTICAL to the serial
+  /// run for every N (docs/performance.md) -- which is why "all hardware
+  /// threads" is a safe default. Enumeration and pruning always stay
+  /// serial -- they are cheap and their order carries Theorem 3.1
+  /// semantics. Determinism tests pin explicit counts anyway so their
+  /// fingerprints never depend on the host.
+  int threads = 0;
 
   /// Optional pricing memoization shared across synthesize() calls
   /// (synth/pricing_cache.hpp). Borrowed, not owned; must outlive the run.
@@ -161,6 +205,10 @@ struct SynthesisOptions {
 
   /// Deterministic failure forcing for tests; see FaultInjection.
   FaultInjection fault_injection;
+
+  /// Hierarchical partitioned synthesis for large instances; see
+  /// PartitioningOptions. Off by default.
+  PartitioningOptions partitioning;
 
   /// Cover-solver configuration (Lagrangian bounds, reduced-cost fixing,
   /// search order, ...). The 3-argument synthesize() overload uses this;

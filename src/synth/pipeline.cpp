@@ -15,11 +15,6 @@
 namespace cdcs::synth {
 namespace {
 
-double gap_against(double achieved, double lower_bound) {
-  if (lower_bound <= 0.0 || achieved <= lower_bound) return 0.0;
-  return (achieved - lower_bound) / lower_bound;
-}
-
 /// Bit-exact signature of one cover solve: the full matrix plus every
 /// BnbOptions field the search reads. Two runs with equal signatures (and
 /// unlimited deadlines) are the same deterministic computation, so the
@@ -99,18 +94,17 @@ ucp::BnbOptions effective_solver_options(const SynthesisOptions& options,
   return solver;
 }
 
-support::Expected<SynthesisResult> finish_pipeline(
-    const model::ConstraintGraph& cg, const commlib::Library& library,
+support::Expected<CoverOutcome> cover_and_ladder(
+    std::size_t num_rows, const CandidateSet& set,
     const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
-    SessionState* session, SynthesisResult result) {
-  const GenerationStats& stats = result.candidate_set.stats;
+    SessionState* session) {
+  const GenerationStats& stats = set.stats;
   auto& registry = support::MetricsRegistry::global();
+  CoverOutcome result;
 
-  const std::size_t num_rows = cg.num_channels();
-  const ucp::CoverProblem cover =
-      build_cover_problem(num_rows, result.candidate_set);
+  const ucp::CoverProblem cover = build_cover_problem(num_rows, set);
   const ucp::BnbOptions solver = effective_solver_options(
-      options, solver_options, num_rows, result.candidate_set.candidates.size());
+      options, solver_options, num_rows, set.candidates.size());
 
   // Cover stage: reuse the session's previous solution when this instance
   // is bit-identical to the one it solved (same matrix, same solver
@@ -119,7 +113,7 @@ support::Expected<SynthesisResult> finish_pipeline(
   const bool reusable = session != nullptr && solver.deadline.unlimited();
   std::vector<double> signature;
   if (reusable) {
-    signature = cover_signature(num_rows, result.candidate_set, solver);
+    signature = cover_signature(num_rows, set, solver);
   }
   if (reusable && !session->last_cover_signature.empty() &&
       signature == session->last_cover_signature) {
@@ -203,7 +197,7 @@ support::Expected<SynthesisResult> finish_pipeline(
       // Last rung: one optimum point-to-point link per arc. Generation
       // emits the singletons first (candidate i covers exactly arc i) and
       // never deadline-gates them, so this cover always exists here.
-      if (result.candidate_set.candidates.size() < num_rows) {
+      if (set.candidates.size() < num_rows) {
         return support::Status::Internal(
             "point-to-point fallback: candidate set is missing singletons");
       }
@@ -220,9 +214,10 @@ support::Expected<SynthesisResult> finish_pipeline(
     }
     result.cover.lower_bound = deg.lower_bound;
   }
-  deg.optimality_gap = deg.degraded()
-                           ? gap_against(result.cover.cost, deg.lower_bound)
-                           : 0.0;
+  // For exact runs the bound equals the achieved cost, so the gap is 0
+  // either way; computing it unconditionally lets reporting surface the
+  // bound-relative gap whenever a meaningful lower bound exists.
+  deg.optimality_gap = ucp::optimality_gap(result.cover.cost, deg.lower_bound);
   if (deg.degraded()) {
     registry.counter("synth.degraded_runs").add(1);
     support::trace_instant("degraded", "pipeline",
@@ -230,7 +225,14 @@ support::Expected<SynthesisResult> finish_pipeline(
                                std::string(to_string(deg.stage)) + "\"}");
   }
   }  // ladder span
+  return result;
+}
 
+void assemble_and_validate(const model::ConstraintGraph& cg,
+                           const commlib::Library& library,
+                           const SynthesisOptions& options,
+                           SynthesisResult& result) {
+  auto& registry = support::MetricsRegistry::global();
   {
     support::ScopedTimer span(
         "assemble", "pipeline", &registry.histogram("synth.stage.assemble.us"),
@@ -246,7 +248,20 @@ support::Expected<SynthesisResult> finish_pipeline(
         &registry.counter("synth.stage.validate.wall_us"));
     result.validation = model::validate(*result.implementation, options.policy);
   }
-  registry.counter("synth.runs").add(1);
+}
+
+support::Expected<SynthesisResult> finish_pipeline(
+    const model::ConstraintGraph& cg, const commlib::Library& library,
+    const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
+    SessionState* session, SynthesisResult result) {
+  support::Expected<CoverOutcome> outcome =
+      cover_and_ladder(cg.num_channels(), result.candidate_set, options,
+                       solver_options, session);
+  if (!outcome.ok()) return std::move(outcome).take_status();
+  result.cover = std::move(outcome->cover);
+  result.degradation = std::move(outcome->degradation);
+  assemble_and_validate(cg, library, options, result);
+  support::MetricsRegistry::global().counter("synth.runs").add(1);
   return result;
 }
 

@@ -58,6 +58,37 @@ ucp::BnbOptions effective_solver_options(const SynthesisOptions& options,
                                          std::size_t num_rows,
                                          std::size_t num_candidates);
 
+/// Outcome of stages 3-4 (cover + anytime ladder) over one candidate set:
+/// the cover actually returned (after any fallback rung) and the
+/// degradation report explaining which rung produced it. Split out of
+/// finish_pipeline so the partitioned synthesizer can run cover + ladder
+/// per cluster and assemble/validate ONCE on the stitched whole.
+struct CoverOutcome {
+  ucp::CoverSolution cover;
+  DegradationReport degradation;
+};
+
+/// Stages 3-4: build the UCP matrix from `set`, solve it (or reuse the
+/// session's bit-identical previous solve), and walk the anytime ladder.
+/// `num_rows` is the arc count of the (sub)instance; `session` may be
+/// nullptr. Behavior-identical to the cover/ladder half of the historical
+/// finish_pipeline, which is now a composition of this and
+/// assemble_and_validate.
+support::Expected<CoverOutcome> cover_and_ladder(
+    std::size_t num_rows, const CandidateSet& set,
+    const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
+    SessionState* session);
+
+/// Stage 5: materialize result.cover into result.implementation /
+/// total_cost and run the independent Def 2.4 validation. Requires
+/// result.candidate_set and result.cover to be filled; may throw (the
+/// assembler rejects non-covering selections), which the synthesize()
+/// catch-all converts to a Status.
+void assemble_and_validate(const model::ConstraintGraph& cg,
+                           const commlib::Library& library,
+                           const SynthesisOptions& options,
+                           SynthesisResult& result);
+
 /// Stages 3-5 (cover, ladder, assemble, validate) on a result whose
 /// candidate_set stage 2 already filled -- the entry point for callers that
 /// interpose on the candidate list between generation and covering (the

@@ -6,6 +6,7 @@
 
 #include "model/sanitize.hpp"
 #include "support/metrics.hpp"
+#include "synth/partitioned_synthesizer.hpp"
 #include "synth/pipeline.hpp"
 
 namespace cdcs::synth {
@@ -30,8 +31,14 @@ support::Expected<SynthesisResult> synthesize(
   support::Status gate = model::check_inputs(cg, library);
   if (!gate.ok()) return std::move(gate).with_context("synthesize");
   try {
+    // Large instances take the hierarchical partitioned path when enabled
+    // (synth/partitioned_synthesizer.hpp); below the arc threshold the
+    // plain pipeline runs untouched -- the exact fallback that keeps every
+    // pinned corpus cost and node count bit-identical.
     support::Expected<SynthesisResult> result =
-        run_pipeline(cg, library, options, solver_options, nullptr);
+        partitioning_applies(cg, options)
+            ? synthesize_partitioned(cg, library, options, solver_options)
+            : run_pipeline(cg, library, options, solver_options, nullptr);
     if (!result.ok()) {
       return std::move(result).take_status().with_context("synthesize");
     }

@@ -56,6 +56,11 @@ bool CoverProblem::covers_all(const std::vector<std::size_t>& chosen) const {
   return covered.count() == num_rows_;
 }
 
+double optimality_gap(double achieved, double lower_bound) {
+  if (lower_bound <= 0.0 || achieved <= lower_bound) return 0.0;
+  return (achieved - lower_bound) / lower_bound;
+}
+
 double independent_rows_lower_bound(const CoverProblem& problem) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   double bound = 0.0;

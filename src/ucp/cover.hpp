@@ -86,6 +86,12 @@ struct CoverSolution {
   std::vector<double> root_multipliers;
 };
 
+/// Honest relative optimality gap (achieved - lower_bound) / lower_bound:
+/// 0 when the bound is degenerate (<= 0) or already met. The single gap
+/// definition shared by the pipeline's degradation report, io/report, the
+/// partitioned synthesizer's stitched bound, and the scaling benches.
+double optimality_gap(double achieved, double lower_bound);
+
 /// Root lower bound on the optimal cover cost: greedily collects rows that
 /// pairwise share no column (each needs a distinct column, so the sum of
 /// their cheapest covers is a valid bound). 0 for an empty row set; also a

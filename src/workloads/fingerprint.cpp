@@ -1,0 +1,55 @@
+#include "workloads/fingerprint.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace cdcs::workloads {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+struct Fnv1a {
+  std::uint64_t h{kFnvOffset};
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+std::uint64_t fingerprint(const model::ConstraintGraph& cg) {
+  Fnv1a h;
+  h.byte(static_cast<std::uint8_t>(cg.norm()));
+  h.u64(cg.num_ports());
+  for (model::VertexId v : cg.ports()) {
+    h.str(cg.port(v).name);
+    h.f64(cg.position(v).x);
+    h.f64(cg.position(v).y);
+  }
+  h.u64(cg.num_channels());
+  for (model::ArcId a : cg.arcs()) {
+    h.str(cg.channel(a).name);
+    h.u64(cg.source(a).index());
+    h.u64(cg.target(a).index());
+    h.f64(cg.bandwidth(a));
+  }
+  return h.h;
+}
+
+}  // namespace cdcs::workloads

@@ -21,9 +21,12 @@ model::ConstraintGraph noc_mesh(const NocMeshParams& params) {
     }
   }
 
+  // Coordinates are separated with '_': concatenating bare digits made
+  // (1,10) and (11,0) both "t110", a duplicate-channel-name collision on
+  // meshes with more than 10 rows or columns.
   auto name = [&](int r1, int c1, int r2, int c2) {
-    return "t" + std::to_string(r1) + std::to_string(c1) + "->t" +
-           std::to_string(r2) + std::to_string(c2);
+    return "t" + std::to_string(r1) + "_" + std::to_string(c1) + "->t" +
+           std::to_string(r2) + "_" + std::to_string(c2);
   };
 
   switch (params.traffic) {

@@ -1,0 +1,212 @@
+#include "workloads/scale_gen.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace cdcs::workloads {
+namespace {
+
+/// splitmix64: the portable RNG primitive (same finalizer as
+/// support/fault.hpp). Explicit uniform mappings below keep every draw
+/// standard-library independent.
+std::uint64_t next_u64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double u01(std::uint64_t& state) {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+}
+
+double in_range(std::uint64_t& state, double lo, double hi) {
+  return lo + (hi - lo) * u01(state);
+}
+
+std::size_t pick(std::uint64_t& state, std::size_t n) {
+  return static_cast<std::size_t>(next_u64(state) % n);
+}
+
+std::uint64_t pair_key(std::size_t u, std::size_t v) {
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+GeoWanParams GeoWanParams::sized(std::size_t arcs, std::uint64_t seed) {
+  GeoWanParams p;
+  p.seed = seed;
+  std::size_t long_haul = arcs / 5;
+  const std::size_t local_total = arcs - long_haul;
+  p.sites = std::max<std::size_t>(2, local_total / 8);
+  p.local_arcs_per_site = local_total / p.sites;
+  p.long_haul_arcs = arcs - p.sites * p.local_arcs_per_site;
+  return p;
+}
+
+model::ConstraintGraph geo_wan(const GeoWanParams& params) {
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  std::uint64_t rng = params.seed;
+
+  const std::size_t sites = std::max<std::size_t>(1, params.sites);
+  const std::size_t ports = std::max<std::size_t>(2, params.ports_per_site);
+  // At most one channel per ordered port pair within a site.
+  const std::size_t local =
+      std::min(params.local_arcs_per_site, ports * (ports - 1));
+
+  std::vector<geom::Point2D> centers(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    centers[s] = {in_range(rng, 0.0, params.region_extent),
+                  in_range(rng, 0.0, params.region_extent)};
+  }
+  std::vector<std::vector<model::VertexId>> site_ports(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    for (std::size_t p = 0; p < ports; ++p) {
+      const geom::Point2D pos = {
+          centers[s].x + in_range(rng, -params.site_radius, params.site_radius),
+          centers[s].y +
+              in_range(rng, -params.site_radius, params.site_radius)};
+      site_ports[s].push_back(cg.add_port(
+          "s" + std::to_string(s) + "p" + std::to_string(p), pos));
+    }
+  }
+
+  auto bandwidth = [&] {
+    return in_range(rng, params.min_bandwidth, params.max_bandwidth);
+  };
+
+  // Intra-site flows: distinct ordered port pairs per site. Random draws
+  // with a deterministic exhaustive fallback, so the generator never loops
+  // unboundedly even when `local` approaches the pair count.
+  for (std::size_t s = 0; s < sites; ++s) {
+    std::unordered_set<std::uint64_t> used;
+    for (std::size_t k = 0; k < local; ++k) {
+      std::size_t u = 0, v = 0;
+      bool found = false;
+      for (int attempt = 0; attempt < 64 && !found; ++attempt) {
+        u = pick(rng, ports);
+        v = pick(rng, ports);
+        found = u != v && used.insert(pair_key(u, v)).second;
+      }
+      if (!found) {
+        for (u = 0; u < ports && !found; ++u) {
+          for (v = 0; v < ports && !found; ++v) {
+            if (u != v && used.insert(pair_key(u, v)).second) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) break;  // site saturated (local == ports*(ports-1))
+        --u;                // undo the final ++ of the search loop
+      }
+      cg.add_channel(site_ports[s][u], site_ports[s][v], bandwidth());
+    }
+  }
+
+  // Long-haul site-to-site flows: one port on each side, globally distinct
+  // ordered port pairs (intra-site pairs cannot collide -- different sites).
+  if (sites > 1) {
+    std::unordered_set<std::uint64_t> used;
+    for (std::size_t k = 0; k < params.long_haul_arcs; ++k) {
+      for (int attempt = 0; attempt < 256; ++attempt) {
+        const std::size_t si = pick(rng, sites);
+        const std::size_t sj = pick(rng, sites);
+        if (si == sj) continue;
+        const model::VertexId u = site_ports[si][pick(rng, ports)];
+        const model::VertexId v = site_ports[sj][pick(rng, ports)];
+        if (!used.insert(pair_key(u.index(), v.index())).second) continue;
+        cg.add_channel(u, v, bandwidth());
+        break;
+      }
+    }
+  }
+  return cg;
+}
+
+FatTreeParams FatTreeParams::sized(std::size_t arcs, std::uint64_t seed) {
+  FatTreeParams p;
+  p.seed = seed;
+  // Structural arcs per default pod: hosts (4*4) + ToR uplinks (4) + core
+  // uplink (1) = 21; target ~80/20 structural/cross-flow mix.
+  const std::size_t per_pod = p.racks_per_pod * p.hosts_per_rack +
+                              p.racks_per_pod + 1;
+  p.pods = std::max<std::size_t>(2, arcs / 26);
+  while (p.pods > 2 && p.pods * per_pod > arcs) --p.pods;
+  p.inter_pod_flows =
+      arcs > p.pods * per_pod ? arcs - p.pods * per_pod : 0;
+  return p;
+}
+
+model::ConstraintGraph fat_tree_traffic(const FatTreeParams& params) {
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  std::uint64_t rng = params.seed;
+
+  const std::size_t pods = std::max<std::size_t>(1, params.pods);
+  const std::size_t racks = std::max<std::size_t>(1, params.racks_per_pod);
+  const std::size_t hosts = std::max<std::size_t>(1, params.hosts_per_rack);
+  const double pod_width = static_cast<double>(racks) * params.rack_pitch;
+
+  std::vector<std::vector<model::VertexId>> pod_hosts(pods);
+  std::vector<model::VertexId> aggs;
+  std::vector<std::pair<model::VertexId, model::VertexId>> uplinks;  // ToR,agg
+  const model::VertexId core = cg.add_port(
+      "core",
+      {(static_cast<double>(pods) * (pod_width + params.pod_gap)) / 2.0,
+       -6.0 * params.rack_pitch});
+
+  for (std::size_t p = 0; p < pods; ++p) {
+    const double pod_x =
+        static_cast<double>(p) * (pod_width + params.pod_gap);
+    const std::string pn = "p" + std::to_string(p);
+    const model::VertexId agg = cg.add_port(
+        pn + "agg", {pod_x + pod_width / 2.0, -2.0 * params.rack_pitch});
+    aggs.push_back(agg);
+    for (std::size_t r = 0; r < racks; ++r) {
+      const double rack_x = pod_x + static_cast<double>(r) * params.rack_pitch;
+      const std::string rn = pn + "r" + std::to_string(r);
+      const model::VertexId tor = cg.add_port(rn + "t", {rack_x, 0.0});
+      uplinks.emplace_back(tor, agg);
+      for (std::size_t h = 0; h < hosts; ++h) {
+        const model::VertexId host = cg.add_port(
+            rn + "h" + std::to_string(h),
+            {rack_x, params.rack_pitch * (0.5 + 0.5 * static_cast<double>(h))});
+        pod_hosts[p].push_back(host);
+        cg.add_channel(host, tor,
+                       params.host_bandwidth * in_range(rng, 0.75, 1.25));
+      }
+    }
+  }
+  for (const auto& [tor, agg] : uplinks) {
+    cg.add_channel(tor, agg, params.agg_bandwidth);
+  }
+  for (model::VertexId agg : aggs) {
+    cg.add_channel(agg, core, params.core_bandwidth);
+  }
+
+  // Cross-pod host-to-host flows (the traffic that rewards trunk sharing
+  // between pods), globally distinct ordered pairs.
+  if (pods > 1) {
+    std::unordered_set<std::uint64_t> used;
+    for (std::size_t k = 0; k < params.inter_pod_flows; ++k) {
+      for (int attempt = 0; attempt < 256; ++attempt) {
+        const std::size_t pa = pick(rng, pods);
+        const std::size_t pb = pick(rng, pods);
+        if (pa == pb) continue;
+        const model::VertexId u = pod_hosts[pa][pick(rng, pod_hosts[pa].size())];
+        const model::VertexId v = pod_hosts[pb][pick(rng, pod_hosts[pb].size())];
+        if (!used.insert(pair_key(u.index(), v.index())).second) continue;
+        cg.add_channel(u, v,
+                       params.host_bandwidth * in_range(rng, 0.5, 1.5));
+        break;
+      }
+    }
+  }
+  return cg;
+}
+
+}  // namespace cdcs::workloads

@@ -1,0 +1,75 @@
+// Large-instance generators for the partitioned-synthesis scaling benches
+// (bench/bench_partitioned.cpp; docs/performance.md). Two families beyond
+// the existing noc_mesh grids:
+//
+//   * geo_wan        -- a continental WAN: many geographically tight sites
+//                       (dense local traffic, heavy merging opportunity
+//                       inside a site) plus sparse long-haul site-to-site
+//                       flows (the boundary arcs a partitioner must repair).
+//                       Pairs with commlib::wan_library().
+//   * fat_tree_traffic -- datacenter-style traffic over a pod/rack/host
+//                       layout: host->ToR uplinks, ToR->aggregation,
+//                       aggregation->core, plus random inter-pod host
+//                       flows. Pairs with commlib::wan_library() too (the
+//                       any-length link models make every span feasible).
+//
+// Both are PORTABLE-deterministic: all randomness comes from the splitmix64
+// finalizer (the same primitive support/fault.hpp uses) with explicit
+// uniform mapping, never from std::uniform_*_distribution, whose output is
+// standard-library specific. The same params therefore produce the same
+// graph (and the same workloads::fingerprint) on every platform, which is
+// what lets CI compare partitioned-synthesis costs exactly across machines.
+// (Contrast random_gen.hpp, whose mt19937+distribution output is pinned
+// only per standard library.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/constraint_graph.hpp"
+
+namespace cdcs::workloads {
+
+struct GeoWanParams {
+  std::size_t sites = 12;            ///< geographically tight port clusters
+  std::size_t ports_per_site = 6;
+  std::size_t local_arcs_per_site = 8;  ///< intra-site flows
+  std::size_t long_haul_arcs = 24;      ///< site-to-site flows
+  double region_extent = 500.0;  ///< site centers drawn in this square
+  double site_radius = 4.0;      ///< port spread around a site center
+  double min_bandwidth = 5.0;    ///< per-flow demand range (Mbps)
+  double max_bandwidth = 15.0;
+  std::uint64_t seed = 1;
+
+  /// Parameters producing exactly `arcs` total arcs with the default mix
+  /// (~80% local, ~20% long-haul).
+  static GeoWanParams sized(std::size_t arcs, std::uint64_t seed = 1);
+};
+
+/// Euclidean norm; total arcs = sites * local_arcs_per_site +
+/// long_haul_arcs. No parallel channels, no self-loops.
+model::ConstraintGraph geo_wan(const GeoWanParams& params);
+
+struct FatTreeParams {
+  std::size_t pods = 4;
+  std::size_t racks_per_pod = 4;
+  std::size_t hosts_per_rack = 4;
+  std::size_t inter_pod_flows = 20;  ///< random host-to-host cross traffic
+  double rack_pitch = 3.0;           ///< rack spacing within a pod
+  double pod_gap = 12.0;             ///< extra gap between pods
+  double host_bandwidth = 2.0;       ///< host -> ToR demand
+  double agg_bandwidth = 8.0;        ///< ToR -> aggregation demand
+  double core_bandwidth = 24.0;      ///< aggregation -> core demand
+  std::uint64_t seed = 1;
+
+  /// Parameters producing exactly `arcs` total arcs with the default pod
+  /// shape (inter-pod flows absorb the remainder).
+  static FatTreeParams sized(std::size_t arcs, std::uint64_t seed = 1);
+};
+
+/// Euclidean norm; total arcs = pods * racks_per_pod * hosts_per_rack
+/// (host uplinks) + pods * racks_per_pod (ToR->agg) + pods (agg->core)
+/// + inter_pod_flows. No parallel channels, no self-loops.
+model::ConstraintGraph fat_tree_traffic(const FatTreeParams& params);
+
+}  // namespace cdcs::workloads

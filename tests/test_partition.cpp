@@ -1,0 +1,148 @@
+// Structural invariants of the geometric partitioner (synth/partition.hpp):
+// determinism, exact arc coverage, cluster-size and boundary-fraction caps,
+// and the lossless-refinement guarantee that tight instances are never
+// split. The synthesis-level contracts (exact fallback, stitched cost,
+// thread-count determinism) live in test_partitioned_synth.cpp.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/partition.hpp"
+#include "workloads/scale_gen.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::synth {
+namespace {
+
+PartitioningOptions enabled() {
+  PartitioningOptions opts;
+  opts.enabled = true;
+  return opts;
+}
+
+/// Flattened (cluster -> arc list) view for equality comparisons.
+std::vector<std::vector<std::uint32_t>> shape(const Partition& p) {
+  std::vector<std::vector<std::uint32_t>> out;
+  for (const Cluster& c : p.clusters) {
+    std::vector<std::uint32_t> arcs;
+    for (model::ArcId a : c.arcs) arcs.push_back(a.index());
+    out.push_back(std::move(arcs));
+  }
+  return out;
+}
+
+TEST(Partition, EveryArcExactlyOnce) {
+  const model::ConstraintGraph cg =
+      workloads::geo_wan(workloads::GeoWanParams::sized(200, 9));
+  const Partition p = partition_graph(cg, enabled());
+  std::set<std::uint32_t> seen;
+  for (const Cluster& c : p.clusters) {
+    EXPECT_TRUE(std::is_sorted(c.arcs.begin(), c.arcs.end(),
+                               [](model::ArcId a, model::ArcId b) {
+                                 return a.index() < b.index();
+                               }));
+    for (model::ArcId a : c.arcs) {
+      EXPECT_TRUE(seen.insert(a.index()).second)
+          << "arc " << a.index() << " in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), cg.num_channels());
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const model::ConstraintGraph cg =
+      workloads::geo_wan(workloads::GeoWanParams::sized(300, 4));
+  const Partition a = partition_graph(cg, enabled());
+  const Partition b = partition_graph(cg, enabled());
+  EXPECT_EQ(shape(a), shape(b));
+  EXPECT_EQ(a.num_interior, b.num_interior);
+  ASSERT_EQ(a.boundary_arcs.size(), b.boundary_arcs.size());
+  for (std::size_t i = 0; i < a.boundary_arcs.size(); ++i) {
+    EXPECT_EQ(a.boundary_arcs[i].index(), b.boundary_arcs[i].index());
+  }
+}
+
+TEST(Partition, RespectsClusterSizeCap) {
+  PartitioningOptions opts = enabled();
+  opts.max_cluster_arcs = 10;
+  const model::ConstraintGraph cg =
+      workloads::geo_wan(workloads::GeoWanParams::sized(250, 2));
+  const Partition p = partition_graph(cg, opts);
+  for (const Cluster& c : p.clusters) {
+    EXPECT_LE(c.arcs.size(), opts.max_cluster_arcs);
+    EXPECT_FALSE(c.arcs.empty());
+  }
+}
+
+TEST(Partition, BoundaryFractionCapped) {
+  const model::ConstraintGraph cg =
+      workloads::geo_wan(workloads::GeoWanParams::sized(400, 13));
+  PartitioningOptions opts = enabled();
+  const Partition p = partition_graph(cg, opts);
+  EXPECT_LE(static_cast<double>(p.boundary_arcs.size()),
+            opts.max_boundary_fraction *
+                static_cast<double>(cg.num_channels()));
+  // Repair groups trail the interior clusters and carry exactly the
+  // boundary arcs.
+  std::size_t repair_arcs = 0;
+  for (std::size_t i = 0; i < p.clusters.size(); ++i) {
+    EXPECT_EQ(p.clusters[i].repair, i >= p.num_interior);
+    if (p.clusters[i].repair) repair_arcs += p.clusters[i].arcs.size();
+  }
+  EXPECT_EQ(repair_arcs, p.boundary_arcs.size());
+}
+
+TEST(Partition, ZeroBoundaryFractionDisablesExtraction) {
+  PartitioningOptions opts = enabled();
+  opts.max_boundary_fraction = 0.0;
+  const model::ConstraintGraph cg =
+      workloads::geo_wan(workloads::GeoWanParams::sized(200, 9));
+  const Partition p = partition_graph(cg, opts);
+  EXPECT_TRUE(p.boundary_arcs.empty());
+  EXPECT_EQ(p.num_interior, p.clusters.size());
+}
+
+TEST(Partition, TightInstanceStaysWhole) {
+  // wan2002's 8 arcs fit one leaf and are geometrically entangled: the
+  // lossless refinement must not split what the mergeability geometry
+  // cannot prove separate.
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const Partition p = partition_graph(cg, enabled());
+  ASSERT_EQ(p.clusters.size(), 1u);
+  EXPECT_EQ(p.clusters[0].arcs.size(), cg.num_channels());
+  EXPECT_TRUE(p.boundary_arcs.empty());
+}
+
+TEST(Partition, ArclessGraphYieldsNoClusters) {
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  cg.add_port("a", {0.0, 0.0});
+  cg.add_port("b", {1.0, 0.0});
+  const Partition p = partition_graph(cg, enabled());
+  EXPECT_TRUE(p.clusters.empty());
+  EXPECT_TRUE(p.boundary_arcs.empty());
+}
+
+TEST(Partition, FarApartSitesSeparate) {
+  // Two 2-arc bundles 1000 apart with arc lengths ~1: the midpoint
+  // separation test proves every cross pair unmergeable, so the partition
+  // must produce (at least) two clusters and no boundary arcs.
+  model::ConstraintGraph cg(geom::Norm::kEuclidean);
+  const auto a0 = cg.add_port("a0", {0.0, 0.0});
+  const auto a1 = cg.add_port("a1", {1.0, 0.0});
+  const auto b0 = cg.add_port("b0", {1000.0, 0.0});
+  const auto b1 = cg.add_port("b1", {1001.0, 0.0});
+  cg.add_channel(a0, a1, 1.0);
+  cg.add_channel(a1, a0, 1.0);
+  cg.add_channel(b0, b1, 1.0);
+  cg.add_channel(b1, b0, 1.0);
+  PartitioningOptions opts = enabled();
+  opts.max_cluster_arcs = 2;
+  const Partition p = partition_graph(cg, opts);
+  EXPECT_EQ(p.clusters.size(), 2u);
+  EXPECT_TRUE(p.boundary_arcs.empty());
+  for (const Cluster& c : p.clusters) EXPECT_EQ(c.arcs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cdcs::synth

@@ -17,7 +17,13 @@ and fails (exit 1) on:
     (synthesize runs, UCP solves, subsets examined, engine applies) are
     exact-match canaries for the fixed bench workload, total UCP nodes
     must never grow, and the whole-run pricing-cache hit rate must not
-    drop.
+    drop;
+  * drift in the "partitioned_scaling" section: the 1k-arc geo-WAN
+    generator fingerprint, cluster/boundary shape, and stitched cost are
+    machine-independent and must match exactly; the optimality gap must
+    stay within the 10% acceptance bound; thread-count determinism and
+    the exact-path timeout-or-10x flags must hold (both also enforced
+    inside bench_perf_summary itself).
 
 Absolute wall-clock milliseconds are intentionally NOT compared: the
 baseline was recorded on a different machine than CI runs on.
@@ -151,6 +157,51 @@ def main():
                     errors.append(
                         f"metrics.{key} = {e_m[key]} in the bench run "
                         "(fault injection / journaling must be off)"
+                    )
+
+    # Partitioned-synthesis scaling gate. Costs here are stitched sums of
+    # exact per-cluster covers on a fingerprint-pinned generator output, so
+    # like the WAN canary they are machine-independent (compared with a
+    # relative tolerance: the absolute magnitude is ~1e8). Wall-clock
+    # fields (partitioned_wall_ms, exact_wall_ms) are intentionally NOT
+    # compared; the machine-independent speedup evidence is the
+    # exact_timeout_or_10x flag.
+    b_p = base.get("partitioned_scaling")
+    e_p = fresh.get("partitioned_scaling")
+    if b_p is not None:
+        if e_p is None:
+            errors.append("partitioned_scaling section missing from fresh run")
+        else:
+            for key in ("workload", "arcs", "seed", "fingerprint",
+                        "clusters", "interior_clusters", "boundary_arcs"):
+                if key in b_p and e_p.get(key) != b_p[key]:
+                    errors.append(
+                        f"partitioned_scaling.{key} changed {b_p[key]} -> "
+                        f"{e_p.get(key)} (generator and partitioner are "
+                        "deterministic)"
+                    )
+            if abs(e_p["cost"] - b_p["cost"]) > 1e-9 * abs(b_p["cost"]):
+                errors.append(
+                    f"partitioned_scaling.cost changed {b_p['cost']} -> "
+                    f"{e_p['cost']} (stitched cover must be cost-stable)"
+                )
+            if abs(e_p["lower_bound"] - b_p["lower_bound"]) \
+                    > 1e-9 * abs(b_p["lower_bound"]):
+                errors.append(
+                    "partitioned_scaling.lower_bound changed "
+                    f"{b_p['lower_bound']} -> {e_p['lower_bound']}"
+                )
+            if e_p.get("optimality_gap", 1.0) > 0.10:
+                errors.append(
+                    f"partitioned_scaling.optimality_gap "
+                    f"{e_p.get('optimality_gap')} exceeds the 10% "
+                    "acceptance bound"
+                )
+            for key in ("threads_identical", "exact_timeout_or_10x"):
+                if e_p.get(key) is not True:
+                    errors.append(
+                        f"partitioned_scaling.{key} = {e_p.get(key)} "
+                        "(must hold on every run)"
                     )
 
     if errors:
