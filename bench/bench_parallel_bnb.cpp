@@ -1,0 +1,178 @@
+// Parallel branch-and-bound bench: the rounds-mode determinism contract and
+// the free-run speedup, on the bench_ucp_solver corpus (same generator and
+// seeds as tests/test_parallel_bnb.cpp and Exact.SeedCorpusNodeCounts).
+//
+//   bench_parallel_bnb [--deterministic]
+//
+// For every corpus instance this binary ASSERTS (non-zero exit on failure):
+//   * rounds mode at 1, 2, and 8 threads returns bit-identical cost, cover,
+//     node count, and explored-set fingerprint, all matching the serial
+//     best-first cost;
+//   * free-run mode at 1 and 4 threads proves the same optimal cost.
+// The wall-clock table is informational -- speedups depend on the machine
+// (CI runs on a 1-core container; see docs/performance.md section 8) and
+// are gated in bench_perf_summary, not here.
+//
+// --deterministic skips the free-run wall measurements (keeps only one
+// free-run correctness solve per instance) so the CI bench-smoke job gets a
+// fast, timing-independent pass/fail signal.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "ucp/bnb.hpp"
+
+namespace {
+
+cdcs::ucp::CoverProblem random_problem(int rows, int cols, double density,
+                                       unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> weight(0.5, 10.0);
+  cdcs::ucp::CoverProblem p(rows);
+  for (int j = 0; j < cols; ++j) {
+    std::vector<std::size_t> covered;
+    for (int r = 0; r < rows; ++r) {
+      if (unit(rng) < density) covered.push_back(r);
+    }
+    if (covered.empty()) covered.push_back(j % rows);
+    p.add_column(covered, weight(rng));
+  }
+  for (int r = 0; r < rows; ++r) {
+    p.add_column({static_cast<std::size_t>(r)}, 12.0);  // feasibility floor
+  }
+  return p;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdcs::ucp;
+  bool deterministic = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--deterministic") == 0) {
+      deterministic = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--deterministic]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf(
+      "=== Parallel weighted-UCP branch-and-bound ===\n"
+      "hardware threads: %u%s\n\n"
+      "%5s %5s | %10s %9s | %9s %9s %16s | %9s %9s %8s\n",
+      std::thread::hardware_concurrency(),
+      deterministic ? "  (--deterministic: free-run timing skipped)" : "",
+      "rows", "cols", "cost", "t_serial", "t_rnds_1", "t_rnds_8",
+      "rounds_fp", "t_free_1", "t_free_4", "speedup");
+
+  BnbOptions serial_opt;
+  serial_opt.dense_dp_max_rows = 0;  // force B&B even on <= 20 rows
+  serial_opt.search_order = SearchOrder::kBestFirst;
+
+  int failures = 0;
+  for (const auto& [rows, cols, density] :
+       {std::tuple{10, 30, 0.30}, std::tuple{12, 200, 0.25},
+        std::tuple{15, 60, 0.25}, std::tuple{20, 100, 0.20},
+        std::tuple{20, 2000, 0.15}}) {
+    const CoverProblem p =
+        random_problem(rows, cols, density, 91 + static_cast<unsigned>(rows));
+
+    auto t0 = std::chrono::steady_clock::now();
+    const CoverSolution serial = solve_exact(p, serial_opt);
+    const double t_serial = ms_since(t0);
+
+    // Rounds mode: the explored tree must be a function of the instance
+    // alone -- identical at every thread count, cost matching serial.
+    BnbOptions rounds_opt = serial_opt;
+    rounds_opt.mode = BnbMode::kRounds;
+    CoverSolution rounds_base;
+    double t_rounds_1 = 0.0, t_rounds_8 = 0.0;
+    for (const int threads : {1, 2, 8}) {
+      rounds_opt.threads = threads;
+      t0 = std::chrono::steady_clock::now();
+      const CoverSolution r = solve_exact(p, rounds_opt);
+      const double t = ms_since(t0);
+      if (threads == 1) {
+        rounds_base = r;
+        t_rounds_1 = t;
+        if (!r.optimal || std::abs(r.cost - serial.cost) > 1e-9) {
+          std::fprintf(stderr,
+                       "ROUNDS COST MISMATCH on %dx%d: %.9f != serial %.9f "
+                       "(optimal=%d)\n",
+                       rows, cols, r.cost, serial.cost, r.optimal ? 1 : 0);
+          ++failures;
+        }
+      } else {
+        if (threads == 8) t_rounds_8 = t;
+        if (r.cost != rounds_base.cost || r.chosen != rounds_base.chosen ||
+            r.nodes_explored != rounds_base.nodes_explored ||
+            r.explored_fingerprint != rounds_base.explored_fingerprint) {
+          std::fprintf(
+              stderr,
+              "ROUNDS DETERMINISM VIOLATION on %dx%d at %d threads: "
+              "fp %016llx nodes %zu vs fp %016llx nodes %zu\n",
+              rows, cols, threads,
+              static_cast<unsigned long long>(r.explored_fingerprint),
+              r.nodes_explored,
+              static_cast<unsigned long long>(
+                  rounds_base.explored_fingerprint),
+              rounds_base.nodes_explored);
+          ++failures;
+        }
+      }
+    }
+
+    // Free-run mode: nondeterministic tree, but the returned cost must be
+    // the proven optimum every time.
+    BnbOptions free_opt = serial_opt;
+    free_opt.mode = BnbMode::kFreeRun;
+    double t_free_1 = 0.0, t_free_4 = 0.0;
+    const int reps = deterministic ? 1 : 3;
+    for (const int threads : deterministic ? std::vector<int>{4}
+                                           : std::vector<int>{1, 4}) {
+      free_opt.threads = threads;
+      double best = 1e100;
+      for (int rep = 0; rep < reps; ++rep) {
+        t0 = std::chrono::steady_clock::now();
+        const CoverSolution f = solve_exact(p, free_opt);
+        best = std::min(best, ms_since(t0));
+        if (!f.optimal || std::abs(f.cost - serial.cost) > 1e-9) {
+          std::fprintf(stderr,
+                       "FREE-RUN COST MISMATCH on %dx%d at %d threads: "
+                       "%.9f != serial %.9f (optimal=%d)\n",
+                       rows, cols, threads, f.cost, serial.cost,
+                       f.optimal ? 1 : 0);
+          ++failures;
+        }
+      }
+      (threads == 1 ? t_free_1 : t_free_4) = best;
+    }
+
+    std::printf(
+        "%5d %5d | %10.4f %8.2fms | %7.2fms %7.2fms %016llx | %7.2fms "
+        "%7.2fms %7.2fx\n",
+        rows, cols, serial.cost, t_serial, t_rounds_1, t_rounds_8,
+        static_cast<unsigned long long>(rounds_base.explored_fingerprint),
+        t_free_1, t_free_4, t_free_4 > 0.0 ? t_free_1 / t_free_4 : 0.0);
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "\n%d violation(s)\n", failures);
+    return 1;
+  }
+  std::puts("\nall determinism and optimality assertions held");
+  return 0;
+}

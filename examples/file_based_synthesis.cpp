@@ -37,6 +37,15 @@
 //   --search-order dfs|best-first
 //                            cover-solver node order (default dfs); both
 //                            prove the same optimal cost
+//   --bnb-mode serial|rounds|free
+//                            cover-solver engine (default serial). 'rounds'
+//                            is the deterministic parallel engine (same
+//                            result at every thread count); 'free' is the
+//                            fastest, same proven-optimal cost
+//                            (docs/performance.md section 8)
+//   --ucp-threads N          cover-solver worker threads for the parallel
+//                            modes (default 0 = all hardware threads);
+//                            shares one pool with --threads
 //   --no-lagrangian          disable the solver's Lagrangian node bounds
 //   --no-rc-fixing           disable reduced-cost column fixing
 //   --no-grid-prefilter      disable the geometric grid pre-filter
@@ -126,6 +135,10 @@ int usage(const char* argv0) {
          "  --partition-cluster-arcs N   target max arcs per cluster "
          "(default 24)\n"
          "  --search-order dfs|best-first   cover-solver node order\n"
+         "  --bnb-mode serial|rounds|free   cover-solver engine (rounds = \n"
+         "                     deterministic parallel, free = fastest)\n"
+         "  --ucp-threads N    cover-solver worker threads (0 = all "
+         "hardware)\n"
          "  --no-lagrangian    disable Lagrangian solver bounds\n"
          "  --no-rc-fixing     disable reduced-cost column fixing\n"
          "  --no-grid-prefilter   disable the geometric grid pre-filter\n"
@@ -254,6 +267,19 @@ int run(int argc, char** argv, Observability& obs) {
       } else {
         return usage(argv[0]);
       }
+    } else if (arg == "--bnb-mode") {
+      const std::string v = next();
+      if (v == "serial") {
+        options.solver.mode = ucp::BnbMode::kSerial;
+      } else if (v == "rounds") {
+        options.solver.mode = ucp::BnbMode::kRounds;
+      } else if (v == "free") {
+        options.solver.mode = ucp::BnbMode::kFreeRun;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--ucp-threads") {
+      options.solver.threads = std::atoi(next().c_str());
     } else if (arg == "--no-lagrangian") {
       options.solver.use_lagrangian_bound = false;
       options.solver.use_reduced_cost_fixing = false;  // needs the bound

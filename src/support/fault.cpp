@@ -70,7 +70,7 @@ const std::vector<std::string_view>& all_fault_sites() {
       fault_sites::kJournalFsync, fault_sites::kEngineApply,
       fault_sites::kEngineRecover, fault_sites::kPricerMerge,
       fault_sites::kUcpSolve,     fault_sites::kUcpIncumbent,
-      fault_sites::kUcpGreedy,
+      fault_sites::kUcpGreedy,    fault_sites::kUcpFrontier,
   };
   return kSites;
 }

@@ -55,6 +55,11 @@ inline constexpr std::string_view kPricerMerge = "pricer.merge";
 inline constexpr std::string_view kUcpSolve = "ucp.solve";
 inline constexpr std::string_view kUcpIncumbent = "ucp.incumbent";
 inline constexpr std::string_view kUcpGreedy = "ucp.greedy";
+/// Consulted by the parallel B&B engines while draining the shared frontier
+/// (once per round in kRounds, once per pop in kFreeRun). A firing kills
+/// the consulting worker mid-solve; the solve degrades all-or-nothing to
+/// its current incumbent (CoverStop::kAborted), never a torn one.
+inline constexpr std::string_view kUcpFrontier = "ucp.frontier";
 }  // namespace fault_sites
 
 /// Every registered fault site, in a stable documented order.

@@ -1,12 +1,15 @@
 #include "synth/pipeline.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <numeric>
 #include <utility>
 
 #include "model/validator.hpp"
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
 #include "synth/assemble.hpp"
 #include "synth/candidate_generator.hpp"
 #include "ucp/bnb.hpp"
@@ -50,6 +53,12 @@ std::vector<double> cover_signature(std::size_t num_rows,
   sig.push_back(static_cast<double>(solver.reduced_cost_fixing_period));
   sig.push_back(static_cast<double>(solver.best_first_max_frontier));
   sig.push_back(static_cast<double>(solver.dense_dp_max_rows));
+  // Engine mode and its round granularity change the explored tree, so they
+  // are part of the solve's identity. Thread count deliberately is NOT:
+  // kRounds is bit-identical at every worker count (the determinism
+  // contract), and kFreeRun never reaches the reuse path at all.
+  sig.push_back(static_cast<double>(static_cast<int>(solver.mode)));
+  sig.push_back(static_cast<double>(solver.rounds_batch_size));
   sig.push_back(static_cast<double>(solver.warm_start.size()));
   for (std::size_t j : solver.warm_start) {
     sig.push_back(static_cast<double>(j));
@@ -82,6 +91,13 @@ ucp::BnbOptions effective_solver_options(const SynthesisOptions& options,
   if (options.fault_injection.fires(support::fault_sites::kUcpSolve)) {
     solver.deadline = support::Deadline::expire_after_checks(0);
   }
+  // Let the parallel engines consult the armed plan's "ucp.frontier" site
+  // and share the caller's worker pool when one is mounted.
+  if (solver.fault_injector == nullptr &&
+      options.fault_injection.injector != nullptr) {
+    solver.fault_injector = options.fault_injection.injector.get();
+  }
+  if (solver.pool == nullptr) solver.pool = options.pool;
   // Seed the incumbent with the anytime ladder's last rung: generation
   // emits the singletons first (candidate i covers exactly arc i), so
   // {0..rows-1} is always a feasible cover and branch-and-bound pruning
@@ -109,8 +125,14 @@ support::Expected<CoverOutcome> cover_and_ladder(
   // Cover stage: reuse the session's previous solution when this instance
   // is bit-identical to the one it solved (same matrix, same solver
   // configuration, no deadline in play -- an expired deadline makes the
-  // result time-dependent, which a signature cannot capture).
-  const bool reusable = session != nullptr && solver.deadline.unlimited();
+  // result time-dependent, which a signature cannot capture). Free-run
+  // solves are excluded (the explored tree, hence nodes_explored and which
+  // of several optimal covers comes back, varies run to run), as are solves
+  // with an armed fault injector (its hit counters are stateful: replaying
+  // a cached result would skip consultations the plan is counting on).
+  const bool reusable = session != nullptr && solver.deadline.unlimited() &&
+                        solver.mode != ucp::BnbMode::kFreeRun &&
+                        solver.fault_injector == nullptr;
   std::vector<double> signature;
   if (reusable) {
     signature = cover_signature(num_rows, set, solver);
@@ -167,11 +189,28 @@ support::Expected<CoverOutcome> cover_and_ladder(
     } else {
       deg.stage = SynthesisStage::kIncumbent;
       if (!result.cover.optimal) {
-        deg.reason = result.cover.deadline_expired
-                         ? "deadline expired in the cover solver; best "
-                           "incumbent returned"
-                         : "cover solver node budget exhausted; best "
-                           "incumbent returned";
+        switch (result.cover.stop) {
+          case ucp::CoverStop::kDeadline:
+            deg.reason =
+                "deadline expired in the cover solver; best incumbent "
+                "returned";
+            break;
+          case ucp::CoverStop::kFrontierCap:
+            deg.reason =
+                "cover solver frontier cap reached (raise "
+                "best_first_max_frontier); best incumbent returned";
+            break;
+          case ucp::CoverStop::kAborted:
+            deg.reason =
+                "cover solver aborted by injected fault; best incumbent "
+                "returned";
+            break;
+          default:
+            deg.reason =
+                "cover solver node budget exhausted; best incumbent "
+                "returned";
+            break;
+        }
       } else {
         deg.reason = stats.deadline_expired
                          ? "deadline expired during candidate enumeration; "
@@ -269,14 +308,35 @@ support::Expected<SynthesisResult> run_pipeline(
     const model::ConstraintGraph& cg, const commlib::Library& library,
     const SynthesisOptions& options, const ucp::BnbOptions& solver_options,
     SessionState* session) {
+  // One pool for the whole run, sized for the wider of the two parallel
+  // stages: subset pricing (options.threads) and the parallel cover solver
+  // (solver.threads). They run one after the other, so sharing costs
+  // nothing and keeps --threads plus --ucp-threads from spawning two pools.
+  SynthesisOptions opts = options;
+  ucp::BnbOptions solver = solver_options;
+  std::unique_ptr<support::ThreadPool> shared_pool;
+  if (opts.pool == nullptr && solver.pool == nullptr) {
+    const std::size_t pricing_workers =
+        support::resolve_thread_count(opts.threads);
+    const std::size_t solver_workers =
+        solver.mode == ucp::BnbMode::kSerial
+            ? 1
+            : support::resolve_thread_count(solver.threads);
+    const std::size_t pool_size = std::max(pricing_workers, solver_workers);
+    if (pool_size > 1) {
+      shared_pool = std::make_unique<support::ThreadPool>(pool_size);
+      opts.pool = shared_pool.get();
+      solver.pool = shared_pool.get();
+    }
+  }
   SynthesisResult result;
   support::Expected<CandidateSet> gen =
-      generate_candidates(cg, library, options);
+      generate_candidates(cg, library, opts);
   if (!gen.ok()) {
     return std::move(gen).take_status().with_context("candidate generation");
   }
   result.candidate_set = *std::move(gen);
-  return finish_pipeline(cg, library, options, solver_options, session,
+  return finish_pipeline(cg, library, opts, solver, session,
                          std::move(result));
 }
 

@@ -8,23 +8,26 @@
 
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
+#include "ucp/bnb_core.hpp"
 #include "ucp/dp.hpp"
-#include "ucp/greedy.hpp"
 #include "ucp/lagrangian.hpp"
+#include "ucp/parallel_bnb.hpp"
 
 namespace cdcs::ucp {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-struct SearchState {
-  Bitset uncovered;  ///< rows still to cover
-  Bitset available;  ///< columns still selectable
-};
+using detail::FrontierNode;
+using detail::NodeEvaluator;
+using detail::SearchState;
+using detail::frontier_after;
 
 // The search itself is the classic include/exclude branch-and-bound; the
-// reductions run word-parallel over the CoverProblem::row_cover transpose
-// bitsets:
+// reductions, bounds, and branching rules live in ucp/bnb_core.hpp
+// (NodeEvaluator), shared verbatim with the parallel engines
+// (ucp/parallel_bnb.cpp) and running word-parallel over the
+// CoverProblem::row_cover transpose bitsets:
 //   * essential columns: popcount(row_cover(r) & available) with an early
 //     cap at 2, instead of scanning every column per uncovered row;
 //   * row dominance:  cols(r2) subseteq cols(r1) is one masked-subset pass;
@@ -32,7 +35,7 @@ struct SearchState {
 //   * MIS lower bound: blocked-column tracking is bitset union/intersection,
 //     and each row's cheapest available column comes from a per-row
 //     weight-sorted list probed until the first available hit (built once in
-//     the constructor), instead of rescanning the row's full column set.
+//     the evaluator), instead of rescanning the row's full column set.
 // On top of the v1 machinery, v2 adds per-node subgradient Lagrangian bounds
 // (warm-started from the parent's multipliers), reduced-cost column fixing
 // against the incumbent, warm-start incumbent seeding, and an optional
@@ -55,22 +58,11 @@ class Solver {
   static constexpr std::size_t kProgressPeriod = 1024;
 
   Solver(const CoverProblem& problem, const BnbOptions& options)
-      : p_(problem), opt_(options), sink_(support::trace_sink()) {
-    // Per-row columns sorted by (weight, index): the MIS bound's
-    // cheapest-available probe and the Lagrangian MIS seeding both read it.
-    row_cols_by_weight_.resize(p_.num_rows());
-    for (std::size_t r = 0; r < p_.num_rows(); ++r) {
-      std::vector<std::size_t>& cols = row_cols_by_weight_[r];
-      p_.row_cover(r).for_each([&](std::size_t j) { cols.push_back(j); });
-      std::stable_sort(cols.begin(), cols.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         return p_.column(a).weight < p_.column(b).weight;
-                       });
-    }
-  }
+      : p_(problem), opt_(options), eval_(problem, options),
+        sink_(support::trace_sink()) {}
 
   CoverSolution run() {
-    seed_incumbent();
+    best_cost_ = detail::seed_incumbent(p_, opt_, best_);
 
     SearchState root{Bitset(p_.num_rows()), Bitset(p_.num_columns())};
     root.uncovered.set_all();
@@ -104,6 +96,7 @@ class Solver {
     sol.optimal = complete_ && best_cost_ < kInf;
     sol.nodes_explored = nodes_;
     sol.deadline_expired = deadline_hit_;
+    sol.stop = stop_;
     sol.root_multipliers = std::move(root_multipliers_);
     return sol;
   }
@@ -114,184 +107,6 @@ class Solver {
   double root_bound() const { return root_bound_; }
 
  private:
-  void seed_incumbent() {
-    const CoverSolution greedy = solve_greedy(p_);
-    best_cost_ = greedy.cost;
-    best_ = greedy.chosen;
-    if (opt_.warm_start.empty()) return;
-    std::vector<std::size_t> warm = opt_.warm_start;
-    std::sort(warm.begin(), warm.end());
-    warm.erase(std::unique(warm.begin(), warm.end()), warm.end());
-    if (warm.empty() || warm.back() >= p_.num_columns()) return;
-    if (!p_.covers_all(warm)) return;
-    const double warm_cost = p_.cost_of(warm);
-    if (warm_cost < best_cost_) {
-      best_cost_ = warm_cost;
-      best_ = std::move(warm);
-    }
-  }
-
-  /// Applies reductions in place; appends forced columns to `chosen` and adds
-  /// their weight to `cost`. Returns false when the branch is infeasible.
-  bool reduce(SearchState& s, double& cost, std::vector<std::size_t>& chosen,
-              int depth) {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-
-      // Essential columns (and infeasibility detection): scan uncovered
-      // rows ascending, stop at the first dead or single-cover row.
-      bool found_essential = true;
-      while (found_essential) {
-        found_essential = false;
-        std::size_t essential_col = p_.num_columns();
-        bool dead = false;
-        s.uncovered.for_each_until([&](std::size_t r) {
-          const Bitset& cov = p_.row_cover(r);
-          const std::size_t count =
-              cov.intersection_count_capped(s.available, 2);
-          if (count == 0) {
-            dead = true;
-            return true;
-          }
-          if (count == 1) {
-            essential_col = cov.first_and(s.available);
-            return true;
-          }
-          return false;
-        });
-        if (dead) return false;
-        if (essential_col != p_.num_columns()) {
-          cost += p_.column(essential_col).weight;
-          if (cost >= best_cost_) return false;
-          chosen.push_back(essential_col);
-          s.uncovered.subtract(p_.column(essential_col).rows);
-          s.available.reset(essential_col);
-          found_essential = true;
-          changed = true;
-          if (s.uncovered.none()) return true;
-        }
-      }
-
-      // Row dominance: if every available column covering r2 also covers r1,
-      // r1 is automatically satisfied when r2 is -> ignore r1.
-      if (opt_.use_row_dominance) {
-        std::vector<std::size_t> rows;
-        s.uncovered.for_each([&](std::size_t r) { rows.push_back(r); });
-        for (std::size_t r1 : rows) {
-          if (!s.uncovered.test(r1)) continue;
-          for (std::size_t r2 : rows) {
-            if (r1 == r2 || !s.uncovered.test(r2) || !s.uncovered.test(r1)) {
-              continue;
-            }
-            // cols(r2) & available subseteq cols(r1), word-parallel.
-            if (p_.row_cover(r2).and_is_subset_of(s.available,
-                                                  p_.row_cover(r1))) {
-              s.uncovered.reset(r1);
-              changed = true;
-              break;
-            }
-          }
-        }
-      }
-
-      // Column dominance on the remaining rows.
-      if (opt_.use_column_dominance && depth <= opt_.column_dominance_max_depth) {
-        for (std::size_t j1 = 0; j1 < p_.num_columns(); ++j1) {
-          if (!s.available.test(j1)) continue;
-          if (!p_.column(j1).rows.intersects(s.uncovered)) {
-            s.available.reset(j1);  // useless column
-            changed = true;
-            continue;
-          }
-          for (std::size_t j2 = 0; j2 < p_.num_columns(); ++j2) {
-            if (j1 == j2 || !s.available.test(j2)) continue;
-            const double w1 = p_.column(j1).weight;
-            const double w2 = p_.column(j2).weight;
-            // Tie-break by index so two identical columns don't erase each
-            // other.
-            if (w2 > w1 || (w2 == w1 && j2 > j1)) continue;
-            // (rows(j1) & uncovered) subseteq (rows(j2) & uncovered)?
-            if (p_.column(j1).rows.and_is_subset_of(s.uncovered,
-                                                    p_.column(j2).rows)) {
-              s.available.reset(j1);
-              changed = true;
-              break;
-            }
-          }
-        }
-      }
-    }
-    return true;
-  }
-
-  /// Cheapest available column weight for row r: probe the weight-sorted
-  /// list until the first available entry. Value-identical to scanning the
-  /// row's whole column set (the minimum of a set does not depend on the
-  /// visit order), typically O(1) probes instead of O(covering columns).
-  double cheapest_available(std::size_t r, const Bitset& available) const {
-    for (std::size_t j : row_cols_by_weight_[r]) {
-      if (available.test(j)) return p_.column(j).weight;
-    }
-    return kInf;
-  }
-
-  double lower_bound(const SearchState& s) const {
-    if (!opt_.use_mis_lower_bound) return 0.0;
-    double bound = 0.0;
-    Bitset blocked(p_.num_columns());
-    s.uncovered.for_each([&](std::size_t r) {
-      const Bitset& cov = p_.row_cover(r);
-      if (cov.intersects_masked(s.available, blocked)) return;
-      const double cheapest = cheapest_available(r, s.available);
-      if (cheapest < kInf) {
-        bound += cheapest;
-        blocked.unite_and(cov, s.available);
-      }
-    });
-    return bound;
-  }
-
-  /// Node bound: MIS first (cheap; prunes most nodes), then the Lagrangian
-  /// ascent only when MIS alone cannot prune. Returns the subproblem bound
-  /// and fills `lagr`/`lagr_ran` for reduced-cost fixing and child
-  /// warm-starting.
-  double node_bound(const SearchState& s, double cost, int depth,
-                    const std::vector<double>& lambda, LagrangianBound& lagr,
-                    bool& lagr_ran) {
-    double bound = lower_bound(s);
-    lagr_ran = false;
-    if (opt_.use_lagrangian_bound && cost + bound < best_cost_) {
-      SubgradientOptions sopt;
-      sopt.max_iterations = depth == 0 ? opt_.lagrangian_root_iterations
-                                       : opt_.lagrangian_node_iterations;
-      const std::vector<double>* warm = lambda.empty() ? nullptr : &lambda;
-      lagr = subgradient_bound(p_, s.uncovered, s.available,
-                               best_cost_ - cost, sopt, warm);
-      bound = std::max(bound, lagr.bound);
-      lagr_ran = true;
-    }
-    return bound;
-  }
-
-  /// Reduced-cost fixing: a cover through column j costs at least
-  /// bound + max(0, rc_j) on top of `cost`; strictly past the incumbent the
-  /// column can never improve on it, so it is dropped from this subtree
-  /// (permanently, when called at the root). The comparison is strict with
-  /// an absolute+relative tolerance so a column of an ALTERNATIVE optimal
-  /// cover (bound + rc == incumbent) is never removed.
-  void fix_columns(SearchState& s, double cost, const LagrangianBound& lagr) {
-    const double budget = best_cost_ - cost;
-    std::vector<std::size_t> victims;
-    s.available.for_each([&](std::size_t j) {
-      const double through =
-          lagr.bound + std::max(0.0, lagr.reduced_costs[j]);
-      if (through > budget * (1.0 + 1e-12) + 1e-9) victims.push_back(j);
-    });
-    for (std::size_t j : victims) s.available.reset(j);
-    rc_fixed_ += victims.size();
-  }
-
   /// New incumbent found: record it plus its telemetry (counted locally;
   /// flushed to the registry once per run()).
   void accept_incumbent(double cost, const std::vector<std::size_t>& chosen) {
@@ -335,43 +150,23 @@ class Solver {
     return false;
   }
 
-  /// Branching row (fewest available columns) and its columns cheapest-first.
-  std::vector<std::size_t> branch_columns(const SearchState& s) const {
-    std::size_t best_row = p_.num_rows();
-    std::size_t best_count = std::numeric_limits<std::size_t>::max();
-    s.uncovered.for_each([&](std::size_t r) {
-      const std::size_t count =
-          p_.row_cover(r).intersection_count(s.available);
-      if (count < best_count) {
-        best_count = count;
-        best_row = r;
-      }
-    });
-    std::vector<std::size_t> cols;
-    if (best_row == p_.num_rows()) return cols;
-    p_.row_cover(best_row).for_each_and(
-        s.available, [&](std::size_t j) { cols.push_back(j); });
-    std::sort(cols.begin(), cols.end(), [&](std::size_t a, std::size_t b) {
-      return p_.column(a).weight < p_.column(b).weight;
-    });
-    return cols;
-  }
-
   void branch(SearchState s, double cost, std::vector<std::size_t> chosen,
               int depth, std::vector<double> lambda) {
     if (nodes_ >= opt_.max_nodes) {
       complete_ = false;
+      if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kNodeBudget;
       return;
     }
     if (opt_.deadline.expired()) {
       complete_ = false;
       deadline_hit_ = true;
+      if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kDeadline;
       return;
     }
     ++nodes_;
     maybe_report_progress();
 
-    if (!reduce(s, cost, chosen, depth)) return;
+    if (!eval_.reduce(s, cost, chosen, depth, best_cost_)) return;
     if (s.uncovered.none()) {
       if (cost < best_cost_) accept_incumbent(cost, chosen);
       if (depth == 0) root_bound_ = cost;
@@ -379,15 +174,18 @@ class Solver {
     }
     LagrangianBound lagr;
     bool lagr_ran = false;
-    const double bound = node_bound(s, cost, depth, lambda, lagr, lagr_ran);
+    const double bound =
+        eval_.node_bound(s, cost, depth, lambda, best_cost_, lagr, lagr_ran);
     if (depth == 0) {
       root_bound_ = cost + bound;
       if (lagr_ran) root_multipliers_ = lagr.multipliers;
     }
     if (cost + bound >= best_cost_) return;
-    if (lagr_ran && should_fix(depth)) fix_columns(s, cost, lagr);
+    if (lagr_ran && should_fix(depth)) {
+      rc_fixed_ += eval_.fix_columns(s, cost, best_cost_, lagr);
+    }
 
-    const std::vector<std::size_t> cols = branch_columns(s);
+    const std::vector<std::size_t> cols = eval_.branch_columns(s);
     if (cols.empty()) return;
     const std::vector<double>& child_lambda =
         lagr_ran ? lagr.multipliers : lambda;
@@ -411,25 +209,6 @@ class Solver {
 
   // ---- Best-first frontier ------------------------------------------------
 
-  struct FrontierNode {
-    SearchState s;
-    double cost;
-    std::vector<std::size_t> chosen;
-    std::vector<double> lambda;
-    /// Admissible lower bound on any completion through this node
-    /// (inherited from the parent's node bound at creation).
-    double priority;
-    int depth;
-    std::uint64_t seq;  ///< creation order; deterministic tie-break
-  };
-
-  /// Min-heap order on (priority, seq): std::push_heap/pop_heap expect a
-  /// "less" comparator for a max-heap, so invert both components.
-  static bool frontier_after(const FrontierNode& a, const FrontierNode& b) {
-    if (a.priority != b.priority) return a.priority > b.priority;
-    return a.seq > b.seq;
-  }
-
   void run_best_first(SearchState root, std::vector<double> root_lambda) {
     std::vector<FrontierNode> heap;
     std::uint64_t next_seq = 0;
@@ -446,17 +225,22 @@ class Solver {
       if (node.priority >= best_cost_) break;
       if (nodes_ >= opt_.max_nodes) {
         complete_ = false;
+        if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kNodeBudget;
         break;
       }
       if (opt_.deadline.expired()) {
         complete_ = false;
         deadline_hit_ = true;
+        if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kDeadline;
         break;
       }
       ++nodes_;
       maybe_report_progress();
 
-      if (!reduce(node.s, node.cost, node.chosen, node.depth)) continue;
+      if (!eval_.reduce(node.s, node.cost, node.chosen, node.depth,
+                        best_cost_)) {
+        continue;
+      }
       if (node.s.uncovered.none()) {
         if (node.cost < best_cost_) accept_incumbent(node.cost, node.chosen);
         if (node.depth == 0) root_bound_ = node.cost;
@@ -464,18 +248,19 @@ class Solver {
       }
       LagrangianBound lagr;
       bool lagr_ran = false;
-      const double bound = node_bound(node.s, node.cost, node.depth,
-                                      node.lambda, lagr, lagr_ran);
+      const double bound = eval_.node_bound(node.s, node.cost, node.depth,
+                                            node.lambda, best_cost_, lagr,
+                                            lagr_ran);
       if (node.depth == 0) {
         root_bound_ = node.cost + bound;
         if (lagr_ran) root_multipliers_ = lagr.multipliers;
       }
       if (node.cost + bound >= best_cost_) continue;
       if (lagr_ran && should_fix(node.depth)) {
-        fix_columns(node.s, node.cost, lagr);
+        rc_fixed_ += eval_.fix_columns(node.s, node.cost, best_cost_, lagr);
       }
 
-      const std::vector<std::size_t> cols = branch_columns(node.s);
+      const std::vector<std::size_t> cols = eval_.branch_columns(node.s);
       const std::vector<double>& child_lambda =
           lagr_ran ? lagr.multipliers : node.lambda;
       for (std::size_t j : cols) {
@@ -502,6 +287,7 @@ class Solver {
       }
       if (heap.size() > opt_.best_first_max_frontier) {
         complete_ = false;
+        if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kFrontierCap;
         break;
       }
     }
@@ -509,8 +295,8 @@ class Solver {
 
   const CoverProblem& p_;
   const BnbOptions& opt_;
+  NodeEvaluator eval_;
   support::TraceSink* sink_;  ///< captured once; null = telemetry inert
-  std::vector<std::vector<std::size_t>> row_cols_by_weight_;
   double best_cost_{kInf};
   std::vector<std::size_t> best_;
   std::size_t nodes_{0};
@@ -522,24 +308,15 @@ class Solver {
   std::vector<double> root_multipliers_;
   bool complete_{true};
   bool deadline_hit_{false};
+  CoverStop stop_{CoverStop::kCompleted};
 };
 
 /// Best incumbent available without branching: greedy, improved by the
 /// caller's warm start when that is a valid, cheaper cover.
 CoverSolution seeded_fallback(const CoverProblem& problem,
                               const BnbOptions& options) {
-  CoverSolution sol = solve_greedy(problem);
-  if (options.warm_start.empty()) return sol;
-  std::vector<std::size_t> warm = options.warm_start;
-  std::sort(warm.begin(), warm.end());
-  warm.erase(std::unique(warm.begin(), warm.end()), warm.end());
-  if (warm.empty() || warm.back() >= problem.num_columns()) return sol;
-  if (!problem.covers_all(warm)) return sol;
-  const double warm_cost = problem.cost_of(warm);
-  if (warm_cost < sol.cost) {
-    sol.chosen = std::move(warm);
-    sol.cost = warm_cost;
-  }
+  CoverSolution sol;
+  sol.cost = detail::seed_incumbent(problem, options, sol.chosen);
   return sol;
 }
 
@@ -571,6 +348,9 @@ CoverSolution solve_exact(const CoverProblem& problem,
       sol.deadline_expired = true;
       sol.nodes_explored = dp_states;
     }
+    if (sol.deadline_expired) sol.stop = CoverStop::kDeadline;
+  } else if (options.mode != BnbMode::kSerial) {
+    sol = solve_parallel_bnb(problem, options, &bnb_root_bound);
   } else {
     Solver solver(problem, options);
     sol = solver.run();

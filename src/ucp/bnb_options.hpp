@@ -8,6 +8,11 @@
 
 #include "support/deadline.hpp"
 
+namespace cdcs::support {
+class FaultInjector;
+class ThreadPool;
+}  // namespace cdcs::support
+
 namespace cdcs::ucp {
 
 /// Node-expansion order of the branch-and-bound.
@@ -20,6 +25,26 @@ enum class SearchOrder {
   /// trees; proves optimality the moment the best frontier bound meets the
   /// incumbent. Costs memory proportional to the frontier.
   kBestFirst,
+};
+
+/// Which branch-and-bound engine runs the search (docs/performance.md sec 8).
+/// Every mode proves the same optimal cover cost; they differ in the tree
+/// they explore and in what is deterministic about it.
+enum class BnbMode {
+  /// The single-threaded reference solver; `search_order` picks its tree.
+  /// The only mode whose node counts are pinned against the v1 solver.
+  kSerial,
+  /// Round-synchronous parallel best-first: each round drains the top
+  /// `rounds_batch_size` frontier nodes, expands them as pure functions of
+  /// the round-start incumbent on the worker pool, and merges children in
+  /// (priority, seq) order. The explored-node set, final cost, and
+  /// CoverSolution::explored_fingerprint are bit-identical at every thread
+  /// count (pinned at 1/2/8 by ParallelBnbDeterminism tests).
+  kRounds,
+  /// Asynchronous workers over a shared frontier with an atomic monotone
+  /// incumbent: maximum speed, same proven-optimal cost, but the explored
+  /// tree (and nodes_explored) varies run to run.
+  kFreeRun,
 };
 
 struct BnbOptions {
@@ -53,10 +78,34 @@ struct BnbOptions {
   std::size_t reduced_cost_fixing_period = 64;
 
   /// Node-expansion order; kDepthFirst is the pinned reference tree.
+  /// Ignored by the parallel modes, which are always best-first.
   SearchOrder search_order = SearchOrder::kDepthFirst;
-  /// Frontier cap for kBestFirst; beyond it the search stops and returns
-  /// the incumbent (optimal = false), like exhausting `max_nodes`.
+  /// Frontier cap for kBestFirst and the parallel modes; beyond it the
+  /// search stops and returns the incumbent (optimal = false) with
+  /// CoverSolution::stop = CoverStop::kFrontierCap.
   std::size_t best_first_max_frontier = 1'000'000;
+
+  /// Which engine runs the search. kSerial is the pinned reference; the
+  /// parallel modes fan node expansion over a thread pool (see `threads`
+  /// and `pool`).
+  BnbMode mode = BnbMode::kSerial;
+  /// Worker count for the parallel modes; <= 0 means all hardware threads.
+  /// A value of 1 still runs the parallel engine (on the calling thread),
+  /// which the determinism tests exploit to pin thread-count invariance.
+  int threads = 0;
+  /// Optional borrowed pool for the parallel modes (not owned; must outlive
+  /// the solve). When null and `threads` resolves above 1 the solver makes
+  /// its own. run_pipeline mounts one shared pool here and in
+  /// SynthesisOptions::pool so `--threads` and `--ucp-threads` share it.
+  support::ThreadPool* pool = nullptr;
+  /// Nodes drained from the frontier per round in kRounds mode. Part of
+  /// the deterministic contract: changing it changes the explored tree
+  /// (it is folded into the pipeline's cover signature).
+  std::size_t rounds_batch_size = 16;
+  /// Optional borrowed fault injector (not owned). The parallel engines
+  /// consult the "ucp.frontier" site and abort the solve (all-or-nothing:
+  /// incumbent intact, optimal = false, stop = kAborted) when it fires.
+  support::FaultInjector* fault_injector = nullptr;
 
   /// Optional feasible cover (column indices) seeding the incumbent on top
   /// of the built-in greedy seed; the cheaper of the two wins. Ignored if it

@@ -10,6 +10,7 @@
 // Liao--Devadas, reimplemented from scratch).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,18 @@ class CoverProblem {
   mutable bool row_cover_valid_{false};
 };
 
+/// Why the solver stopped. Anything other than kCompleted means the
+/// returned cover is the best incumbent, not a proven optimum, and tells
+/// the caller WHICH budget to raise (node budget vs frontier cap vs
+/// deadline) -- they were previously indistinguishable.
+enum class CoverStop {
+  kCompleted,    ///< search finished; `optimal` is the proof
+  kNodeBudget,   ///< BnbOptions::max_nodes exhausted
+  kFrontierCap,  ///< best-first frontier hit best_first_max_frontier
+  kDeadline,     ///< wall-clock deadline expired (deadline_expired mirrors)
+  kAborted,      ///< injected fault ("ucp.frontier") killed the solve
+};
+
 struct CoverSolution {
   std::vector<std::size_t> chosen;  ///< column indices, ascending
   double cost{0.0};
@@ -78,6 +91,12 @@ struct CoverSolution {
   /// True when the solver stopped because its wall-clock deadline expired
   /// (as opposed to completing or exhausting the node budget).
   bool deadline_expired{false};
+  /// Why the search stopped (kCompleted unless a budget cut it short).
+  CoverStop stop{CoverStop::kCompleted};
+  /// Order-independent hash of the explored-node set, filled by the kRounds
+  /// parallel engine (0 elsewhere). The ParallelBnbDeterminism tests pin it
+  /// bit-identical across 1/2/8 worker threads.
+  std::uint64_t explored_fingerprint{0};
   /// The Lagrangian multipliers the root subgradient ascent converged to
   /// (one per row), when the solver ran it (branch-and-bound path with
   /// use_lagrangian_bound; empty on the dense-DP path or when disabled).

@@ -1,0 +1,551 @@
+#include "ucp/parallel_bnb.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+#include "ucp/bnb_core.hpp"
+#include "ucp/lagrangian.hpp"
+
+namespace cdcs::ucp {
+namespace {
+
+using detail::FrontierNode;
+using detail::NodeEvaluator;
+using detail::SearchState;
+using detail::frontier_after;
+using detail::kInfCost;
+
+constexpr std::size_t kProgressPeriod = 1024;
+
+/// splitmix64 finalizer: the explored-set fingerprint's mixing function.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// The outcome of expanding one frontier node: everything the (sequential)
+/// merge step needs, computed without touching shared state.
+struct Expansion {
+  bool feasible{true};  ///< reduce() succeeded (branch not pruned/dead)
+  bool solved{false};   ///< all rows covered after reductions
+  bool pruned{false};   ///< node bound met the incumbent snapshot
+  int depth{0};
+  double cost{0.0};    ///< node cost after forced columns
+  double bound{0.0};   ///< cost + subproblem bound (== cost when solved)
+  std::vector<std::size_t> chosen;      ///< the cover, when solved
+  std::vector<double> multipliers;      ///< root ascent result (depth 0 only)
+  std::size_t rc_fixed{0};              ///< reduced-cost fixing victims
+  std::vector<FrontierNode> children;   ///< seq unset; assigned at merge
+};
+
+/// Expands one node against an incumbent-cost snapshot. PURE: reads only
+/// the node, the snapshot, and the const evaluator, so concurrent calls
+/// with the same inputs produce identical outputs -- the determinism of
+/// kRounds mode rests on this.
+Expansion expand_node(const NodeEvaluator& eval, FrontierNode node,
+                      double best_cost) {
+  const CoverProblem& p = eval.problem();
+  const BnbOptions& opt = eval.options();
+  Expansion out;
+  out.depth = node.depth;
+  if (!eval.reduce(node.s, node.cost, node.chosen, node.depth, best_cost)) {
+    out.feasible = false;
+    return out;
+  }
+  out.cost = node.cost;
+  if (node.s.uncovered.none()) {
+    out.solved = true;
+    out.bound = node.cost;
+    out.chosen = std::move(node.chosen);
+    return out;
+  }
+  LagrangianBound lagr;
+  bool lagr_ran = false;
+  const double bound = eval.node_bound(node.s, node.cost, node.depth,
+                                       node.lambda, best_cost, lagr, lagr_ran);
+  out.bound = node.cost + bound;
+  if (node.depth == 0 && lagr_ran) out.multipliers = lagr.multipliers;
+  if (node.cost + bound >= best_cost) {
+    out.pruned = true;
+    return out;
+  }
+  // Refixing trigger: a pure function of the node identity (seq), unlike
+  // the serial solver's global visited-node counter, which would make the
+  // fixing schedule depend on expansion order.
+  if (lagr_ran && opt.use_reduced_cost_fixing &&
+      (node.depth == 0 || node.seq % opt.reduced_cost_fixing_period == 0)) {
+    out.rc_fixed = eval.fix_columns(node.s, node.cost, best_cost, lagr);
+  }
+
+  const std::vector<std::size_t> cols = eval.branch_columns(node.s);
+  const std::vector<double>& child_lambda =
+      lagr_ran ? lagr.multipliers : node.lambda;
+  for (std::size_t j : cols) {
+    const double child_cost = node.cost + p.column(j).weight;
+    if (child_cost >= best_cost) {
+      node.s.available.reset(j);
+      continue;
+    }
+    FrontierNode child;
+    child.s = node.s;
+    child.s.uncovered.subtract(p.column(j).rows);
+    child.s.available.reset(j);
+    child.cost = child_cost;
+    child.chosen = node.chosen;
+    child.chosen.push_back(j);
+    child.lambda = child_lambda;
+    // Clamped to the parent's priority so priorities are monotone
+    // NONDECREASING down every root-to-leaf path (the serial engine's
+    // max(node.cost + bound, child_cost) alone already is in practice, but
+    // the clamp makes it an invariant). It buys the free-run termination
+    // proof: when a worker observes heap-top priority >= incumbent with no
+    // node in flight, every future descendant is bounded below the same
+    // way, so the incumbent is globally optimal.
+    child.priority = std::max({node.priority, node.cost + bound, child_cost});
+    child.depth = node.depth + 1;
+    child.seq = 0;  // assigned by the merge step, in deterministic order
+    out.children.push_back(std::move(child));
+    // Sibling branches assume column j excluded.
+    node.s.available.reset(j);
+  }
+  return out;
+}
+
+FrontierNode make_root(const CoverProblem& p, const BnbOptions& opt) {
+  SearchState root{Bitset(p.num_rows()), Bitset(p.num_columns())};
+  root.uncovered.set_all();
+  root.available.set_all();
+  std::vector<double> root_lambda;
+  if (opt.warm_multipliers.size() == p.num_rows()) {
+    root_lambda = opt.warm_multipliers;
+  }
+  return FrontierNode{std::move(root), 0.0, {}, std::move(root_lambda),
+                      0.0, 0, 0};
+}
+
+void flush_run_metrics(std::size_t rc_fixed, std::size_t incumbent_updates) {
+  auto& registry = support::MetricsRegistry::global();
+  registry.counter("ucp.rc_fixed_columns").add(rc_fixed);
+  registry.counter("ucp.incumbent_updates").add(incumbent_updates);
+}
+
+// ---- Deterministic round-synchronous engine (kRounds) ---------------------
+
+CoverSolution run_rounds(const CoverProblem& p, const BnbOptions& opt,
+                         double* root_bound_out) {
+  support::TraceSink* sink = support::trace_sink();
+  NodeEvaluator eval(p, opt);
+  auto& frontier_gauge =
+      support::MetricsRegistry::global().gauge("ucp.frontier_depth");
+
+  std::vector<std::size_t> best;
+  double best_cost = detail::seed_incumbent(p, opt, best);
+
+  const std::size_t workers = support::resolve_thread_count(opt.threads);
+  std::unique_ptr<support::ThreadPool> owned;
+  support::ThreadPool* pool = opt.pool;
+  if (pool == nullptr && workers > 1) {
+    owned = std::make_unique<support::ThreadPool>(workers);
+    pool = owned.get();
+  }
+
+  std::vector<FrontierNode> heap;
+  heap.push_back(make_root(p, opt));
+  std::uint64_t next_seq = 1;
+
+  std::size_t nodes = 0;
+  std::size_t rc_fixed = 0;
+  std::size_t incumbent_updates = 0;
+  std::size_t last_progress_nodes = 0;
+  double root_bound = 0.0;
+  std::vector<double> root_multipliers;
+  bool complete = true;
+  bool deadline_hit = false;
+  CoverStop stop = CoverStop::kCompleted;
+  std::uint64_t fingerprint = 0;
+  const std::size_t batch_cap = std::max<std::size_t>(1, opt.rounds_batch_size);
+
+  while (!heap.empty()) {
+    // Everything on the frontier is at least as bad as the incumbent: it is
+    // proven optimal and the search is complete.
+    if (heap.front().priority >= best_cost) break;
+    if (opt.deadline.expired()) {
+      complete = false;
+      deadline_hit = true;
+      stop = CoverStop::kDeadline;
+      break;
+    }
+    // One frontier-site consultation per round: a firing abandons the solve
+    // all-or-nothing (the incumbent so far is returned, never a torn one).
+    if (opt.fault_injector != nullptr &&
+        opt.fault_injector->should_fail(support::fault_sites::kUcpFrontier)) {
+      complete = false;
+      stop = CoverStop::kAborted;
+      break;
+    }
+
+    // Drain the round's batch sequentially. The fingerprint is hashed HERE,
+    // at pop time, because expansion mutates node.cost in place.
+    std::vector<FrontierNode> batch;
+    bool out_of_budget = false;
+    while (batch.size() < batch_cap && !heap.empty() &&
+           heap.front().priority < best_cost) {
+      if (nodes >= opt.max_nodes) {
+        out_of_budget = true;
+        break;
+      }
+      std::pop_heap(heap.begin(), heap.end(), frontier_after);
+      FrontierNode node = std::move(heap.back());
+      heap.pop_back();
+      ++nodes;
+      fingerprint = mix64(fingerprint ^ mix64(node.seq) ^
+                          mix64(static_cast<std::uint64_t>(node.depth)) ^
+                          mix64(double_bits(node.cost)));
+      batch.push_back(std::move(node));
+    }
+    if (batch.empty()) {
+      if (out_of_budget) {
+        complete = false;
+        stop = CoverStop::kNodeBudget;
+      }
+      break;
+    }
+
+    // Expand the whole batch against ONE incumbent snapshot: each expansion
+    // is a pure function of (node, snapshot), so the round's results do not
+    // depend on worker count or scheduling.
+    const double snapshot = best_cost;
+    std::vector<Expansion> results = support::parallel_map_ordered(
+        batch.size() > 1 ? pool : nullptr, batch.size(),
+        [&](std::size_t i) {
+          return expand_node(eval, std::move(batch[i]), snapshot);
+        });
+
+    // Merge sequentially in batch (= pop) order; child seq numbers and the
+    // incumbent evolution within the round are therefore deterministic.
+    for (Expansion& r : results) {
+      rc_fixed += r.rc_fixed;
+      if (!r.feasible) continue;
+      if (r.depth == 0) {
+        root_bound = r.bound;
+        if (!r.multipliers.empty()) root_multipliers = std::move(r.multipliers);
+      }
+      if (r.solved) {
+        if (r.cost < best_cost) {
+          best_cost = r.cost;
+          best = std::move(r.chosen);
+          ++incumbent_updates;
+          if (sink != nullptr) {
+            support::trace_instant(
+                "ucp.incumbent_improved", "ucp",
+                "{\"cost\":" + std::to_string(r.cost) +
+                    ",\"nodes\":" + std::to_string(nodes) + "}");
+          }
+        }
+        continue;
+      }
+      if (r.pruned) continue;
+      for (FrontierNode& child : r.children) {
+        // Re-checked against the incumbent as merged so far this round
+        // (still deterministic: the merge order is fixed).
+        if (child.cost >= best_cost) continue;
+        child.seq = next_seq++;
+        heap.push_back(std::move(child));
+        std::push_heap(heap.begin(), heap.end(), frontier_after);
+      }
+    }
+
+    frontier_gauge.set_max(static_cast<double>(heap.size()));
+    if (sink != nullptr && nodes - last_progress_nodes >= kProgressPeriod) {
+      last_progress_nodes = nodes;
+      support::trace_counter("ucp.nodes", static_cast<double>(nodes), "ucp");
+      if (best_cost < kInfCost) {
+        support::trace_counter("ucp.incumbent", best_cost, "ucp");
+      }
+    }
+    if (out_of_budget) {
+      complete = false;
+      stop = CoverStop::kNodeBudget;
+      break;
+    }
+    if (heap.size() > opt.best_first_max_frontier) {
+      complete = false;
+      stop = CoverStop::kFrontierCap;
+      break;
+    }
+  }
+
+  if (sink != nullptr) {
+    support::trace_counter("ucp.nodes", static_cast<double>(nodes), "ucp");
+  }
+  flush_run_metrics(rc_fixed, incumbent_updates);
+
+  CoverSolution sol;
+  sol.chosen = std::move(best);
+  std::sort(sol.chosen.begin(), sol.chosen.end());
+  sol.cost = best_cost;
+  sol.optimal = complete && best_cost < kInfCost;
+  sol.nodes_explored = nodes;
+  sol.deadline_expired = deadline_hit;
+  sol.stop = stop;
+  sol.explored_fingerprint = fingerprint;
+  sol.root_multipliers = std::move(root_multipliers);
+  if (root_bound_out != nullptr) *root_bound_out = root_bound;
+  return sol;
+}
+
+// ---- Asynchronous engine (kFreeRun) ---------------------------------------
+
+struct FreeRunShared {
+  const NodeEvaluator& eval;
+  const BnbOptions& opt;
+  support::TraceSink* sink;
+
+  // Frontier state, guarded by mu. `active` counts nodes popped but not yet
+  // merged back; `live` counts workers that have not exited.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<FrontierNode> heap;
+  std::uint64_t next_seq{1};
+  int active{0};
+  int live{0};
+  bool done{false};
+  bool complete{true};
+  bool deadline_hit{false};
+  CoverStop stop{CoverStop::kCompleted};
+  std::size_t nodes{0};
+  double root_bound{0.0};
+  std::vector<double> root_multipliers;
+
+  // The incumbent: {cost, cover} live under their own mutex so a reader
+  // never sees a cost paired with another cover (no torn incumbent). The
+  // atomic mirrors the guarded cost for lock-free pruning reads; it is
+  // stored INSIDE the lock, so it only ever decreases, and a stale (higher)
+  // read can only make a worker prune LESS -- never wrongly.
+  std::mutex incumbent_mu;
+  std::vector<std::size_t> best;
+  double best_cost_guarded{kInfCost};
+  std::atomic<double> best_cost{kInfCost};
+
+  std::atomic<std::size_t> rc_fixed{0};
+  std::atomic<std::size_t> incumbent_updates{0};
+
+  FreeRunShared(const NodeEvaluator& e, const BnbOptions& o,
+                support::TraceSink* s)
+      : eval(e), opt(o), sink(s) {}
+
+  /// Terminal condition reached (budget/deadline/frontier cap): record it
+  /// (first reason wins) and wake everyone. Caller holds mu.
+  void halt(CoverStop reason) {
+    complete = false;
+    if (stop == CoverStop::kCompleted) stop = reason;
+    done = true;
+    cv.notify_all();
+  }
+
+  void try_accept(double cost, std::vector<std::size_t>&& chosen,
+                  std::size_t nodes_hint) {
+    std::lock_guard<std::mutex> g(incumbent_mu);
+    if (cost >= best_cost_guarded) return;
+    best_cost_guarded = cost;
+    best = std::move(chosen);
+    best_cost.store(cost, std::memory_order_release);
+    incumbent_updates.fetch_add(1, std::memory_order_relaxed);
+    if (sink != nullptr) {
+      support::trace_instant("ucp.incumbent_improved", "ucp",
+                             "{\"cost\":" + std::to_string(cost) +
+                                 ",\"nodes\":" + std::to_string(nodes_hint) +
+                                 "}");
+    }
+  }
+};
+
+void free_run_worker(FreeRunShared& sh) {
+  auto& frontier_gauge =
+      support::MetricsRegistry::global().gauge("ucp.frontier_depth");
+  std::size_t local_nodes = 0;
+  std::unique_lock<std::mutex> lock(sh.mu);
+  while (!sh.done) {
+    const double best_now = sh.best_cost.load(std::memory_order_relaxed);
+    const bool has_work =
+        !sh.heap.empty() && sh.heap.front().priority < best_now;
+    if (!has_work) {
+      if (sh.active == 0) {
+        // Frontier empty or dominated with no node in flight: since child
+        // priorities are clamped monotone, every unexplored descendant is
+        // bounded >= the incumbent, which is therefore globally optimal.
+        sh.done = true;
+        sh.cv.notify_all();
+        break;
+      }
+      sh.cv.wait(lock);
+      continue;
+    }
+    if (sh.nodes >= sh.opt.max_nodes) {
+      sh.halt(CoverStop::kNodeBudget);
+      break;
+    }
+    if (sh.opt.deadline.expired()) {
+      sh.deadline_hit = true;
+      sh.halt(CoverStop::kDeadline);
+      break;
+    }
+    if (sh.opt.fault_injector != nullptr &&
+        sh.opt.fault_injector->should_fail(
+            support::fault_sites::kUcpFrontier)) {
+      // This worker dies; survivors finish the search. The result stays a
+      // valid cover but is no longer CLAIMED optimal (conservative: the
+      // survivors usually do prove it).
+      sh.complete = false;
+      if (sh.stop == CoverStop::kCompleted) sh.stop = CoverStop::kAborted;
+      break;
+    }
+
+    std::pop_heap(sh.heap.begin(), sh.heap.end(), frontier_after);
+    FrontierNode node = std::move(sh.heap.back());
+    sh.heap.pop_back();
+    ++sh.nodes;
+    ++sh.active;
+    lock.unlock();
+
+    ++local_nodes;
+    if (sh.sink != nullptr && local_nodes % kProgressPeriod == 0) {
+      // Per-thread node-rate track (events carry the emitting thread's id).
+      support::trace_counter("ucp.nodes", static_cast<double>(local_nodes),
+                             "ucp");
+    }
+    const double snapshot = sh.best_cost.load(std::memory_order_acquire);
+    Expansion r = expand_node(sh.eval, std::move(node), snapshot);
+    if (r.rc_fixed > 0) {
+      sh.rc_fixed.fetch_add(r.rc_fixed, std::memory_order_relaxed);
+    }
+    if (r.feasible && r.solved) {
+      sh.try_accept(r.cost, std::move(r.chosen), local_nodes);
+    }
+
+    lock.lock();
+    --sh.active;
+    if (r.feasible && r.depth == 0) {
+      sh.root_bound = r.bound;
+      if (!r.multipliers.empty()) {
+        sh.root_multipliers = std::move(r.multipliers);
+      }
+    }
+    if (r.feasible && !r.solved && !r.pruned) {
+      const double best_merge = sh.best_cost.load(std::memory_order_relaxed);
+      for (FrontierNode& child : r.children) {
+        if (child.cost >= best_merge) continue;
+        child.seq = sh.next_seq++;
+        sh.heap.push_back(std::move(child));
+        std::push_heap(sh.heap.begin(), sh.heap.end(), frontier_after);
+      }
+      frontier_gauge.set_max(static_cast<double>(sh.heap.size()));
+      if (sh.heap.size() > sh.opt.best_first_max_frontier) {
+        sh.halt(CoverStop::kFrontierCap);
+        break;
+      }
+    }
+    sh.cv.notify_all();
+  }
+  if (!lock.owns_lock()) lock.lock();
+  // Last worker out closes the shop even on the all-workers-died-by-fault
+  // path, so the driver never waits on a frontier nobody will drain.
+  if (--sh.live == 0 && !sh.done) {
+    sh.done = true;
+  }
+  lock.unlock();
+  sh.cv.notify_all();
+  if (sh.sink != nullptr && local_nodes > 0) {
+    support::trace_counter("ucp.nodes", static_cast<double>(local_nodes),
+                           "ucp");
+  }
+}
+
+CoverSolution run_free(const CoverProblem& p, const BnbOptions& opt,
+                       double* root_bound_out) {
+  support::TraceSink* sink = support::trace_sink();
+  NodeEvaluator eval(p, opt);
+  FreeRunShared sh(eval, opt, sink);
+  sh.best_cost_guarded = detail::seed_incumbent(p, opt, sh.best);
+  sh.best_cost.store(sh.best_cost_guarded, std::memory_order_relaxed);
+  sh.heap.push_back(make_root(p, opt));
+
+  const std::size_t workers = support::resolve_thread_count(opt.threads);
+  std::unique_ptr<support::ThreadPool> owned;
+  support::ThreadPool* pool = opt.pool;
+  if (pool == nullptr && workers > 1) {
+    owned = std::make_unique<support::ThreadPool>(workers - 1);
+    pool = owned.get();
+  }
+  const std::size_t helpers =
+      (pool != nullptr && workers > 1) ? workers - 1 : 0;
+  sh.live = static_cast<int>(1 + helpers);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    futures.push_back(pool->submit([&sh] { free_run_worker(sh); }));
+  }
+  // The calling thread is worker 0: even if the (possibly borrowed) pool is
+  // saturated and never schedules a helper, the solve still completes.
+  free_run_worker(sh);
+  for (std::future<void>& f : futures) f.get();
+
+  flush_run_metrics(sh.rc_fixed.load(), sh.incumbent_updates.load());
+
+  CoverSolution sol;
+  sol.chosen = std::move(sh.best);
+  std::sort(sol.chosen.begin(), sol.chosen.end());
+  sol.cost = sh.best_cost_guarded;
+  sol.optimal = sh.complete && sol.cost < kInfCost;
+  sol.nodes_explored = sh.nodes;
+  sol.deadline_expired = sh.deadline_hit;
+  sol.stop = sh.stop;
+  sol.root_multipliers = std::move(sh.root_multipliers);
+  if (root_bound_out != nullptr) *root_bound_out = sh.root_bound;
+  return sol;
+}
+
+}  // namespace
+
+CoverSolution solve_parallel_bnb(const CoverProblem& problem,
+                                 const BnbOptions& options,
+                                 double* root_bound) {
+  support::Span span(
+      options.mode == BnbMode::kRounds ? "ucp.bnb_rounds" : "ucp.bnb_free",
+      "ucp",
+      "{\"rows\":" + std::to_string(problem.num_rows()) +
+          ",\"cols\":" + std::to_string(problem.num_columns()) +
+          ",\"threads\":" +
+          std::to_string(support::resolve_thread_count(options.threads)) +
+          "}");
+  if (options.mode == BnbMode::kRounds) {
+    return run_rounds(problem, options, root_bound);
+  }
+  return run_free(problem, options, root_bound);
+}
+
+}  // namespace cdcs::ucp

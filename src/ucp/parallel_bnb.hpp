@@ -1,0 +1,33 @@
+// Parallel branch-and-bound engines for the weighted UCP (docs/performance.md
+// section 8). Selected by BnbOptions::mode:
+//
+//   kRounds  -- round-synchronous deterministic engine: each round pops the
+//               top rounds_batch_size frontier nodes sequentially, expands
+//               them in parallel as PURE functions of the round-start
+//               incumbent, and merges children sequentially in batch order.
+//               The explored tree is a function of (instance, options) only,
+//               so nodes_explored, the final cover, and
+//               CoverSolution::explored_fingerprint are bit-identical at any
+//               thread count.
+//   kFreeRun -- asynchronous workers over one shared frontier with an atomic
+//               monotone incumbent: maximum speed; the explored tree varies
+//               run to run but the returned cost is the same proven optimum
+//               (stale incumbent reads only ever UNDER-prune).
+//
+// Internal header: callers go through ucp::solve_exact, which dispatches
+// here when mode != kSerial (and the instance is above the dense-DP cutoff).
+#pragma once
+
+#include "ucp/bnb_options.hpp"
+#include "ucp/cover.hpp"
+
+namespace cdcs::ucp {
+
+/// Runs the parallel engine selected by `options.mode` (must not be
+/// kSerial). Fills `*root_bound` (when non-null) with the lower bound
+/// established at the root node, for honest-gap reporting on degraded exits.
+CoverSolution solve_parallel_bnb(const CoverProblem& problem,
+                                 const BnbOptions& options,
+                                 double* root_bound);
+
+}  // namespace cdcs::ucp

@@ -146,7 +146,7 @@ std::string plan_for_iteration(int i) {
 // ---------------------------------------------------------------------------
 
 TEST(ChaosSoak, JournaledSessionsSurviveEveryFaultSite) {
-  constexpr int kIterations = 216;  // 9 sites x 3 triggers x 8 rounds
+  constexpr int kIterations = 240;  // 10 sites x 3 triggers x 8 rounds
   constexpr int kBatches = 3;
   const model::ConstraintGraph base = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
@@ -163,6 +163,13 @@ TEST(ChaosSoak, JournaledSessionsSurviveEveryFaultSite) {
     synth::SynthesisOptions options;
     options.threads = 1 + i % 2;
     options.fault_injection.injector = std::make_shared<FaultInjector>(*plan);
+    // Cover solves go through the deterministic parallel engine so the
+    // rotation exercises the ucp.frontier site; WAN instances sit under
+    // the dense-DP row cutoff, so the shortcut must be off for
+    // branch-and-bound (and its frontier) to run at all.
+    options.solver.mode = ucp::BnbMode::kRounds;
+    options.solver.threads = options.threads;
+    options.solver.dense_dp_max_rows = 0;
 
     synth::Engine engine(base, lib, options);
     const std::string journal = temp_path("soak_" + std::to_string(i % 8) +
@@ -215,7 +222,10 @@ TEST(ChaosSoak, JournaledSessionsSurviveEveryFaultSite) {
   // engine.apply / io.journal.* / engine.recover sites), degraded-but-valid
   // results (the ucp.* / pricer.merge ladder sites), and clean successes.
   // All three counts are deterministic given the seeds above.
-  EXPECT_GT(injected_failures, 30);
+  // (The frontier site degrades the cover rather than failing the apply,
+  // so growing the registry to 10 sites shifted a slice of the rotation
+  // from hard failures to degraded-but-valid results.)
+  EXPECT_GT(injected_failures, 25);
   EXPECT_GT(degraded_applies, 50);
   EXPECT_GT(successful_applies, 200);
 }

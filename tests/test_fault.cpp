@@ -213,7 +213,7 @@ TEST(FaultShims, PlanAndBoolAgreeOnFiring) {
 
 TEST(FaultSites, RegistryIsStableAndComplete) {
   const auto& sites = all_fault_sites();
-  EXPECT_EQ(sites.size(), 9u);
+  EXPECT_EQ(sites.size(), 10u);
   for (const std::string_view s : {fault_sites::kJournalOpen,
                                    fault_sites::kJournalWrite,
                                    fault_sites::kJournalFsync,
@@ -222,7 +222,8 @@ TEST(FaultSites, RegistryIsStableAndComplete) {
                                    fault_sites::kPricerMerge,
                                    fault_sites::kUcpSolve,
                                    fault_sites::kUcpIncumbent,
-                                   fault_sites::kUcpGreedy}) {
+                                   fault_sites::kUcpGreedy,
+                                   fault_sites::kUcpFrontier}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), s), sites.end()) << s;
   }
 }

@@ -1,0 +1,308 @@
+// The parallel branch-and-bound contract (docs/performance.md section 8):
+//
+//   * kRounds is DETERMINISTIC across thread counts: the explored-node set
+//     (pinned via CoverSolution::explored_fingerprint), node count, chosen
+//     cover, and cost are bit-identical at 1, 2, and 8 workers, on the
+//     solver corpus and through the whole synthesis pipeline.
+//   * kFreeRun is deterministic only in its ANSWER: every run returns the
+//     same proven-optimal cost the serial solver proves.
+//   * A firing ucp.frontier fault degrades a solve all-or-nothing: the
+//     returned incumbent is a valid cover (never torn), just no longer
+//     claimed optimal.
+//
+// The ParallelBnbConcurrency suite doubles as the TSan target for the
+// shared-frontier engine (.github/workflows/ci.yml tsan job).
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "commlib/standard_libraries.hpp"
+#include "support/fault.hpp"
+#include "synth/synthesizer.hpp"
+#include "ucp/bnb.hpp"
+#include "workloads/mpeg4_soc.hpp"
+#include "workloads/noc_mesh.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::ucp {
+namespace {
+
+/// Same generator as tests/test_ucp.cpp and bench/bench_ucp_solver.cpp:
+/// keep the three in sync so all pinned numbers describe one corpus.
+CoverProblem corpus_problem(int rows, int cols, double density,
+                            unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> weight(0.5, 10.0);
+  CoverProblem p(rows);
+  for (int j = 0; j < cols; ++j) {
+    std::vector<std::size_t> covered;
+    for (int r = 0; r < rows; ++r) {
+      if (unit(rng) < density) covered.push_back(r);
+    }
+    if (covered.empty()) covered.push_back(j % rows);
+    p.add_column(covered, weight(rng));
+  }
+  for (int r = 0; r < rows; ++r) {
+    p.add_column({static_cast<std::size_t>(r)}, 12.0);
+  }
+  return p;
+}
+
+struct CorpusInstance {
+  int rows, cols;
+  double density;
+  unsigned seed;
+};
+
+const CorpusInstance kCorpus[] = {
+    {10, 30, 0.30, 101},
+    {12, 200, 0.25, 103},
+    {15, 60, 0.25, 106},
+    {20, 100, 0.20, 111},
+    {20, 2000, 0.15, 111},  // the bench_perf_summary headline instance
+};
+
+BnbOptions parallel_options(BnbMode mode, int threads) {
+  BnbOptions opt;
+  opt.dense_dp_max_rows = 0;  // force branch-and-bound
+  opt.mode = mode;
+  opt.threads = threads;
+  return opt;
+}
+
+TEST(ParallelBnbDeterminism, RoundsBitIdenticalAcrossThreadCounts) {
+  for (const CorpusInstance& c : kCorpus) {
+    const CoverProblem p = corpus_problem(c.rows, c.cols, c.density, c.seed);
+
+    const CoverSolution serial =
+        solve_exact(p, parallel_options(BnbMode::kSerial, 1));
+    ASSERT_TRUE(serial.optimal);
+    EXPECT_EQ(serial.explored_fingerprint, 0u);  // serial does not hash
+
+    CoverSolution baseline;
+    for (const int threads : {1, 2, 8}) {
+      const CoverSolution s =
+          solve_exact(p, parallel_options(BnbMode::kRounds, threads));
+      EXPECT_TRUE(s.optimal) << threads;
+      EXPECT_TRUE(p.covers_all(s.chosen)) << threads;
+      EXPECT_NEAR(s.cost, serial.cost, 1e-9)
+          << c.rows << "x" << c.cols << " threads=" << threads;
+      if (threads == 1) {
+        baseline = s;
+        EXPECT_NE(s.explored_fingerprint, 0u);
+        continue;
+      }
+      // The determinism contract: not "same cost", the SAME computation.
+      EXPECT_EQ(s.cost, baseline.cost) << threads;
+      EXPECT_EQ(s.chosen, baseline.chosen) << threads;
+      EXPECT_EQ(s.nodes_explored, baseline.nodes_explored) << threads;
+      EXPECT_EQ(s.explored_fingerprint, baseline.explored_fingerprint)
+          << c.rows << "x" << c.cols << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelBnbDeterminism, RoundsBatchSizeChangesTreeNotAnswer) {
+  const CoverProblem p = corpus_problem(15, 60, 0.25, 106);
+  const CoverSolution serial =
+      solve_exact(p, parallel_options(BnbMode::kSerial, 1));
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{64}}) {
+    BnbOptions opt = parallel_options(BnbMode::kRounds, 2);
+    opt.rounds_batch_size = batch;
+    const CoverSolution s = solve_exact(p, opt);
+    EXPECT_TRUE(s.optimal) << batch;
+    EXPECT_NEAR(s.cost, serial.cost, 1e-9) << batch;
+  }
+}
+
+TEST(ParallelBnbDeterminism, FreeRunProvesTheSerialOptimum) {
+  for (const CorpusInstance& c : kCorpus) {
+    const CoverProblem p = corpus_problem(c.rows, c.cols, c.density, c.seed);
+    const CoverSolution serial =
+        solve_exact(p, parallel_options(BnbMode::kSerial, 1));
+    ASSERT_TRUE(serial.optimal);
+    for (const int threads : {1, 2, 8}) {
+      const CoverSolution s =
+          solve_exact(p, parallel_options(BnbMode::kFreeRun, threads));
+      EXPECT_TRUE(s.optimal)
+          << c.rows << "x" << c.cols << " threads=" << threads;
+      EXPECT_TRUE(p.covers_all(s.chosen)) << threads;
+      EXPECT_NEAR(s.cost, serial.cost, 1e-9)
+          << c.rows << "x" << c.cols << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelBnbDeterminism, StopReasonDistinguishesBudgets) {
+  const CoverProblem p = corpus_problem(15, 60, 0.25, 106);
+
+  BnbOptions done = parallel_options(BnbMode::kRounds, 2);
+  EXPECT_EQ(solve_exact(p, done).stop, CoverStop::kCompleted);
+
+  BnbOptions budget = parallel_options(BnbMode::kRounds, 2);
+  budget.max_nodes = 1;
+  const CoverSolution b = solve_exact(p, budget);
+  EXPECT_FALSE(b.optimal);
+  EXPECT_EQ(b.stop, CoverStop::kNodeBudget);
+  EXPECT_FALSE(b.deadline_expired);
+  EXPECT_TRUE(p.covers_all(b.chosen));  // incumbent survives the cutoff
+
+  BnbOptions late = parallel_options(BnbMode::kRounds, 2);
+  late.deadline = support::Deadline::expire_after_checks(0);
+  const CoverSolution d = solve_exact(p, late);
+  EXPECT_FALSE(d.optimal);
+  EXPECT_EQ(d.stop, CoverStop::kDeadline);
+  EXPECT_TRUE(d.deadline_expired);
+
+  BnbOptions cramped = parallel_options(BnbMode::kRounds, 2);
+  cramped.best_first_max_frontier = 2;
+  const CoverSolution f = solve_exact(p, cramped);
+  EXPECT_FALSE(f.optimal);
+  EXPECT_EQ(f.stop, CoverStop::kFrontierCap);
+  EXPECT_FALSE(f.deadline_expired);
+  EXPECT_TRUE(p.covers_all(f.chosen));
+}
+
+// ---- Whole-pipeline determinism -------------------------------------------
+
+std::string pipeline_fingerprint(const synth::SynthesisResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "chosen:";
+  for (std::size_t j : r.cover.chosen) os << ' ' << j;
+  os << "\ntotal=" << r.total_cost << "\ncost=" << r.cover.cost
+     << "\nstage=" << synth::to_string(r.degradation.stage)
+     << "\nucp_nodes=" << r.cover.nodes_explored
+     << "\nfp=" << r.cover.explored_fingerprint << '\n';
+  return os.str();
+}
+
+void expect_pipeline_rounds_invariant(const model::ConstraintGraph& cg,
+                                      const commlib::Library& lib) {
+  synth::SynthesisOptions serial;
+  serial.solver.dense_dp_max_rows = 0;  // force B&B (WAN is only 19 rows)
+  const auto want = synth::synthesize(cg, lib, serial);
+  ASSERT_TRUE(want.ok()) << want.status().to_string();
+
+  std::string baseline;
+  for (const int threads : {1, 2, 8}) {
+    synth::SynthesisOptions options;
+    options.solver.dense_dp_max_rows = 0;
+    options.solver.mode = BnbMode::kRounds;
+    options.solver.threads = threads;
+    const auto run = synth::synthesize(cg, lib, options);
+    ASSERT_TRUE(run.ok()) << run.status().to_string();
+    EXPECT_NEAR(run->total_cost, want->total_cost, 1e-9)
+        << "threads=" << threads;
+    const std::string fp = pipeline_fingerprint(*run);
+    if (threads == 1) {
+      baseline = fp;
+    } else {
+      EXPECT_EQ(fp, baseline) << "ucp-threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelBnbDeterminism, PipelineWan2002) {
+  expect_pipeline_rounds_invariant(workloads::wan2002(),
+                                   commlib::wan_library());
+}
+
+TEST(ParallelBnbDeterminism, PipelineMpeg4Soc) {
+  expect_pipeline_rounds_invariant(workloads::mpeg4_soc(),
+                                   commlib::soc_library());
+}
+
+TEST(ParallelBnbDeterminism, PipelineNocMesh) {
+  workloads::NocMeshParams p;
+  p.rows = 3;
+  p.cols = 3;
+  expect_pipeline_rounds_invariant(workloads::noc_mesh(p),
+                                   commlib::noc_library());
+}
+
+// ---- Concurrency / robustness (TSan targets) ------------------------------
+
+TEST(ParallelBnbConcurrency, FreeRunStressRepeats) {
+  // Hammer the shared frontier + atomic incumbent from 8 workers, several
+  // times, on two instances; every run must prove the same optimum.
+  const CorpusInstance instances[] = {{15, 60, 0.25, 106}, {20, 100, 0.20, 111}};
+  for (const CorpusInstance& c : instances) {
+    const CoverProblem p = corpus_problem(c.rows, c.cols, c.density, c.seed);
+    const CoverSolution serial =
+        solve_exact(p, parallel_options(BnbMode::kSerial, 1));
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const CoverSolution s =
+          solve_exact(p, parallel_options(BnbMode::kFreeRun, 8));
+      ASSERT_TRUE(s.optimal);
+      ASSERT_TRUE(p.covers_all(s.chosen));
+      EXPECT_NEAR(s.cost, serial.cost, 1e-9);
+    }
+  }
+}
+
+TEST(ParallelBnbConcurrency, RoundsStressSmallBatches) {
+  // Small batches maximize round turnover (merge/fan-out churn) under TSan.
+  const CoverProblem p = corpus_problem(20, 100, 0.20, 111);
+  const CoverSolution serial =
+      solve_exact(p, parallel_options(BnbMode::kSerial, 1));
+  BnbOptions opt = parallel_options(BnbMode::kRounds, 8);
+  opt.rounds_batch_size = 2;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const CoverSolution s = solve_exact(p, opt);
+    ASSERT_TRUE(s.optimal);
+    EXPECT_NEAR(s.cost, serial.cost, 1e-9);
+  }
+}
+
+TEST(ParallelBnbConcurrency, RoundsFrontierFaultAbortsAllOrNothing) {
+  const CoverProblem p = corpus_problem(15, 60, 0.25, 106);
+  const CoverSolution serial =
+      solve_exact(p, parallel_options(BnbMode::kSerial, 1));
+
+  auto plan = support::FaultPlan::parse("ucp.frontier@1");
+  ASSERT_TRUE(plan.ok());
+  support::FaultInjector injector(*plan);
+
+  BnbOptions opt = parallel_options(BnbMode::kRounds, 2);
+  opt.fault_injector = &injector;
+  const CoverSolution s = solve_exact(p, opt);
+  // First frontier consultation fires: the solve aborts before expanding a
+  // single node, handing back the seeded incumbent -- a complete, valid
+  // cover, not a torn one.
+  EXPECT_EQ(s.stop, CoverStop::kAborted);
+  EXPECT_FALSE(s.optimal);
+  EXPECT_EQ(s.nodes_explored, 0u);
+  EXPECT_TRUE(p.covers_all(s.chosen));
+  EXPECT_GE(s.cost, serial.cost - 1e-9);  // never better than the optimum
+  EXPECT_GT(injector.total_fires(), 0u);
+}
+
+TEST(ParallelBnbConcurrency, FreeRunWorkerDeathLeavesValidCover) {
+  const CoverProblem p = corpus_problem(15, 60, 0.25, 106);
+  const CoverSolution serial =
+      solve_exact(p, parallel_options(BnbMode::kSerial, 1));
+
+  auto plan = support::FaultPlan::parse("ucp.frontier@3");
+  ASSERT_TRUE(plan.ok());
+  support::FaultInjector injector(*plan);
+
+  BnbOptions opt = parallel_options(BnbMode::kFreeRun, 4);
+  opt.fault_injector = &injector;
+  const CoverSolution s = solve_exact(p, opt);
+  // One worker died mid-solve; the survivors finished the search. The
+  // result is conservative (not claimed optimal) but must be a coherent
+  // cover at least as good as the greedy seed and never below the optimum.
+  EXPECT_EQ(s.stop, CoverStop::kAborted);
+  EXPECT_FALSE(s.optimal);
+  EXPECT_TRUE(p.covers_all(s.chosen));
+  EXPECT_GE(s.cost, serial.cost - 1e-9);
+  EXPECT_GT(injector.total_fires(), 0u);
+}
+
+}  // namespace
+}  // namespace cdcs::ucp

@@ -188,6 +188,12 @@ int main(int argc, char** argv) {
     synth::SynthesisOptions options;
     options.threads = args.threads;
     options.fault_injection.injector = std::make_shared<FaultInjector>(*plan);
+    // Run the cover solves through the deterministic parallel engine so the
+    // rotating plans exercise the ucp.frontier site; WAN has 19 rows, so
+    // the dense-DP shortcut must be off for branch-and-bound to run at all.
+    options.solver.mode = ucp::BnbMode::kRounds;
+    options.solver.threads = args.threads;
+    options.solver.dense_dp_max_rows = 0;
 
     synth::Engine engine(base, lib, options);
     // open_journal consults the io.journal.open fault site, so it may be

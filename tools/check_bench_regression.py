@@ -23,7 +23,16 @@ and fails (exit 1) on:
     machine-independent and must match exactly; the optimality gap must
     stay within the 10% acceptance bound; thread-count determinism and
     the exact-path timeout-or-10x flags must hold (both also enforced
-    inside bench_perf_summary itself).
+    inside bench_perf_summary itself);
+  * a WAN thread-sweep slowdown -- the best multi-threaded wall must not
+    lose to the serial wall by more than 10% -- asserted ONLY when the
+    fresh run's host has more than one hardware thread (on the 1-core CI
+    container the sweep is pure oversubscription and proves nothing);
+  * drift in the "parallel_bnb" section: rounds-mode cost (1e-6) and
+    explored-node count (no growth) against the baseline, plus the
+    rounds_threads_identical / free_optimal / free_speedup_ok flags,
+    which must hold on every run (speedup enforcement is tiered inside
+    bench_perf_summary by the host's hardware_threads).
 
 Absolute wall-clock milliseconds are intentionally NOT compared: the
 baseline was recorded on a different machine than CI runs on.
@@ -92,6 +101,25 @@ def main():
         errors.append(
             f"WAN synthesis total_cost changed {base_cost} -> {fresh_cost}"
         )
+
+    # WAN thread-sweep scaling: only meaningful with real cores. On a
+    # 1-core host (the CI container) every thread count is time-sliced
+    # onto the same core and the comparison is noise, so it is skipped --
+    # not faked.
+    fresh_hw = fresh["wan_synthesis"].get(
+        "hardware_threads", fresh.get("host", {}).get("hardware_threads", 0))
+    sweep = fresh["wan_synthesis"].get("wall_ms_best_of_5", {})
+    if fresh_hw > 1 and "threads_1" in sweep:
+        t1 = sweep["threads_1"]
+        multi = [v for k, v in sweep.items()
+                 if k.startswith("threads_") and k != "threads_1"
+                 and not k.endswith("_warm_cache")]
+        if multi and min(multi) > t1 * 1.10:
+            errors.append(
+                f"WAN thread sweep does not scale on a {fresh_hw}-thread "
+                f"host: best multi-threaded wall {min(multi):.3f}ms vs "
+                f"serial {t1:.3f}ms (>10% slower)"
+            )
 
     # Incremental edit replay: the speedup is a same-machine ratio like
     # the v2/legacy wall ratio, so it transfers across CI hardware. The
@@ -201,6 +229,39 @@ def main():
                 if e_p.get(key) is not True:
                     errors.append(
                         f"partitioned_scaling.{key} = {e_p.get(key)} "
+                        "(must hold on every run)"
+                    )
+
+    # Parallel branch-and-bound. The rounds-mode tree is a pure function of
+    # the instance (that is the determinism contract), so its cost and node
+    # count transfer across machines like the ucp_bnb corpus numbers.
+    # Free-run wall times and the speedup value are machine-dependent and
+    # are NOT compared; the machine-independent evidence is the flag
+    # triple, which bench_perf_summary computes with host-tiered
+    # enforcement (free_speedup_ok is trivially true on a 1-core host).
+    b_pb = base.get("parallel_bnb")
+    e_pb = fresh.get("parallel_bnb")
+    if b_pb is not None:
+        if e_pb is None:
+            errors.append("parallel_bnb section missing from fresh run")
+        else:
+            if abs(e_pb["rounds_cost"] - b_pb["rounds_cost"]) > 1e-6:
+                errors.append(
+                    f"parallel_bnb.rounds_cost changed {b_pb['rounds_cost']} "
+                    f"-> {e_pb['rounds_cost']} (exact solver must be "
+                    "cost-stable)"
+                )
+            if e_pb["rounds_nodes"] > b_pb["rounds_nodes"]:
+                errors.append(
+                    "parallel_bnb.rounds_nodes grew "
+                    f"{b_pb['rounds_nodes']} -> {e_pb['rounds_nodes']} "
+                    "(bounds got weaker)"
+                )
+            for key in ("rounds_threads_identical", "free_optimal",
+                        "free_speedup_ok"):
+                if e_pb.get(key) is not True:
+                    errors.append(
+                        f"parallel_bnb.{key} = {e_pb.get(key)} "
                         "(must hold on every run)"
                     )
 
