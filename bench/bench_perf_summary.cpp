@@ -27,11 +27,13 @@
 
 #include "commlib/standard_libraries.hpp"
 #include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
 #include "synth/engine.hpp"
 #include "synth/partition.hpp"
 #include "synth/pricing_cache.hpp"
 #include "synth/synthesizer.hpp"
 #include "ucp/bnb.hpp"
+#include "ucp/cover_solver.hpp"
 #include "workloads/fingerprint.hpp"
 #include "workloads/scale_gen.hpp"
 #include "workloads/wan2002.hpp"
@@ -197,13 +199,15 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "%s    {\"rows\": %d, \"cols\": %d, \"density\": %.2f, "
+                 "\"measured_density\": %.4f, \"backend\": \"%s\", "
                  "\"cost\": %.6f, \"nodes_explored\": %zu, "
                  "\"wall_ms\": %.3f, \"legacy_nodes\": %zu, "
                  "\"legacy_wall_ms\": %.3f, \"best_first_nodes\": %zu, "
                  "\"optimal\": %s}",
-                 first ? "" : ",\n", rows, cols, density, s.cost,
-                 s.nodes_explored, t_ms, v1.nodes_explored, t_v1,
-                 bf.nodes_explored, s.optimal ? "true" : "false");
+                 first ? "" : ",\n", rows, cols, density, s.density,
+                 s.backend.c_str(), s.cost, s.nodes_explored, t_ms,
+                 v1.nodes_explored, t_v1, bf.nodes_explored,
+                 s.optimal ? "true" : "false");
     first = false;
   }
   std::fprintf(out, "\n  ],\n");
@@ -337,6 +341,88 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(counter_total(m, "fault.fires")),
         static_cast<unsigned long long>(
             counter_total(m, "io.journal.appends")));
+  }
+
+  // --- Cover-solver backend matrix --------------------------------------
+  // Deliberately after the metrics delta (the extra solves here must not
+  // perturb the exact-match event counts). Every registered backend plus
+  // the portfolio runs the pinned solver corpus; everything emitted is a
+  // deterministic pure function of the instance (costs, node counts, the
+  // portfolio winner), so tools/check_bench_regression.py diffs the whole
+  // section exactly (costs with a float tolerance). Gates:
+  //   * every applicable backend proves the reference cost;
+  //   * the portfolio winner, cost, and cover are identical across pool
+  //     sizes 1/2/8 and across repeated runs (the determinism contract of
+  //     ucp/cover_solver.hpp).
+  {
+    std::fprintf(out, "  \"cover_solver_matrix\": [\n");
+    first = true;
+    for (const auto& [rows, cols, density] :
+         {std::tuple{10, 30, 0.30}, std::tuple{12, 200, 0.25},
+          std::tuple{15, 60, 0.25}, std::tuple{20, 100, 0.20},
+          std::tuple{20, 2000, 0.15}}) {
+      const ucp::CoverProblem p =
+          random_problem(rows, cols, density, 91 + rows);
+      const ucp::CoverSolution reference = ucp::solve_exact(p, {});
+      std::fprintf(out,
+                   "%s    {\"rows\": %d, \"cols\": %d, \"density\": %.2f, "
+                   "\"cost\": %.6f, \"backends\": {",
+                   first ? "" : ",\n", rows, cols, density, reference.cost);
+      first = false;
+      bool first_backend = true;
+      for (const ucp::CoverSolver* solver : ucp::registered_cover_solvers()) {
+        if (!solver->applicable(p)) continue;
+        ucp::BnbOptions opts;
+        opts.backend = solver->name();
+        const ucp::CoverSolution s = ucp::solve_exact(p, opts);
+        if (!s.optimal || std::abs(s.cost - reference.cost) > 1e-9) {
+          std::fprintf(stderr,
+                       "COVER SOLVER MATRIX VIOLATION: %s on %dx%d cost "
+                       "%.9f (optimal=%d) != reference %.9f\n",
+                       s.backend.c_str(), rows, cols, s.cost,
+                       s.optimal ? 1 : 0, reference.cost);
+          ++failures;
+        }
+        std::fprintf(out, "%s\"%s\": {\"nodes\": %zu, \"optimal\": %s}",
+                     first_backend ? "" : ", ", s.backend.c_str(),
+                     s.nodes_explored, s.optimal ? "true" : "false");
+        first_backend = false;
+      }
+
+      // Portfolio determinism sweep: pool sizes 1/2/8, two runs each.
+      ucp::CoverSolution base;
+      bool deterministic = true;
+      for (const int workers : {1, 2, 8}) {
+        support::ThreadPool pool(static_cast<std::size_t>(workers));
+        for (int rep = 0; rep < 2; ++rep) {
+          ucp::BnbOptions opts;
+          opts.backend = "portfolio";
+          opts.pool = &pool;
+          const ucp::CoverSolution r = ucp::solve_exact(p, opts);
+          if (workers == 1 && rep == 0) {
+            base = r;
+          } else if (r.backend != base.backend || r.cost != base.cost ||
+                     r.chosen != base.chosen) {
+            deterministic = false;
+          }
+        }
+      }
+      if (!deterministic || !base.optimal ||
+          std::abs(base.cost - reference.cost) > 1e-9) {
+        std::fprintf(stderr,
+                     "PORTFOLIO DETERMINISM VIOLATION on %dx%d: winner "
+                     "'%s', cost %.9f vs reference %.9f, deterministic=%d\n",
+                     rows, cols, base.backend.c_str(), base.cost,
+                     reference.cost, deterministic ? 1 : 0);
+        ++failures;
+      }
+      std::fprintf(out,
+                   "}, \"portfolio\": {\"winner\": \"%s\", \"cost\": %.6f, "
+                   "\"deterministic\": %s}}",
+                   base.backend.c_str(), base.cost,
+                   deterministic ? "true" : "false");
+    }
+    std::fprintf(out, "\n  ],\n");
   }
 
   // --- Parallel branch-and-bound on the hardest corpus instance ---------

@@ -34,10 +34,23 @@
 //                            (default 64)
 //   --partition-cluster-arcs N  target maximum arcs per cluster
 //                            (default 24)
+//   --cover-solver NAME      cover-solver backend: a registered name
+//                            (dense_dp, bnb_v2, hitting_set, parallel_bnb,
+//                            dfs_v1), 'portfolio' to race them and return
+//                            the deterministic fixed-priority winner, or
+//                            'heuristic' to pick per instance from
+//                            rows x cols x density. Default: the legacy
+//                            automatic dispatch. Subsumes --search-order
+//                            and --bnb-mode (docs/performance.md)
 //   --search-order dfs|best-first
+//                            DEPRECATED: prefer --cover-solver
+//                            (dfs -> dfs_v1, best-first -> bnb_v2).
 //                            cover-solver node order (default dfs); both
 //                            prove the same optimal cost
 //   --bnb-mode serial|rounds|free
+//                            DEPRECATED: prefer --cover-solver
+//                            (rounds/free -> parallel_bnb; free also needs
+//                            --bnb-mode free for the asynchronous engine).
 //                            cover-solver engine (default serial). 'rounds'
 //                            is the deterministic parallel engine (same
 //                            result at every thread count); 'free' is the
@@ -113,6 +126,7 @@
 #include "support/trace.hpp"
 #include "synth/engine.hpp"
 #include "synth/synthesizer.hpp"
+#include "ucp/cover_solver.hpp"
 
 namespace {
 
@@ -134,9 +148,18 @@ int usage(const char* argv0) {
          "(default 64)\n"
          "  --partition-cluster-arcs N   target max arcs per cluster "
          "(default 24)\n"
-         "  --search-order dfs|best-first   cover-solver node order\n"
-         "  --bnb-mode serial|rounds|free   cover-solver engine (rounds = \n"
-         "                     deterministic parallel, free = fastest)\n"
+         "  --cover-solver NAME   backend (" +
+             cdcs::ucp::registered_cover_solver_list() +
+             "),\n"
+             "                     'portfolio' (deterministic race) or "
+             "'heuristic'\n"
+             "  --search-order dfs|best-first   DEPRECATED (use "
+             "--cover-solver:\n"
+             "                     dfs -> dfs_v1, best-first -> bnb_v2)\n"
+             "  --bnb-mode serial|rounds|free   DEPRECATED (use "
+             "--cover-solver\n"
+             "                     parallel_bnb; rounds = deterministic, "
+             "free = fastest)\n"
          "  --ucp-threads N    cover-solver worker threads (0 = all "
          "hardware)\n"
          "  --no-lagrangian    disable Lagrangian solver bounds\n"
@@ -258,6 +281,16 @@ int run(int argc, char** argv, Observability& obs) {
     } else if (arg == "--partition-cluster-arcs") {
       options.partitioning.max_cluster_arcs =
           static_cast<std::size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--cover-solver") {
+      const std::string v = next();
+      if (v != "portfolio" && v != "heuristic" &&
+          ucp::find_cover_solver(v) == nullptr) {
+        std::cerr << "unknown cover-solver backend '" << v
+                  << "' (registered: " << ucp::registered_cover_solver_list()
+                  << "; also: portfolio, heuristic)\n";
+        return usage(argv[0]);
+      }
+      options.solver.backend = v;
     } else if (arg == "--search-order") {
       const std::string v = next();
       if (v == "dfs") {

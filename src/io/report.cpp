@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <sstream>
 
+#include "ucp/cover_solver.hpp"
+
 namespace cdcs::io {
 namespace {
 
@@ -97,7 +99,18 @@ std::string describe(const synth::SynthesisResult& result,
     os << "  " << describe_candidate(*c, cg, lib) << '\n';
   }
   os << "UCP: " << (result.cover.optimal ? "proven optimal" : "incumbent")
-     << " in " << result.cover.nodes_explored << " nodes\n";
+     << " in " << result.cover.nodes_explored << " nodes";
+  if (!result.cover.backend.empty()) {
+    os << " via " << result.cover.backend;
+  }
+  os << '\n';
+  if (!result.cover.portfolio.empty()) {
+    os << "  portfolio:";
+    for (const ucp::PortfolioMember& member : result.cover.portfolio) {
+      os << ' ' << member.backend << '=' << ucp::to_string(member.outcome);
+    }
+    os << '\n';
+  }
   if (include_perf_line &&
       (stats.threads_used > 1 ||
        stats.pricing_cache_hits + stats.pricing_cache_misses > 0)) {
@@ -218,6 +231,43 @@ std::string describe_perf(const support::MetricsSnapshot& m) {
      << counter_or(m, "ucp.incumbent_updates") << " incumbent update(s), "
      << counter_or(m, "ucp.rc_fixed_columns")
      << " column(s) fixed by reduced cost\n";
+
+  // Per-backend solve/node counters ("ucp.backend.<name>.solves"/".nodes"),
+  // emitted by solve_exact's registry dispatch. std::map keys keep the
+  // listing alphabetical, hence deterministic.
+  {
+    const std::string prefix = "ucp.backend.";
+    const std::string solves_suffix = ".solves";
+    bool first = true;
+    for (const auto& [name, value] : m.counters) {
+      if (name.rfind(prefix, 0) != 0 ||
+          name.size() <= prefix.size() + solves_suffix.size() ||
+          name.compare(name.size() - solves_suffix.size(),
+                       solves_suffix.size(), solves_suffix) != 0) {
+        continue;
+      }
+      const std::string backend = name.substr(
+          prefix.size(), name.size() - prefix.size() - solves_suffix.size());
+      os << (first ? "  backends:" : ",") << " " << backend << " " << value
+         << " solve(s)/"
+         << counter_or(m, prefix + backend + ".nodes") << " node(s)";
+      first = false;
+    }
+    if (!first) os << "\n";
+  }
+
+  // Portfolio race outcomes ("ucp.portfolio.<outcome>.<backend>").
+  {
+    const std::string prefix = "ucp.portfolio.";
+    bool first = true;
+    for (const auto& [name, value] : m.counters) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      os << (first ? "  portfolio:" : ",") << " "
+         << name.substr(prefix.size()) << " x" << value;
+      first = false;
+    }
+    if (!first) os << "\n";
+  }
 
   if (const std::uint64_t degraded = counter_or(m, "synth.degraded_runs");
       degraded > 0) {

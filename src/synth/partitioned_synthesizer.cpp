@@ -163,6 +163,11 @@ support::Expected<SynthesisResult> synthesize_partitioned(
                                       ? std::min(options.max_merge_k, cap)
                                       : cap;
   }
+  // Backend selection (cluster_solver.backend) rides along verbatim: each
+  // cluster's cover goes through solve_exact's registry dispatch, so
+  // "heuristic" re-picks a backend PER CLUSTER from that cluster's own
+  // rows x cols x density -- small clusters hit the dense DP, wide sparse
+  // ones the hitting-set solver -- and "portfolio" races within a cluster.
   ucp::BnbOptions cluster_solver = solver_options;
   cluster_solver.warm_start.clear();
   cluster_solver.warm_multipliers.clear();

@@ -65,6 +65,13 @@ std::vector<double> cover_signature(std::size_t num_rows,
   }
   sig.push_back(static_cast<double>(solver.warm_multipliers.size()));
   for (double m : solver.warm_multipliers) sig.push_back(m);
+  // Backend selection changes which engine runs, so it is part of the
+  // solve's identity (length + characters; each char value is exact as a
+  // double).
+  sig.push_back(static_cast<double>(solver.backend.size()));
+  for (char ch : solver.backend) {
+    sig.push_back(static_cast<double>(static_cast<unsigned char>(ch)));
+  }
   return sig;
 }
 
@@ -130,9 +137,13 @@ support::Expected<CoverOutcome> cover_and_ladder(
   // of several optimal covers comes back, varies run to run), as are solves
   // with an armed fault injector (its hit counters are stateful: replaying
   // a cached result would skip consultations the plan is counting on).
+  // Portfolio solves are excluded too: the race's member outcomes depend on
+  // pool timing, so the recorded portfolio report is not a pure function of
+  // the signature even though the winner is.
   const bool reusable = session != nullptr && solver.deadline.unlimited() &&
                         solver.mode != ucp::BnbMode::kFreeRun &&
-                        solver.fault_injector == nullptr;
+                        solver.fault_injector == nullptr &&
+                        solver.backend != "portfolio";
   std::vector<double> signature;
   if (reusable) {
     signature = cover_signature(num_rows, set, solver);
@@ -318,10 +329,14 @@ support::Expected<SynthesisResult> run_pipeline(
   if (opts.pool == nullptr && solver.pool == nullptr) {
     const std::size_t pricing_workers =
         support::resolve_thread_count(opts.threads);
+    // The portfolio races serial members across the pool, so it wants
+    // workers even when `mode` is kSerial; otherwise only the parallel
+    // engine does.
     const std::size_t solver_workers =
-        solver.mode == ucp::BnbMode::kSerial
-            ? 1
-            : support::resolve_thread_count(solver.threads);
+        solver.backend == "portfolio" ||
+                solver.mode != ucp::BnbMode::kSerial
+            ? support::resolve_thread_count(solver.threads)
+            : 1;
     const std::size_t pool_size = std::max(pricing_workers, solver_workers);
     if (pool_size > 1) {
       shared_pool = std::make_unique<support::ThreadPool>(pool_size);

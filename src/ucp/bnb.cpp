@@ -6,9 +6,11 @@
 #include <string>
 #include <utility>
 
+#include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 #include "ucp/bnb_core.hpp"
+#include "ucp/cover_solver.hpp"
 #include "ucp/dp.hpp"
 #include "ucp/lagrangian.hpp"
 #include "ucp/parallel_bnb.hpp"
@@ -152,6 +154,7 @@ class Solver {
 
   void branch(SearchState s, double cost, std::vector<std::size_t> chosen,
               int depth, std::vector<double> lambda) {
+    if (aborted_) return;  // a fired fault latches: no sibling continues
     if (nodes_ >= opt_.max_nodes) {
       complete_ = false;
       if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kNodeBudget;
@@ -161,6 +164,17 @@ class Solver {
       complete_ = false;
       deadline_hit_ = true;
       if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kDeadline;
+      return;
+    }
+    // Same all-or-nothing kill site the parallel engines poll: a firing
+    // abandons the search with the incumbent intact, never a torn cover.
+    // Unarmed runs skip the consult entirely, so the pinned trees are
+    // byte-identical with or without this check.
+    if (opt_.fault_injector != nullptr &&
+        opt_.fault_injector->should_fail(support::fault_sites::kUcpFrontier)) {
+      complete_ = false;
+      aborted_ = true;
+      if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kAborted;
       return;
     }
     ++nodes_;
@@ -232,6 +246,13 @@ class Solver {
         complete_ = false;
         deadline_hit_ = true;
         if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kDeadline;
+        break;
+      }
+      if (opt_.fault_injector != nullptr &&
+          opt_.fault_injector->should_fail(
+              support::fault_sites::kUcpFrontier)) {
+        complete_ = false;
+        if (stop_ == CoverStop::kCompleted) stop_ = CoverStop::kAborted;
         break;
       }
       ++nodes_;
@@ -308,6 +329,7 @@ class Solver {
   std::vector<double> root_multipliers_;
   bool complete_{true};
   bool deadline_hit_{false};
+  bool aborted_{false};
   CoverStop stop_{CoverStop::kCompleted};
 };
 
@@ -322,12 +344,10 @@ CoverSolution seeded_fallback(const CoverProblem& problem,
 
 }  // namespace
 
-CoverSolution solve_exact(const CoverProblem& problem,
-                          const BnbOptions& options) {
-  support::Span span("ucp.solve", "ucp",
-                     "{\"rows\":" + std::to_string(problem.num_rows()) +
-                         ",\"cols\":" + std::to_string(problem.num_columns()) +
-                         "}");
+namespace detail {
+
+CoverSolution solve_exact_auto(const CoverProblem& problem,
+                               const BnbOptions& options) {
   CoverSolution sol;
   double bnb_root_bound = 0.0;
   if (problem.num_rows() <=
@@ -335,26 +355,40 @@ CoverSolution solve_exact(const CoverProblem& problem,
     support::Span dp_span("ucp.dense_dp", "ucp");
     support::MetricsRegistry::global().counter("ucp.dp_solves").add(1);
     if (!options.deadline.expired()) {
-      sol = solve_dp(problem, options.deadline);
+      sol = solve_dp(problem, options.deadline, options.max_nodes,
+                     options.fault_injector);
     } else {
       sol.deadline_expired = true;
+      sol.stop = CoverStop::kDeadline;
     }
-    if (!sol.optimal && sol.deadline_expired) {
-      // DP abandoned (or never started) under the deadline: hand back the
-      // seeded incumbent (greedy / warm start) instead of nothing.
+    if (!sol.optimal && sol.stop != CoverStop::kCompleted) {
+      // DP abandoned (or never started) under the deadline, node budget, or
+      // an injected fault: hand back the seeded incumbent (greedy / warm
+      // start) instead of nothing, keeping the stop reason.
       const std::size_t dp_states = sol.nodes_explored;
+      const CoverStop stop = sol.stop;
+      const bool deadline_hit = sol.deadline_expired;
       sol = seeded_fallback(problem, options);
       sol.optimal = false;
-      sol.deadline_expired = true;
+      sol.deadline_expired = deadline_hit;
+      sol.stop = stop;
       sol.nodes_explored = dp_states;
     }
-    if (sol.deadline_expired) sol.stop = CoverStop::kDeadline;
+    sol.backend = "dense_dp";
   } else if (options.mode != BnbMode::kSerial) {
     sol = solve_parallel_bnb(problem, options, &bnb_root_bound);
+    sol.backend = "parallel_bnb";
   } else {
     Solver solver(problem, options);
     sol = solver.run();
     bnb_root_bound = solver.root_bound();
+    // The v1 reference configuration (DFS, Lagrangian machinery off) is the
+    // pinned legacy tree; anything else is the v2 solver.
+    sol.backend = (options.search_order == SearchOrder::kDepthFirst &&
+                   !options.use_lagrangian_bound &&
+                   !options.use_reduced_cost_fixing)
+                      ? "dfs_v1"
+                      : "bnb_v2";
   }
   if (sol.optimal) {
     sol.lower_bound = sol.cost;
@@ -371,6 +405,58 @@ CoverSolution solve_exact(const CoverProblem& problem,
       lb = std::max(lb, lagrangian_root_bound(problem, sopt));
     }
     sol.lower_bound = lb;
+  }
+  return sol;
+}
+
+}  // namespace detail
+
+CoverSolution solve_exact(const CoverProblem& problem,
+                          const BnbOptions& options) {
+  support::Span span("ucp.solve", "ucp",
+                     "{\"rows\":" + std::to_string(problem.num_rows()) +
+                         ",\"cols\":" + std::to_string(problem.num_columns()) +
+                         "}");
+  CoverSolution sol;
+  if (options.backend.empty()) {
+    sol = detail::solve_exact_auto(problem, options);
+  } else if (options.backend == "portfolio") {
+    sol = solve_portfolio(problem, options);
+  } else {
+    const std::string name =
+        options.backend == "heuristic"
+            ? std::string(select_cover_backend(problem.num_rows(),
+                                               problem.num_columns(),
+                                               cover_density(problem)))
+            : options.backend;
+    const CoverSolver* solver = find_cover_solver(name);
+    if (solver == nullptr) {
+      throw std::invalid_argument("unknown cover-solver backend '" + name +
+                                  "' (registered: " +
+                                  registered_cover_solver_list() + ")");
+    }
+    if (!solver->applicable(problem)) {
+      throw std::invalid_argument(
+          "cover-solver backend '" + name + "' cannot handle a " +
+          std::to_string(problem.num_rows()) + "x" +
+          std::to_string(problem.num_columns()) + " instance");
+    }
+    sol = solver->solve(problem, options);
+    sol.backend = name;
+  }
+  sol.rows = problem.num_rows();
+  sol.cols = problem.num_columns();
+  sol.density = cover_density(problem);
+  auto& registry = support::MetricsRegistry::global();
+  registry.counter("ucp.backend." + sol.backend + ".solves").add(1);
+  registry.counter("ucp.backend." + sol.backend + ".nodes")
+      .add(sol.nodes_explored);
+  for (const PortfolioMember& m : sol.portfolio) {
+    std::string key = "ucp.portfolio.";
+    key.append(to_string(m.outcome));
+    key += '.';
+    key += m.backend;
+    registry.counter(key).add(1);
   }
   return sol;
 }

@@ -47,7 +47,27 @@ namespace cdcs::ucp {
 /// completed within `max_nodes` (otherwise the best incumbent is returned).
 /// Non-optimal exits report the Lagrangian root bound (fallback:
 /// independent-rows bound) in CoverSolution::lower_bound.
+///
+/// Backend dispatch (ucp/cover_solver.hpp): with `options.backend` empty
+/// this is the legacy automatic dispatch every pinned node count was
+/// recorded against -- dense DP below the row cutoff, then BnbOptions::mode
+/// picks the engine -- with CoverSolution::backend labelled after the fact.
+/// A registered backend name forces that backend, "portfolio" races the
+/// racing backends and returns the fixed-priority winner, and "heuristic"
+/// picks a backend from the instance's rows x cols x density features.
+/// Throws std::invalid_argument for unknown names or a named backend that
+/// cannot handle the instance (e.g. dense_dp above kDenseDpMaxRows rows).
 CoverSolution solve_exact(const CoverProblem& problem,
                           const BnbOptions& options = {});
+
+namespace detail {
+/// The legacy automatic dispatch behind solve_exact, without the backend
+/// routing, tracing span, or per-backend metrics. Internal: the registered
+/// backends (ucp/cover_solver.cpp) and the hitting-set sub-solves
+/// (ucp/hitting_set.cpp) call it with forced options; everyone else goes
+/// through solve_exact. `options.backend` is ignored.
+CoverSolution solve_exact_auto(const CoverProblem& problem,
+                               const BnbOptions& options);
+}  // namespace detail
 
 }  // namespace cdcs::ucp

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "support/deadline.hpp"
@@ -102,9 +103,12 @@ struct BnbOptions {
   /// the deterministic contract: changing it changes the explored tree
   /// (it is folded into the pipeline's cover signature).
   std::size_t rounds_batch_size = 16;
-  /// Optional borrowed fault injector (not owned). The parallel engines
-  /// consult the "ucp.frontier" site and abort the solve (all-or-nothing:
-  /// incumbent intact, optimal = false, stop = kAborted) when it fires.
+  /// Optional borrowed fault injector (not owned). Every backend consults
+  /// the "ucp.frontier" site -- the serial solvers per branch node, the
+  /// dense DP at entry and each deadline poll, the hitting-set loop once
+  /// per iteration, the parallel engines per round/dequeue -- and aborts
+  /// the solve (all-or-nothing: incumbent intact, optimal = false,
+  /// stop = kAborted) when it fires.
   support::FaultInjector* fault_injector = nullptr;
 
   /// Optional feasible cover (column indices) seeding the incumbent on top
@@ -127,6 +131,18 @@ struct BnbOptions {
   /// faster on the narrow-and-wide matrices synthesis produces. Set to 0 to
   /// force branch-and-bound.
   std::size_t dense_dp_max_rows = 20;
+
+  /// Cover-solver backend selection (ucp/cover_solver.hpp). Empty (the
+  /// default) keeps solve_exact's legacy automatic dispatch -- dense DP
+  /// below the row cutoff, then the engine `mode` picks -- which is what
+  /// every pinned node count and fingerprint is recorded against. A
+  /// registered name ("dense_dp", "dfs_v1", "bnb_v2", "parallel_bnb",
+  /// "hitting_set") forces that backend; "portfolio" races the racing
+  /// backends on `pool` and returns the fixed-priority winner;
+  /// "heuristic" picks one backend per instance from its
+  /// rows x cols x density features. Unknown names throw
+  /// std::invalid_argument.
+  std::string backend;
 };
 
 }  // namespace cdcs::ucp

@@ -77,6 +77,26 @@ enum class CoverStop {
   kAborted,      ///< injected fault ("ucp.frontier") killed the solve
 };
 
+/// What happened to one backend in a portfolio race (ucp/cover_solver.hpp).
+enum class BackendOutcome {
+  kWon,        ///< its solution is the one the portfolio returned
+  kLost,       ///< proved the same optimum, but a higher-priority backend won
+  kCancelled,  ///< stopped by cross-cancellation (or never started) after a
+               ///< higher-priority backend proved optimality
+  kDegraded,   ///< ran to its own budget without proving optimality
+};
+
+/// One backend's contribution to a portfolio race, in fixed priority order.
+struct PortfolioMember {
+  std::string backend;
+  BackendOutcome outcome{BackendOutcome::kCancelled};
+  double cost{0.0};
+  double lower_bound{0.0};
+  std::size_t nodes_explored{0};
+  bool optimal{false};
+  CoverStop stop{CoverStop::kCompleted};
+};
+
 struct CoverSolution {
   std::vector<std::size_t> chosen;  ///< column indices, ascending
   double cost{0.0};
@@ -103,6 +123,21 @@ struct CoverSolution {
   /// Feed back as BnbOptions::warm_multipliers to warm-start a re-solve of
   /// a near-identical problem.
   std::vector<double> root_multipliers;
+  /// Registry name of the backend that produced this solution
+  /// (ucp/cover_solver.hpp): the explicitly selected one, the fixed-priority
+  /// portfolio winner, or the name solve_exact's automatic dispatch mapped
+  /// the legacy options onto ("dense_dp", "dfs_v1", "bnb_v2",
+  /// "parallel_bnb").
+  std::string backend;
+  /// Per-backend outcomes of a portfolio race, in fixed priority order.
+  /// Empty for single-backend solves.
+  std::vector<PortfolioMember> portfolio;
+  /// Instance features, stamped by solve_exact on every solve so downstream
+  /// consumers (reports, BENCH_pr.json) can train backend-selection
+  /// heuristics on rows x cols x density without re-deriving them.
+  std::size_t rows{0};
+  std::size_t cols{0};
+  double density{0.0};
 };
 
 /// Honest relative optimality gap (achieved - lower_bound) / lower_bound:

@@ -7,10 +7,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/fault.hpp"
+
 namespace cdcs::ucp {
 
 CoverSolution solve_dp(const CoverProblem& problem,
-                       const support::Deadline& deadline) {
+                       const support::Deadline& deadline,
+                       std::size_t max_states,
+                       support::FaultInjector* injector) {
   const std::size_t rows = problem.num_rows();
   if (rows > kDenseDpMaxRows) {
     throw std::invalid_argument("solve_dp: too many rows for the dense DP");
@@ -18,6 +22,18 @@ CoverSolution solve_dp(const CoverProblem& problem,
   CoverSolution sol;
   if (rows == 0) {
     sol.optimal = true;
+    return sol;
+  }
+  // The table is all-or-nothing: a half-filled DP yields no incumbent, so a
+  // budget that cannot fit every state refuses up front with zero work.
+  if ((std::size_t{1} << rows) > max_states) {
+    sol.cost = std::numeric_limits<double>::infinity();
+    sol.stop = CoverStop::kNodeBudget;
+    return sol;
+  }
+  if (injector != nullptr && injector->should_fail(support::fault_sites::kUcpFrontier)) {
+    sol.cost = std::numeric_limits<double>::infinity();
+    sol.stop = CoverStop::kAborted;
     return sol;
   }
 
@@ -54,11 +70,20 @@ CoverSolution solve_dp(const CoverProblem& problem,
   dp[0] = 0.0;
 
   for (std::size_t m = 1; m <= full; ++m) {
-    if ((m & 0xFFF) == 0 && deadline.expired()) {
-      sol.cost = kInf;
-      sol.nodes_explored = m;
-      sol.deadline_expired = true;
-      return sol;
+    if ((m & 0xFFF) == 0) {
+      if (deadline.expired()) {
+        sol.cost = kInf;
+        sol.nodes_explored = m;
+        sol.deadline_expired = true;
+        sol.stop = CoverStop::kDeadline;
+        return sol;
+      }
+      if (injector != nullptr && injector->should_fail(support::fault_sites::kUcpFrontier)) {
+        sol.cost = kInf;
+        sol.nodes_explored = m;
+        sol.stop = CoverStop::kAborted;
+        return sol;
+      }
     }
     const int r = std::countr_zero(m);  // lowest uncovered row must be covered
     double best = kInf;

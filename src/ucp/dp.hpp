@@ -15,8 +15,15 @@
 // automatically below the row threshold (see BnbOptions::dense_dp_max_rows).
 #pragma once
 
+#include <cstddef>
+#include <limits>
+
 #include "support/deadline.hpp"
 #include "ucp/cover.hpp"
+
+namespace cdcs::support {
+class FaultInjector;
+}  // namespace cdcs::support
 
 namespace cdcs::ucp {
 
@@ -29,7 +36,15 @@ inline constexpr std::size_t kDenseDpMaxRows = 24;
 /// The deadline is polled every 4096 states; on expiry the DP abandons the
 /// table and returns an empty solution flagged `deadline_expired` (the
 /// caller falls back to the greedy incumbent).
-CoverSolution solve_dp(const CoverProblem& problem,
-                       const support::Deadline& deadline = {});
+/// `max_states` is the DP's share of the caller's node budget: a table
+/// larger than it is refused up front (stop = kNodeBudget, zero work done)
+/// rather than half-filled -- a partial DP table yields no incumbent, so
+/// there is nothing useful to salvage mid-run. `injector` (borrowed, may be
+/// null) is consulted at the "ucp.frontier" site once at the start and at
+/// every deadline poll; a firing abandons the table with stop = kAborted.
+CoverSolution solve_dp(
+    const CoverProblem& problem, const support::Deadline& deadline = {},
+    std::size_t max_states = std::numeric_limits<std::size_t>::max(),
+    support::FaultInjector* injector = nullptr);
 
 }  // namespace cdcs::ucp

@@ -1,0 +1,222 @@
+#include "ucp/hitting_set.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/fault.hpp"
+#include "ucp/bitset.hpp"
+#include "ucp/bnb.hpp"
+#include "ucp/bnb_core.hpp"
+#include "ucp/dp.hpp"
+
+namespace cdcs::ucp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The uncovered row with the fewest covering columns (the most binding
+/// lazily generated constraint; ties to the lowest index). `uncovered` must
+/// be nonempty.
+std::size_t most_binding_row(const CoverProblem& p, const Bitset& uncovered) {
+  std::size_t best_row = p.num_rows();
+  std::size_t best_count = std::numeric_limits<std::size_t>::max();
+  uncovered.for_each([&](std::size_t r) {
+    const std::size_t c = p.row_cover(r).count();
+    if (c < best_count) {
+      best_count = c;
+      best_row = r;
+    }
+  });
+  return best_row;
+}
+
+/// Greedily extends `chosen` (already covering `covered`) into a full cover
+/// by the classic weight / newly-covered ratio rule (strict improvement,
+/// ties to the lowest column index). Returns false when stuck, which cannot
+/// happen on a feasible problem.
+bool greedy_complete(const CoverProblem& p, std::vector<std::size_t>& chosen,
+                     Bitset& covered, double& cost) {
+  const std::size_t rows = p.num_rows();
+  while (covered.count() < rows) {
+    std::size_t best_col = p.num_columns();
+    double best_ratio = kInf;
+    for (std::size_t j = 0; j < p.num_columns(); ++j) {
+      const Column& c = p.column(j);
+      const std::size_t gain = c.rows.count() - covered.intersection_count(c.rows);
+      if (gain == 0) continue;
+      const double ratio = c.weight / static_cast<double>(gain);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best_col = j;
+      }
+    }
+    if (best_col == p.num_columns()) return false;
+    chosen.push_back(best_col);
+    covered.unite(p.column(best_col).rows);
+    cost += p.column(best_col).weight;
+  }
+  return true;
+}
+
+}  // namespace
+
+CoverSolution solve_hitting_set(const CoverProblem& problem,
+                                const BnbOptions& options) {
+  CoverSolution sol;
+  const std::size_t rows = problem.num_rows();
+  const std::size_t cols = problem.num_columns();
+  if (rows == 0) {
+    sol.optimal = true;
+    return sol;
+  }
+  if (!problem.feasible()) {
+    // Same shape as the branch-and-bound's infeasible exit: +inf cost, no
+    // columns, search "completed" without a proof.
+    sol.cost = kInf;
+    sol.lower_bound = independent_rows_lower_bound(problem);
+    return sol;
+  }
+
+  // Anytime incumbent: greedy cover, improved by the caller's warm start.
+  std::vector<std::size_t> best;
+  double best_cost = detail::seed_incumbent(problem, options, best);
+
+  double core_bound = 0.0;      // last proven core optimum (monotone)
+  std::size_t nodes = 0;        // sub-solve nodes, >= 1 per iteration
+  CoverStop stop = CoverStop::kCompleted;
+  bool optimal = false;
+
+  // Start the core at the most binding row overall rather than empty; the
+  // first sub-solve then already generates a nontrivial bound.
+  Bitset core(rows);
+  {
+    Bitset all(rows);
+    all.set_all();
+    core.set(most_binding_row(problem, all));
+  }
+
+  while (true) {
+    if (options.fault_injector != nullptr &&
+        options.fault_injector->should_fail(support::fault_sites::kUcpFrontier)) {
+      stop = CoverStop::kAborted;
+      break;
+    }
+    if (options.deadline.expired()) {
+      stop = CoverStop::kDeadline;
+      break;
+    }
+    if (nodes >= options.max_nodes) {
+      stop = CoverStop::kNodeBudget;
+      break;
+    }
+    if (core.count() > options.best_first_max_frontier) {
+      // The core IS this solver's frontier: one lazily generated constraint
+      // per entry, so the best-first frontier cap bounds it too.
+      stop = CoverStop::kFrontierCap;
+      break;
+    }
+
+    // Core-restricted sub-instance: core rows reindexed densely, columns
+    // restricted to them (empty restrictions dropped), solved EXACTLY
+    // through the ordinary automatic dispatch (dense DP for small cores,
+    // serial best-first beyond).
+    std::vector<std::size_t> core_rows;
+    core.for_each([&](std::size_t r) { core_rows.push_back(r); });
+    CoverProblem sub(core_rows.size());
+    std::vector<std::size_t> sub_to_full;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const Column& c = problem.column(j);
+      std::vector<std::size_t> sub_rows;
+      for (std::size_t k = 0; k < core_rows.size(); ++k) {
+        if (c.rows.test(core_rows[k])) sub_rows.push_back(k);
+      }
+      if (sub_rows.empty()) continue;
+      sub.add_column(sub_rows, c.weight);
+      sub_to_full.push_back(j);
+    }
+
+    BnbOptions sub_opt = options;
+    sub_opt.backend.clear();
+    sub_opt.fault_injector = nullptr;  // consulted once per iteration above
+    sub_opt.mode = BnbMode::kSerial;
+    sub_opt.search_order = SearchOrder::kBestFirst;
+    sub_opt.threads = 1;
+    sub_opt.pool = nullptr;
+    sub_opt.dense_dp_max_rows = kDenseDpMaxRows;
+    sub_opt.warm_start.clear();
+    sub_opt.warm_multipliers.clear();
+    sub_opt.max_nodes = options.max_nodes - nodes;
+    const CoverSolution core_sol = detail::solve_exact_auto(sub, sub_opt);
+    nodes += std::max<std::size_t>(core_sol.nodes_explored, 1);
+    if (!core_sol.optimal) {
+      // The sub-solve hit a budget; its stop reason is ours.
+      stop = core_sol.stop;
+      break;
+    }
+    core_bound = std::max(core_bound, core_sol.cost);
+
+    // Map the core optimum back to full column indices and test the one
+    // termination condition: does it already cover every row?
+    std::vector<std::size_t> chosen;
+    chosen.reserve(core_sol.chosen.size());
+    Bitset covered(rows);
+    for (std::size_t sj : core_sol.chosen) {
+      const std::size_t j = sub_to_full[sj];
+      chosen.push_back(j);
+      covered.unite(problem.column(j).rows);
+    }
+    if (covered.count() == rows) {
+      // Cost equals the core lower bound: proven optimal.
+      std::sort(chosen.begin(), chosen.end());
+      best = std::move(chosen);
+      best_cost = core_sol.cost;
+      optimal = true;
+      break;
+    }
+
+    // Not a full cover yet: greedily complete it for the anytime incumbent,
+    // then add the most binding uncovered row to the core and iterate.
+    Bitset uncovered(rows);
+    uncovered.set_all();
+    uncovered.subtract(covered);
+    const std::size_t next_row = most_binding_row(problem, uncovered);
+
+    double completed_cost = core_sol.cost;
+    if (greedy_complete(problem, chosen, covered, completed_cost) &&
+        completed_cost < best_cost) {
+      std::sort(chosen.begin(), chosen.end());
+      best = std::move(chosen);
+      best_cost = completed_cost;
+    }
+
+    core.set(next_row);
+  }
+
+  sol.chosen = std::move(best);
+  std::sort(sol.chosen.begin(), sol.chosen.end());
+  sol.cost = best_cost;
+  sol.optimal = optimal;
+  sol.nodes_explored = nodes;
+  sol.stop = stop;
+  sol.deadline_expired = stop == CoverStop::kDeadline;
+  if (optimal) {
+    sol.lower_bound = sol.cost;
+  } else {
+    // Honest gap on budgeted exits: the strongest of the last proven core
+    // bound and the root bounds the branch-and-bound machinery derives
+    // (NodeEvaluator's MIS bound, independent-rows fallback).
+    double lb = std::max(core_bound, independent_rows_lower_bound(problem));
+    detail::SearchState root;
+    root.uncovered = Bitset(rows);
+    root.uncovered.set_all();
+    root.available = Bitset(cols);
+    root.available.set_all();
+    const detail::NodeEvaluator evaluator(problem, options);
+    lb = std::max(lb, evaluator.lower_bound(root));
+    sol.lower_bound = lb;
+  }
+  return sol;
+}
+
+}  // namespace cdcs::ucp

@@ -32,6 +32,7 @@
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "synth/engine.hpp"
+#include "ucp/cover_solver.hpp"
 #include "workloads/wan2002.hpp"
 
 namespace {
@@ -165,6 +166,8 @@ int main(int argc, char** argv) {
 
   const model::ConstraintGraph base = workloads::wan2002();
   const commlib::Library lib = commlib::wan_library();
+  std::vector<std::string> backends = ucp::registered_cover_solver_names();
+  backends.push_back("portfolio");
 
   int failures = 0;
   int successes = 0;
@@ -188,9 +191,16 @@ int main(int argc, char** argv) {
     synth::SynthesisOptions options;
     options.threads = args.threads;
     options.fault_injection.injector = std::make_shared<FaultInjector>(*plan);
-    // Run the cover solves through the deterministic parallel engine so the
-    // rotating plans exercise the ucp.frontier site; WAN has 19 rows, so
-    // the dense-DP shortcut must be off for branch-and-bound to run at all.
+    // Rotate the cover solves across EVERY registered backend plus the
+    // portfolio, so the rotating plans exercise the ucp.frontier fault site
+    // in each engine (serial per branch node, dense DP per deadline poll,
+    // hitting-set per iteration, parallel per round; the portfolio runs
+    // sequentially under an armed injector). The dense-DP shortcut stays
+    // off for the auto-dispatch-equivalent backends so branch-and-bound
+    // actually runs on WAN's 19 rows; mode kRounds keeps parallel_bnb on
+    // its deterministic engine.
+    options.solver.backend = backends[static_cast<std::size_t>(i) %
+                                      backends.size()];
     options.solver.mode = ucp::BnbMode::kRounds;
     options.solver.threads = args.threads;
     options.solver.dense_dp_max_rows = 0;

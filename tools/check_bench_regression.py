@@ -28,6 +28,11 @@ and fails (exit 1) on:
     lose to the serial wall by more than 10% -- asserted ONLY when the
     fresh run's host has more than one hardware thread (on the 1-core CI
     container the sweep is pure oversubscription and proves nothing);
+  * drift in the "cover_solver_matrix" section: every backend's cover cost
+    (1e-6) and proven optimality per instance, no per-backend node-count
+    growth, and the portfolio winner -- which the fixed-priority race makes
+    a pure function of the instance -- must match the baseline exactly,
+    with its deterministic flag true on every run;
   * drift in the "parallel_bnb" section: rounds-mode cost (1e-6) and
     explored-node count (no growth) against the baseline, plus the
     rounds_threads_identical / free_optimal / free_speedup_ok flags,
@@ -231,6 +236,64 @@ def main():
                         f"partitioned_scaling.{key} = {e_p.get(key)} "
                         "(must hold on every run)"
                     )
+
+    # Cover-solver backend matrix. Everything in the section is a
+    # deterministic pure function of the pinned instances: per-backend node
+    # counts (exact solvers, fixed seeds), costs, and the portfolio winner
+    # (the fixed-priority race contract in ucp/cover_solver.hpp). Costs get
+    # the usual float tolerance; node counts must not grow; the winner must
+    # not drift.
+    b_matrix = {(e["rows"], e["cols"]): e
+                for e in base.get("cover_solver_matrix", [])}
+    e_matrix = {(e["rows"], e["cols"]): e
+                for e in fresh.get("cover_solver_matrix", [])}
+    for key, b in b_matrix.items():
+        e = e_matrix.get(key)
+        if e is None:
+            errors.append(
+                f"cover_solver_matrix instance {key} missing from fresh run")
+            continue
+        if abs(e["cost"] - b["cost"]) > 1e-6:
+            errors.append(
+                f"cover_solver_matrix {key}: reference cost changed "
+                f"{b['cost']} -> {e['cost']}"
+            )
+        for name, bb in b.get("backends", {}).items():
+            eb = e.get("backends", {}).get(name)
+            if eb is None:
+                errors.append(
+                    f"cover_solver_matrix {key}: backend '{name}' missing "
+                    "from fresh run"
+                )
+                continue
+            if not eb.get("optimal", False):
+                errors.append(
+                    f"cover_solver_matrix {key}: backend '{name}' no longer "
+                    "proves optimality"
+                )
+            if eb["nodes"] > bb["nodes"]:
+                errors.append(
+                    f"cover_solver_matrix {key}: backend '{name}' nodes grew "
+                    f"{bb['nodes']} -> {eb['nodes']}"
+                )
+        b_pf = b.get("portfolio", {})
+        e_pf = e.get("portfolio", {})
+        if e_pf.get("winner") != b_pf.get("winner"):
+            errors.append(
+                f"cover_solver_matrix {key}: portfolio winner changed "
+                f"'{b_pf.get('winner')}' -> '{e_pf.get('winner')}' (the "
+                "fixed-priority winner is a pure function of the instance)"
+            )
+        if abs(e_pf.get("cost", 0.0) - b_pf.get("cost", 0.0)) > 1e-6:
+            errors.append(
+                f"cover_solver_matrix {key}: portfolio cost changed "
+                f"{b_pf.get('cost')} -> {e_pf.get('cost')}"
+            )
+        if e_pf.get("deterministic") is not True:
+            errors.append(
+                f"cover_solver_matrix {key}: portfolio deterministic = "
+                f"{e_pf.get('deterministic')} (must hold on every run)"
+            )
 
     # Parallel branch-and-bound. The rounds-mode tree is a pure function of
     # the instance (that is the determinism contract), so its cost and node
