@@ -22,12 +22,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "commlib/standard_libraries.hpp"
 #include "support/metrics.hpp"
+#include "support/obs_context.hpp"
+#include "support/profiler.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 #include "synth/engine.hpp"
 #include "synth/partition.hpp"
 #include "synth/pricing_cache.hpp"
@@ -341,6 +345,23 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(counter_total(m, "fault.fires")),
         static_cast<unsigned long long>(
             counter_total(m, "io.journal.appends")));
+  }
+
+  // --- In-process profiler over one scoped serial synthesize ------------
+  // A fresh trace session + observability scope around a single 1-thread
+  // WAN synthesize. The per-(scope, span-name) COUNTS are a deterministic
+  // function of this fixed workload and are diffed exactly by
+  // tools/check_bench_regression.py; the *_us timings and latency buckets
+  // are machine noise and are ignored by the checker. Timing stays
+  // disabled -- the trace layer stamps its own timestamps.
+  {
+    support::ScopedTraceSession session;
+    support::ObsContext bench_scope("bench=wan_profile");
+    (void)synth::synthesize(cg, lib).value();
+    std::ostringstream profile_json;
+    support::write_profile_json(profile_json,
+                                support::build_profile(session.sink()));
+    std::fprintf(out, "  \"profile\": %s,\n", profile_json.str().c_str());
   }
 
   // --- Cover-solver backend matrix --------------------------------------

@@ -99,7 +99,17 @@
 //                            timing
 //   --report-perf            print the consolidated perf section (per-stage
 //                            wall time, cache, UCP telemetry) instead of the
-//                            one-line Perf summary; enables timing
+//                            one-line Perf summary; enables timing AND a
+//                            trace session so the in-process profiler's
+//                            top-N hotspots table can be derived
+//   --obs-session LABEL      open an observability scope (e.g. wan_a) for
+//                            the whole run: every span/counter/flight event
+//                            is attributed 'LABEL/solve=N' in traces and
+//                            postmortems (docs/observability.md)
+//   --postmortem-dir DIR     arm automatic postmortem dumps: the first
+//                            fault fire or degraded exit writes
+//                            DIR/postmortem_<n>.json (flight recorder +
+//                            metrics + trace ring), exactly once per run
 //   --quiet                  suppress the full report (exit code only)
 //
 // Every value-taking option also accepts --flag=value.
@@ -122,7 +132,10 @@
 #include "model/sanitize.hpp"
 #include "sim/delay.hpp"
 #include "support/fault.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
+#include "support/obs_context.hpp"
+#include "support/profiler.hpp"
 #include "support/trace.hpp"
 #include "synth/engine.hpp"
 #include "synth/synthesizer.hpp"
@@ -175,7 +188,12 @@ int usage(const char* argv0) {
          "  --save FILE        write the implementation graph\n"
          "  --trace-out FILE   write a Chrome trace_event JSON trace\n"
          "  --metrics-out FILE write the run's metrics as flat JSON\n"
-         "  --report-perf      print the consolidated perf section\n"
+         "  --report-perf      print the consolidated perf + profile "
+         "sections\n"
+         "  --obs-session LABEL   attribute the run to an observability "
+         "scope\n"
+         "  --postmortem-dir DIR  dump a postmortem JSON on fault/degraded "
+         "exit\n"
          "  --quiet            suppress the report\n"
          "(value options also accept --flag=value)\n";
   return 2;
@@ -195,6 +213,8 @@ int fail(const cdcs::support::Status& status) {
 struct Observability {
   std::string trace_out;
   std::string metrics_out;
+  std::string obs_session;
+  std::string postmortem_dir;
   bool report_perf = false;
   std::optional<cdcs::support::ScopedTraceSession> session;
   cdcs::support::MetricsSnapshot baseline;
@@ -352,6 +372,10 @@ int run(int argc, char** argv, Observability& obs) {
       obs.metrics_out = next();
     } else if (arg == "--report-perf") {
       obs.report_perf = true;
+    } else if (arg == "--obs-session") {
+      obs.obs_session = next();
+    } else if (arg == "--postmortem-dir") {
+      obs.postmortem_dir = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.starts_with("--")) {
@@ -372,10 +396,18 @@ int run(int argc, char** argv, Observability& obs) {
   // are captured too. Timing (clock reads in ScopedTimer) is opt-in via the
   // flags that consume it; the baseline makes the exported metrics a
   // per-run delta of the process-global registry.
-  if (!obs.trace_out.empty()) obs.session.emplace();
+  // --report-perf also installs a session: the profile section is derived
+  // from the trace ring, so the spans have to be captured somewhere even
+  // when no --trace-out file was requested.
+  if (!obs.trace_out.empty() || obs.report_perf) obs.session.emplace();
   if (!obs.metrics_out.empty() || obs.report_perf) {
     support::set_timing_enabled(true);
   }
+  if (!obs.postmortem_dir.empty()) {
+    support::set_postmortem_dir(obs.postmortem_dir);
+  }
+  std::optional<support::ObsContext> run_scope;
+  if (!obs.obs_session.empty()) run_scope.emplace(obs.obs_session);
   obs.baseline = support::MetricsRegistry::global().snapshot();
 
   std::ifstream graph_file(positional[0]);
@@ -502,7 +534,12 @@ int run(int argc, char** argv, Observability& obs) {
     if (obs.report_perf) {
       std::cout << io::describe_perf(
           support::MetricsRegistry::global().snapshot().delta_since(
-              obs.baseline));
+              obs.baseline),
+          &result);
+      if (obs.session.has_value()) {
+        std::cout << io::describe_profile(
+            support::build_profile(obs.session->sink()));
+      }
     }
   }
 
@@ -545,7 +582,7 @@ int main(int argc, char** argv) {
   // failure, synthesis error mid-edit-script): whatever events made it into
   // the ring are exported as a well-formed trace -- the exporter closes any
   // span the failure left open.
-  if (obs.session.has_value()) {
+  if (obs.session.has_value() && !obs.trace_out.empty()) {
     obs.session->close();
     std::ofstream out(obs.trace_out);
     if (!out) {

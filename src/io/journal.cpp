@@ -9,6 +9,7 @@
 
 #include "io/edit_script.hpp"
 #include "io/text_format.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
 
 namespace cdcs::io {
@@ -236,6 +237,10 @@ support::Status JournalWriter::append_record(const std::string& payload) {
     end_offset_ += record.size();
     registry.counter("io.journal.appends").add(1);
     registry.counter("io.journal.bytes").add(record.size());
+    support::flight_record(
+        "journal", "append record=" +
+                       std::to_string(record_offsets_.size() - 1) +
+                       " bytes=" + std::to_string(record.size()));
     return Status::Ok();
   }
   return std::move(last_failure)

@@ -1,5 +1,6 @@
 #include "io/report.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
 
@@ -179,7 +180,8 @@ std::string pct(std::uint64_t part, std::uint64_t whole) {
 
 }  // namespace
 
-std::string describe_perf(const support::MetricsSnapshot& m) {
+std::string describe_perf(const support::MetricsSnapshot& m,
+                          const synth::SynthesisResult* result) {
   std::ostringstream os;
   os << "Perf:\n";
 
@@ -256,6 +258,21 @@ std::string describe_perf(const support::MetricsSnapshot& m) {
     if (!first) os << "\n";
   }
 
+  // Why the winning solve stopped -- and, when the ladder had to step past
+  // exact, which rung and why. Degraded runs are diagnosable from the
+  // report alone.
+  if (result != nullptr) {
+    os << "  cover stop: " << ucp::to_string(result->cover.stop);
+    if (!result->cover.backend.empty()) {
+      os << " (backend " << result->cover.backend << ")";
+    }
+    os << "\n";
+    if (result->degradation.degraded()) {
+      os << "  degradation: stage=" << to_string(result->degradation.stage)
+         << " -- " << result->degradation.reason << "\n";
+    }
+  }
+
   // Portfolio race outcomes ("ucp.portfolio.<outcome>.<backend>").
   {
     const std::string prefix = "ucp.portfolio.";
@@ -286,6 +303,38 @@ std::string describe_perf(const support::MetricsSnapshot& m) {
          << ms_of_us(tasks->second.mean());
     }
     os << "\n";
+  }
+  return os.str();
+}
+
+std::string describe_profile(const std::vector<support::ProfileEntry>& entries,
+                             std::size_t top_n) {
+  std::ostringstream os;
+  os << "Profile (top " << std::min(top_n, entries.size()) << " of "
+     << entries.size() << " span(s), by total time):\n";
+  // Entries arrive in (scope, name) key order; rank hotspots by inclusive
+  // time with the deterministic key order as the tie-break.
+  std::vector<const support::ProfileEntry*> ranked;
+  ranked.reserve(entries.size());
+  for (const support::ProfileEntry& e : entries) ranked.push_back(&e);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const support::ProfileEntry* a,
+                      const support::ProfileEntry* b) {
+                     return a->total_us > b->total_us;
+                   });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+  for (const support::ProfileEntry* e : ranked) {
+    os << "  " << e->name;
+    if (!e->scope.empty()) os << " [" << e->scope << "]";
+    const double mean_us =
+        e->count == 0 ? 0.0
+                      : static_cast<double>(e->total_us) /
+                            static_cast<double>(e->count);
+    os << ": " << e->count << " call(s), total "
+       << ms_of_us(static_cast<double>(e->total_us)) << ", self "
+       << ms_of_us(static_cast<double>(e->self_us)) << ", max "
+       << ms_of_us(static_cast<double>(e->max_us)) << ", mean "
+       << ms_of_us(mean_us) << "\n";
   }
   return os.str();
 }

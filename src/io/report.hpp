@@ -1,9 +1,12 @@
 // Human-readable synthesis reports used by the examples and benchmarks.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "support/metrics.hpp"
+#include "support/profiler.hpp"
 #include "synth/synthesizer.hpp"
 
 namespace cdcs::io {
@@ -23,7 +26,18 @@ std::string describe(const synth::SynthesisResult& result,
 /// names are the registry taxonomy in docs/observability.md; sections whose
 /// metrics are absent (e.g. wall times without --metrics-out/--report-perf
 /// enabling timing) are omitted.
-std::string describe_perf(const support::MetricsSnapshot& delta);
+/// When `result` is supplied, the backend line is followed by the run's
+/// CoverStop string and -- for degraded runs -- the active degradation
+/// stage and reason, so a degraded run is diagnosable from the report
+/// alone.
+std::string describe_perf(const support::MetricsSnapshot& delta,
+                          const synth::SynthesisResult* result = nullptr);
+
+/// Top-N hotspots table over in-process profiler entries
+/// (support::build_profile): one row per (scope, span-name) ordered by
+/// total time, with count / total / self / max / mean columns.
+std::string describe_profile(const std::vector<support::ProfileEntry>& entries,
+                             std::size_t top_n = 10);
 
 /// Short structural summary of one candidate ("merge {a4,a5,a6} via optical
 /// trunk ..." / "a1: radio matching ...").

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
 
 namespace cdcs::support {
@@ -236,6 +237,9 @@ bool FaultInjector::should_fail(std::string_view site) {
     total_fires_.fetch_add(1, std::memory_order_relaxed);
     fires_counter_->add(1);
     entry.fire_counter->add(1);
+    flight_record("fault", std::string(site) + " fired on hit " +
+                               std::to_string(hit));
+    maybe_dump_postmortem("fault", std::string(site));
   }
   return fires;
 }
@@ -255,6 +259,8 @@ void record_fault_fire(std::string_view site) {
   auto& registry = MetricsRegistry::global();
   registry.counter("fault.fires").add(1);
   registry.counter("fault.fires." + std::string(site)).add(1);
+  flight_record("fault", std::string(site) + " fired");
+  maybe_dump_postmortem("fault", std::string(site));
 }
 
 }  // namespace cdcs::support

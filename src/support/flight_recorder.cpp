@@ -1,0 +1,169 @@
+#include "support/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "support/metrics.hpp"
+#include "support/obs_context.hpp"
+#include "support/trace.hpp"
+
+namespace cdcs::support {
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Postmortem arming state. The latch is atomic so the common disarmed /
+// already-latched checks at fault sites stay lock-free; the directory and
+// the file write serialize on the mutex.
+std::mutex g_postmortem_mu;
+std::string g_postmortem_dir;  // guarded by g_postmortem_mu
+std::atomic<bool> g_postmortem_armed{false};
+std::atomic<bool> g_postmortem_latched{false};
+std::atomic<std::uint64_t> g_postmortem_seq{0};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 16)),
+      epoch_ns_(steady_ns()) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(const char* kind, std::string detail) {
+  FlightEvent e;
+  e.timestamp_us = (steady_ns() - epoch_ns_) / 1000;
+  e.thread_id = trace_thread_id();
+  e.kind = kind;
+  e.detail = std::move(detail);
+  e.scope = current_obs_scope_path();
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = total_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  wrapped_ = true;
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  // Never destructed: instrumentation sites may fire during static
+  // teardown (same stance as MetricsRegistry::global()).
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void flight_record(const char* kind, std::string detail) {
+  FlightRecorder::global().record(kind, std::move(detail));
+}
+
+void dump_postmortem(std::ostream& os, const char* trigger,
+                     const std::string& detail) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  const std::vector<FlightEvent> events = recorder.snapshot();
+
+  os << "{\n  \"postmortem\": {\"trigger\": ";
+  write_json_string(os, trigger);
+  os << ", \"detail\": ";
+  write_json_string(os, detail);
+  os << ", \"scope\": ";
+  write_json_string(os, current_obs_scope_path());
+  os << ", \"timestamp_us\": "
+     << (events.empty() ? 0 : events.back().timestamp_us) << "},\n";
+
+  os << "  \"flight_recorder\": {\"capacity\": " << recorder.capacity()
+     << ", \"total_recorded\": " << recorder.total_recorded()
+     << ", \"events\": [";
+  bool first = true;
+  for (const FlightEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"seq\": " << e.seq << ", \"ts_us\": " << e.timestamp_us
+       << ", \"tid\": " << e.thread_id << ", \"kind\": ";
+    write_json_string(os, e.kind);
+    os << ", \"detail\": ";
+    write_json_string(os, e.detail);
+    os << ", \"scope\": ";
+    write_json_string(os, e.scope);
+    os << "}";
+  }
+  os << "\n  ]},\n";
+
+  os << "  \"metrics\": ";
+  write_metrics_json(os, MetricsRegistry::global().snapshot());
+  os << ",\n  \"trace\": ";
+  if (TraceSink* sink = trace_sink(); sink != nullptr) {
+    write_chrome_trace(os, *sink);
+  } else {
+    os << "null";
+  }
+  os << "\n}\n";
+}
+
+void set_postmortem_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(g_postmortem_mu);
+  g_postmortem_dir = std::move(dir);
+  g_postmortem_armed.store(!g_postmortem_dir.empty(),
+                           std::memory_order_release);
+  g_postmortem_latched.store(false, std::memory_order_release);
+}
+
+std::string postmortem_dir() {
+  std::lock_guard<std::mutex> lock(g_postmortem_mu);
+  return g_postmortem_dir;
+}
+
+void reset_postmortem_latch() {
+  g_postmortem_latched.store(false, std::memory_order_release);
+}
+
+std::string maybe_dump_postmortem(const char* trigger,
+                                  const std::string& detail) {
+  if (!g_postmortem_armed.load(std::memory_order_acquire)) return "";
+  if (g_postmortem_latched.exchange(true, std::memory_order_acq_rel)) {
+    MetricsRegistry::global().counter("postmortem.suppressed").add(1);
+    return "";
+  }
+  std::lock_guard<std::mutex> lock(g_postmortem_mu);
+  if (g_postmortem_dir.empty()) return "";
+  const std::uint64_t seq =
+      g_postmortem_seq.fetch_add(1, std::memory_order_relaxed);
+  std::string path = g_postmortem_dir + "/postmortem_" +
+                     std::to_string(seq) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  flight_record("postmortem", std::string("dump trigger=") + trigger);
+  dump_postmortem(out, trigger, detail);
+  MetricsRegistry::global().counter("postmortem.dumps").add(1);
+  return path;
+}
+
+}  // namespace cdcs::support

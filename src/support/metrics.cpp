@@ -189,12 +189,7 @@ ScopedTimer::~ScopedTimer() {
 
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
   auto write_name = [&os](const std::string& name) {
-    os << '"';
-    for (char c : name) {
-      if (c == '"' || c == '\\') os << '\\';
-      os << c;
-    }
-    os << '"';
+    write_json_string(os, name);
   };
   os << "{\n  \"counters\": {";
   bool first = true;

@@ -1,0 +1,132 @@
+#include "support/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "support/metrics.hpp"
+
+namespace cdcs::support {
+namespace {
+
+std::size_t bucket_index(const std::vector<double>& bounds, double v) {
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (v <= bounds[i]) return i;
+  }
+  return bounds.size();  // +inf overflow bucket
+}
+
+/// One still-open span instance on a thread's replay stack.
+struct Frame {
+  const char* name;
+  const std::string* scope;  ///< points into the event that opened it
+  std::int64_t begin_us;
+  std::int64_t child_us{0};  ///< inclusive time of completed children
+};
+
+}  // namespace
+
+const std::vector<double>& profile_bucket_bounds() {
+  static const std::vector<double> bounds = Histogram::latency_us_bounds();
+  return bounds;
+}
+
+std::vector<ProfileEntry> build_profile(
+    const std::vector<TraceEvent>& events) {
+  const std::vector<double>& bounds = profile_bucket_bounds();
+  std::map<std::pair<std::string, std::string>, ProfileEntry> agg;
+  std::vector<std::vector<Frame>> stacks;  // indexed by thread id
+  std::int64_t last_ts = 0;
+
+  auto close = [&](const Frame& f, std::int64_t end_us,
+                   std::vector<Frame>& stack) {
+    const std::int64_t dur = std::max<std::int64_t>(0, end_us - f.begin_us);
+    ProfileEntry& entry = agg[{*f.scope, f.name}];
+    if (entry.buckets.empty()) {
+      entry.scope = *f.scope;
+      entry.name = f.name;
+      entry.buckets.assign(bounds.size() + 1, 0);
+    }
+    ++entry.count;
+    entry.total_us += dur;
+    entry.self_us += std::max<std::int64_t>(0, dur - f.child_us);
+    entry.max_us = std::max(entry.max_us, dur);
+    ++entry.buckets[bucket_index(bounds, static_cast<double>(dur))];
+    if (!stack.empty()) stack.back().child_us += dur;
+  };
+
+  for (const TraceEvent& e : events) {
+    last_ts = std::max(last_ts, e.timestamp_us);
+    if (e.thread_id >= stacks.size()) stacks.resize(e.thread_id + 1);
+    std::vector<Frame>& stack = stacks[e.thread_id];
+    switch (e.phase) {
+      case TraceEvent::Phase::kBegin: {
+        Frame f;
+        f.name = e.name;
+        f.scope = &e.scope;
+        f.begin_us = e.timestamp_us;
+        stack.push_back(f);
+        break;
+      }
+      case TraceEvent::Phase::kEnd: {
+        if (stack.empty()) break;  // orphan: begin overwritten by the ring
+        Frame f = stack.back();
+        stack.pop_back();
+        close(f, e.timestamp_us, stack);
+        break;
+      }
+      default:
+        break;  // counters/instants carry no duration
+    }
+  }
+
+  // Spans the stream left open get a synthetic end at the last timestamp,
+  // deepest first -- the same repair the Chrome exporter performs.
+  for (std::vector<Frame>& stack : stacks) {
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      close(f, last_ts, stack);
+    }
+  }
+
+  std::vector<ProfileEntry> out;
+  out.reserve(agg.size());
+  for (auto& [key, entry] : agg) out.push_back(std::move(entry));
+  return out;  // std::map iteration == (scope, name) order
+}
+
+std::vector<ProfileEntry> build_profile(const TraceSink& sink) {
+  return build_profile(sink.snapshot());
+}
+
+void write_profile_json(std::ostream& os,
+                        const std::vector<ProfileEntry>& entries) {
+  const std::vector<double>& bounds = profile_bucket_bounds();
+  os << "{\"buckets_us\": [";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << bounds[i];
+  }
+  os << "], \"entries\": [";
+  bool first = true;
+  for (const ProfileEntry& e : entries) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"scope\": ";
+    write_json_string(os, e.scope);
+    os << ", \"name\": ";
+    write_json_string(os, e.name);
+    os << ", \"count\": " << e.count << ", \"total_us\": " << e.total_us
+       << ", \"self_us\": " << e.self_us << ", \"max_us\": " << e.max_us
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << e.buckets[i];
+    }
+    os << "]}";
+  }
+  os << "\n]}";
+}
+
+}  // namespace cdcs::support

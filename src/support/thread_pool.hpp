@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "support/metrics.hpp"
+#include "support/obs_context.hpp"
 #include "support/trace.hpp"
 
 namespace cdcs::support {
@@ -79,7 +80,14 @@ class ThreadPool {
     std::size_t depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace([task] { (*task)(); });
+      // Carry the submitter's observability scope onto the worker so the
+      // task's spans/counters stay attributed to the scope that fanned the
+      // work out. A null handle install/restore is two shared_ptr moves --
+      // scheduling and results are unchanged.
+      queue_.emplace([task, scope = current_obs_scope()] {
+        ObsScopeGuard scope_guard(std::move(scope));
+        (*task)();
+      });
       depth = queue_.size();
     }
     // High-water mark of pending (not yet dequeued) tasks. One relaxed

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "support/obs_context.hpp"
+
 namespace cdcs::support {
 namespace {
 
@@ -30,12 +32,56 @@ const char* phase_string(TraceEvent::Phase phase) {
   return "i";
 }
 
-/// JSON string escaping for names/categories (they are code literals, but
-/// the exporter must emit valid JSON no matter what they contain).
-void write_json_string(std::ostream& os, const char* s) {
+void write_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":";
+  write_json_string(os, e.name);
+  os << ",\"cat\":";
+  write_json_string(os, *e.category ? e.category : "synth");
+  os << ",\"ph\":\"" << phase_string(e.phase) << "\"";
+  os << ",\"ts\":" << e.timestamp_us;
+  os << ",\"pid\":1,\"tid\":" << e.thread_id;
+  // The scope path (if any) rides in "args" next to the event's own
+  // payload, so Perfetto shows attribution on hover and queries can group
+  // by args.scope. The preformatted args object ("{...}") is spliced in
+  // after the scope key.
+  auto write_args_with_scope = [&os, &e] {
+    os << ",\"args\":{\"scope\":";
+    write_json_string(os, e.scope);
+    if (e.args.size() > 2) {
+      os << "," << std::string_view(e.args).substr(1, e.args.size() - 2);
+    }
+    os << "}";
+  };
+  if (e.phase == TraceEvent::Phase::kCounter) {
+    // Counter payloads live in "args"; Perfetto draws one track per key.
+    os << ",\"args\":{\"value\":" << e.value;
+    if (!e.scope.empty()) {
+      os << ",\"scope\":";
+      write_json_string(os, e.scope);
+    }
+    os << "}";
+  } else if (e.phase == TraceEvent::Phase::kInstant) {
+    os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (!e.scope.empty()) {
+      write_args_with_scope();
+    } else if (!e.args.empty()) {
+      os << ",\"args\":" << e.args;
+    }
+  } else if (e.phase == TraceEvent::Phase::kBegin) {
+    if (!e.scope.empty()) {
+      write_args_with_scope();
+    } else if (!e.args.empty()) {
+      os << ",\"args\":" << e.args;
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_json_string(std::ostream& os, std::string_view s) {
   os << '"';
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
+  for (const char c : s) {
     switch (c) {
       case '"':
         os << "\\\"";
@@ -60,28 +106,6 @@ void write_json_string(std::ostream& os, const char* s) {
   }
   os << '"';
 }
-
-void write_event(std::ostream& os, const TraceEvent& e) {
-  os << "{\"name\":";
-  write_json_string(os, e.name);
-  os << ",\"cat\":";
-  write_json_string(os, *e.category ? e.category : "synth");
-  os << ",\"ph\":\"" << phase_string(e.phase) << "\"";
-  os << ",\"ts\":" << e.timestamp_us;
-  os << ",\"pid\":1,\"tid\":" << e.thread_id;
-  if (e.phase == TraceEvent::Phase::kCounter) {
-    // Counter payloads live in "args"; Perfetto draws one track per key.
-    os << ",\"args\":{\"value\":" << e.value << "}";
-  } else if (e.phase == TraceEvent::Phase::kInstant) {
-    os << ",\"s\":\"t\"";  // thread-scoped instant
-    if (!e.args.empty()) os << ",\"args\":" << e.args;
-  } else if (e.phase == TraceEvent::Phase::kBegin && !e.args.empty()) {
-    os << ",\"args\":" << e.args;
-  }
-  os << "}";
-}
-
-}  // namespace
 
 TraceSink::TraceSink(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 16)), epoch_ns_(steady_ns()) {
@@ -151,6 +175,7 @@ Span::Span(const char* name, const char* category, std::string args)
   e.timestamp_us = sink_->now_us();
   e.thread_id = trace_thread_id();
   e.args = std::move(args);
+  e.scope = current_obs_scope_path();
   sink_->record(std::move(e));
 }
 
@@ -175,6 +200,7 @@ void trace_counter(const char* name, double value, const char* category) {
   e.timestamp_us = sink->now_us();
   e.thread_id = trace_thread_id();
   e.value = value;
+  e.scope = current_obs_scope_path();
   sink->record(std::move(e));
 }
 
@@ -188,6 +214,7 @@ void trace_instant(const char* name, const char* category, std::string args) {
   e.timestamp_us = sink->now_us();
   e.thread_id = trace_thread_id();
   e.args = std::move(args);
+  e.scope = current_obs_scope_path();
   sink->record(std::move(e));
 }
 

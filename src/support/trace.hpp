@@ -20,7 +20,9 @@
 //
 // Span names and categories must be string literals (or otherwise outlive
 // the sink): events store the pointers, not copies -- emitting is O(1) and
-// allocation-free except for the optional args string.
+// allocation-free except for the optional args string and the ObsContext
+// scope path stamped onto each event when a scope is active
+// (support/obs_context.hpp); both happen only with a sink installed.
 //
 // Export: write_chrome_trace() emits the Chrome trace_event JSON array
 // format, loadable in Perfetto (https://ui.perfetto.dev) or about:tracing.
@@ -33,6 +35,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cdcs::support {
@@ -52,6 +55,7 @@ struct TraceEvent {
   std::uint32_t thread_id{0};    ///< small stable id (see trace_thread_id)
   double value{0.0};             ///< kCounter payload
   std::string args;              ///< preformatted JSON object ("{...}") or ""
+  std::string scope;             ///< ObsContext path at emission ("" = none)
 };
 
 /// Thread-safe fixed-capacity ring buffer of trace events. Overwrites the
@@ -168,5 +172,11 @@ std::size_t write_chrome_trace(std::ostream& os,
 /// Convenience: snapshot + write. Returns the number of events written
 /// (after pairing repair).
 std::size_t write_chrome_trace(std::ostream& os, const TraceSink& sink);
+
+/// Writes `s` as a JSON string literal (quotes included), escaping
+/// backslash, quote, and control characters. Shared by the trace, metrics,
+/// profile, and postmortem exporters so hostile names (scope labels with
+/// quotes/newlines/UTF-8) can never break a document.
+void write_json_string(std::ostream& os, std::string_view s);
 
 }  // namespace cdcs::support

@@ -9,7 +9,9 @@
 
 #include "model/sanitize.hpp"
 #include "support/fault.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
+#include "support/obs_context.hpp"
 #include "synth/candidate_generator.hpp"
 
 namespace cdcs::synth {
@@ -30,6 +32,10 @@ support::Expected<SynthesisResult> Engine::apply(const model::Delta& delta) {
   support::Span span("engine.apply", "engine",
                      "{\"revision\":" + std::to_string(graph_.revision()) +
                          ",\"ops\":" + std::to_string(delta.ops.size()) + "}");
+  support::flight_record("stage",
+                         "engine.apply revision=" +
+                             std::to_string(graph_.revision()) +
+                             " ops=" + std::to_string(delta.ops.size()));
   // All-or-nothing: snapshot every piece of session state this apply can
   // touch, so any downstream failure (journal append, injected fault,
   // synthesis error) restores the session byte-for-byte.
@@ -217,6 +223,8 @@ support::Expected<std::unique_ptr<Engine>> Engine::recover(
                                          std::move(options), policy);
   engine->journal_ = *std::move(writer);
   support::MetricsRegistry::global().counter("engine.recoveries").add(1);
+  support::flight_record("stage", "engine.recover replayed=" +
+                                      std::to_string(replayed));
   return engine;
 }
 
@@ -228,6 +236,10 @@ support::Expected<SynthesisResult> Engine::resynthesize() {
 }
 
 support::Expected<SynthesisResult> Engine::synthesize_current() {
+  // Everything this solve emits -- spans, counters, flight events -- is
+  // attributed to its revision, nesting under any session-level scope the
+  // caller (CLI --obs-session, a service tenant) already opened.
+  support::ObsContext obs_scope("solve=" + std::to_string(graph_.revision()));
   support::Status gate = model::check_inputs(graph_, library_);
   if (!gate.ok()) return std::move(gate).with_context("Engine::apply");
   try {

@@ -8,11 +8,13 @@
 
 #include "model/validator.hpp"
 #include "support/fault.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "synth/assemble.hpp"
 #include "synth/candidate_generator.hpp"
 #include "ucp/bnb.hpp"
+#include "ucp/cover_solver.hpp"
 #include "ucp/greedy.hpp"
 
 namespace cdcs::synth {
@@ -154,6 +156,7 @@ support::Expected<CoverOutcome> cover_and_ladder(
     result.cover = session->last_cover;
     session->cover_reuses += 1;
     registry.counter("ucp.cover_reuses").add(1);
+    support::flight_record("stage", "cover reused");
   } else {
     support::ScopedTimer span("cover", "pipeline",
                               &registry.histogram("synth.stage.cover.us"),
@@ -161,6 +164,20 @@ support::Expected<CoverOutcome> cover_and_ladder(
     result.cover = ucp::solve_exact(cover, solver);
     registry.counter("ucp.solves").add(1);
     registry.counter("ucp.nodes_explored").add(result.cover.nodes_explored);
+    support::flight_record(
+        "backend", "cover backend=" + result.cover.backend + " stop=" +
+                       std::string(to_string(result.cover.stop)) +
+                       (result.cover.optimal ? " optimal" : " incumbent"));
+    if (!result.cover.portfolio.empty()) {
+      std::string summary = "race";
+      for (const ucp::PortfolioMember& m : result.cover.portfolio) {
+        summary += ' ';
+        summary += m.backend;
+        summary += '=';
+        summary += to_string(m.outcome);
+      }
+      support::flight_record("portfolio", std::move(summary));
+    }
     if (session != nullptr) {
       session->cover_solves += 1;
       if (reusable) {
@@ -273,6 +290,14 @@ support::Expected<CoverOutcome> cover_and_ladder(
     support::trace_instant("degraded", "pipeline",
                            "{\"stage\":\"" +
                                std::string(to_string(deg.stage)) + "\"}");
+    support::flight_record(
+        "ladder", "degraded to " + std::string(to_string(deg.stage)) +
+                      " stop=" + std::string(to_string(result.cover.stop)) +
+                      ": " + deg.reason);
+    // A degraded exit (stage past exact: incumbent/greedy/point-to-point,
+    // which subsumes deadline expiry and kAborted) is a postmortem trigger.
+    support::maybe_dump_postmortem(
+        "degraded", std::string(to_string(deg.stage)) + ": " + deg.reason);
   }
   }  // ladder span
   return result;
@@ -298,6 +323,9 @@ void assemble_and_validate(const model::ConstraintGraph& cg,
         &registry.counter("synth.stage.validate.wall_us"));
     result.validation = model::validate(*result.implementation, options.policy);
   }
+  support::flight_record(
+      "stage", "assembled cost=" + std::to_string(result.total_cost) +
+                   (result.validation.ok() ? " valid" : " INVALID"));
 }
 
 support::Expected<SynthesisResult> finish_pipeline(

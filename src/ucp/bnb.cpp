@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "support/fault.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 #include "ucp/bnb_core.hpp"
@@ -120,6 +121,9 @@ class Solver {
                              "{\"cost\":" + std::to_string(cost) +
                                  ",\"nodes\":" + std::to_string(nodes_) + "}");
     }
+    support::flight_record("incumbent",
+                           "cost=" + std::to_string(cost) +
+                               " nodes=" + std::to_string(nodes_));
   }
 
   /// Emits the periodic search-progress counter tracks (node rate,

@@ -6,6 +6,22 @@
 
 namespace cdcs::ucp {
 
+std::string_view to_string(CoverStop stop) {
+  switch (stop) {
+    case CoverStop::kCompleted:
+      return "completed";
+    case CoverStop::kNodeBudget:
+      return "node_budget";
+    case CoverStop::kFrontierCap:
+      return "frontier_cap";
+    case CoverStop::kDeadline:
+      return "deadline";
+    case CoverStop::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
 std::size_t CoverProblem::add_column(const std::vector<std::size_t>& rows,
                                      double weight) {
   if (weight < 0.0) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ucp/bitset.hpp"
@@ -76,6 +77,11 @@ enum class CoverStop {
   kDeadline,     ///< wall-clock deadline expired (deadline_expired mirrors)
   kAborted,      ///< injected fault ("ucp.frontier") killed the solve
 };
+
+/// Stable lowercase name for reports, flight-recorder events, and
+/// postmortems ("completed", "node_budget", "frontier_cap", "deadline",
+/// "aborted").
+std::string_view to_string(CoverStop stop);
 
 /// What happened to one backend in a portfolio race (ucp/cover_solver.hpp).
 enum class BackendOutcome {

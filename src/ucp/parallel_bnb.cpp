@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "support/fault.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -264,6 +265,9 @@ CoverSolution run_rounds(const CoverProblem& p, const BnbOptions& opt,
                 "{\"cost\":" + std::to_string(r.cost) +
                     ",\"nodes\":" + std::to_string(nodes) + "}");
           }
+          support::flight_record("incumbent",
+                                 "cost=" + std::to_string(r.cost) +
+                                     " nodes=" + std::to_string(nodes));
         }
         continue;
       }
@@ -380,6 +384,9 @@ struct FreeRunShared {
                                  ",\"nodes\":" + std::to_string(nodes_hint) +
                                  "}");
     }
+    support::flight_record("incumbent",
+                           "cost=" + std::to_string(cost) +
+                               " nodes=" + std::to_string(nodes_hint));
   }
 };
 

@@ -1,0 +1,643 @@
+// Second observability layer (docs/observability.md): scoped contexts,
+// the always-on flight recorder + postmortem artifacts, and the in-process
+// profiler. Four guarantees:
+//
+//   1. ATTRIBUTION. ObsContext paths nest/restore correctly, survive the
+//      thread-pool hop, and are stamped onto trace events and flight
+//      recorder entries at emission time.
+//   2. SCHEMA. Postmortem and profile documents are well-formed JSON even
+//      under hostile scope labels (quotes, newlines, UTF-8), and a forced
+//      fault or degraded exit yields EXACTLY ONE postmortem artifact.
+//   3. DETERMINISM. Scoping + recording are write-only metadata: a scoped,
+//      traced, recorded run is bit-identical to a bare run at 1/2/8
+//      threads.
+//   4. CONCURRENCY. Scope churn, flight recording, and per-scope metric
+//      deltas may race across pool workers; the ObsContextConcurrency and
+//      FlightRecorderConcurrency suites run under TSan in CI.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_checker.hpp"
+
+#include "commlib/standard_libraries.hpp"
+#include "io/report.hpp"
+#include "support/deadline.hpp"
+#include "support/fault.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/metrics.hpp"
+#include "support/obs_context.hpp"
+#include "support/profiler.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+#include "synth/synthesizer.hpp"
+#include "workloads/wan2002.hpp"
+
+namespace cdcs::support {
+namespace {
+
+using testsupport::JsonChecker;
+
+// ---- Scoped contexts -------------------------------------------------------
+
+TEST(ObsContext, NestingBuildsPathsAndRestores) {
+  EXPECT_EQ(current_obs_scope_path(), "");
+  EXPECT_EQ(current_obs_scope(), nullptr);
+  {
+    ObsContext session("session=wan_a");
+    EXPECT_EQ(session.path(), "session=wan_a");
+    EXPECT_EQ(current_obs_scope_path(), "session=wan_a");
+    {
+      ObsContext solve("solve=17");
+      EXPECT_EQ(solve.path(), "session=wan_a/solve=17");
+      EXPECT_EQ(current_obs_scope_path(), "session=wan_a/solve=17");
+      const ObsScopeHandle node = current_obs_scope();
+      ASSERT_NE(node, nullptr);
+      EXPECT_EQ(node->label(), "solve=17");
+      ASSERT_NE(node->parent(), nullptr);
+      EXPECT_EQ(node->parent()->label(), "session=wan_a");
+    }
+    EXPECT_EQ(current_obs_scope_path(), "session=wan_a");
+  }
+  EXPECT_EQ(current_obs_scope_path(), "");
+}
+
+TEST(ObsContext, ScopeIsThreadLocal) {
+  ObsContext outer("main-only");
+  std::string seen = "unset";
+  std::thread t([&] { seen = current_obs_scope_path(); });
+  t.join();
+  EXPECT_EQ(seen, "");  // a fresh thread starts unscoped
+  EXPECT_EQ(current_obs_scope_path(), "main-only");
+}
+
+TEST(ObsContext, GuardInstallsAndRestoresAcrossThreads) {
+  ObsScopeHandle handle;
+  {
+    ObsContext scope("carried");
+    handle = current_obs_scope();
+  }
+  ASSERT_NE(handle, nullptr);  // the handle outlives the frame
+  std::string inside, after;
+  std::thread t([&] {
+    {
+      ObsScopeGuard guard(handle);
+      inside = current_obs_scope_path();
+    }
+    after = current_obs_scope_path();
+  });
+  t.join();
+  EXPECT_EQ(inside, "carried");
+  EXPECT_EQ(after, "");
+}
+
+TEST(ObsContext, StampsTraceEventsAfterSinkCheck) {
+  // Begin/counter/instant events carry the emitter's scope path; End events
+  // deliberately do not (the profiler attributes a span to its Begin).
+  ScopedTraceSession session;
+  {
+    ObsContext scope("session=t");
+    Span span("scoped-span", "test");
+    trace_counter("scoped-counter", 1.0, "test");
+    trace_instant("scoped-instant", "test");
+  }
+  trace_instant("unscoped-instant", "test");
+  session.close();
+
+  const std::vector<TraceEvent> events = session.sink().snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].scope, "session=t");  // B scoped-span
+  EXPECT_EQ(events[1].scope, "session=t");  // C scoped-counter
+  EXPECT_EQ(events[2].scope, "session=t");  // i scoped-instant
+  EXPECT_EQ(events[3].scope, "");           // E (attributed via its B)
+  EXPECT_EQ(events[4].scope, "");           // i unscoped
+
+  const std::ostringstream os = [&] {
+    std::ostringstream o;
+    write_chrome_trace(o, session.sink());
+    return o;
+  }();
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+  EXPECT_NE(os.str().find("\"scope\":\"session=t\""), std::string::npos)
+      << os.str();
+}
+
+TEST(ObsContext, PoolWorkersInheritSubmitterScope) {
+  ScopedTraceSession session;
+  const std::uint32_t main_tid = trace_thread_id();
+  {
+    ObsContext scope("fanout");
+    ThreadPool pool(4);
+    const std::vector<int> out =
+        parallel_map_ordered(&pool, 64, [](std::size_t i) {
+          Span span("work", "test");
+          return static_cast<int>(i);
+        });
+    ASSERT_EQ(out.size(), 64u);
+  }
+  session.close();
+
+  std::size_t scoped_work = 0;
+  for (const TraceEvent& e : session.sink().snapshot()) {
+    if (e.phase == TraceEvent::Phase::kBegin &&
+        std::string(e.name) == "work") {
+      EXPECT_EQ(e.scope, "fanout");
+      EXPECT_NE(e.thread_id, main_tid)
+          << "pool tasks must run on workers, not the submitter";
+      ++scoped_work;
+    }
+  }
+  EXPECT_EQ(scoped_work, 64u);
+}
+
+TEST(ObsContext, PerScopeMetricsDelta) {
+  Counter& counter = MetricsRegistry::global().counter("obs.test.delta");
+  counter.add(5);  // pre-scope noise the delta must exclude
+  ObsContext scope("delta-view", kCaptureMetricsBaseline);
+  counter.add(3);
+  const MetricsSnapshot delta = scope.delta();
+  EXPECT_EQ(delta.counters.at("obs.test.delta"), 3u);
+}
+
+TEST(ObsContext, DefaultConstructorSkipsBaseline) {
+  MetricsRegistry::global().counter("obs.test.nodelta").add(2);
+  ObsContext scope("no-baseline");
+  MetricsRegistry::global().counter("obs.test.nodelta").add(2);
+  // No baseline captured: delta() degrades to an empty view, never a
+  // full-registry dump that would misattribute pre-scope counts.
+  EXPECT_TRUE(scope.delta().counters.empty());
+}
+
+// ---- Flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsKeepingNewestWithContiguousSeq) {
+  FlightRecorder recorder(16);
+  for (int i = 0; i < 40; ++i) {
+    recorder.record("stage", "event " + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.capacity(), 16u);
+  EXPECT_EQ(recorder.total_recorded(), 40u);
+
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest surviving first: seq 24..39, contiguous, timestamps monotone.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 24u + i);
+    if (i > 0) {
+      EXPECT_GE(events[i].timestamp_us, events[i - 1].timestamp_us);
+    }
+  }
+  EXPECT_EQ(events.back().detail, "event 39");
+}
+
+TEST(FlightRecorder, CapacityFloorIsSixteen) {
+  FlightRecorder tiny(1);
+  EXPECT_EQ(tiny.capacity(), 16u);
+}
+
+TEST(FlightRecorder, GlobalRecordCarriesScope) {
+  {
+    ObsContext scope("recorded-scope");
+    flight_record("stage", "obs-test-marker");
+  }
+  const std::vector<FlightEvent> events = FlightRecorder::global().snapshot();
+  ASSERT_FALSE(events.empty());
+  const FlightEvent& last = events.back();
+  EXPECT_STREQ(last.kind, "stage");
+  EXPECT_EQ(last.detail, "obs-test-marker");
+  EXPECT_EQ(last.scope, "recorded-scope");
+}
+
+// ---- Postmortem artifacts --------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Fresh (created, empty) per-test postmortem directory.
+std::string make_postmortem_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "cdcs_pm_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::string> postmortem_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    out.push_back(entry.path().string());
+  }
+  return out;
+}
+
+/// Disarms automatic dumps when a test exits, however it exits.
+struct PostmortemDisarmer {
+  ~PostmortemDisarmer() { set_postmortem_dir(""); }
+};
+
+TEST(Postmortem, DumpSchemaIsValidWithoutSink) {
+  flight_record("stage", "before-dump");
+  std::ostringstream os;
+  {
+    ObsContext scope("pm-scope");
+    dump_postmortem(os, "test", "manual dump");
+  }
+  const std::string doc = os.str();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"postmortem\""), std::string::npos);
+  EXPECT_NE(doc.find("\"trigger\": \"test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"scope\": \"pm-scope\""), std::string::npos);
+  EXPECT_NE(doc.find("\"flight_recorder\""), std::string::npos);
+  EXPECT_NE(doc.find("before-dump"), std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+  // No sink installed: the trace section is an explicit null, not absent.
+  EXPECT_NE(doc.find("\"trace\": null"), std::string::npos);
+}
+
+TEST(Postmortem, DumpEmbedsInstalledTraceRing) {
+  ScopedTraceSession session;
+  { Span span("traced-before-dump", "test"); }
+  std::ostringstream os;
+  dump_postmortem(os, "test", "with trace");
+  session.close();
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(os.str().find("traced-before-dump"), std::string::npos);
+}
+
+TEST(Postmortem, OneShotLatchAndReset) {
+  PostmortemDisarmer disarm;
+  const std::string dir = make_postmortem_dir("latch");
+  set_postmortem_dir(dir);
+
+  Counter& suppressed =
+      MetricsRegistry::global().counter("postmortem.suppressed");
+  const std::uint64_t suppressed_before = suppressed.value();
+
+  const std::string first = maybe_dump_postmortem("fault", "first");
+  ASSERT_FALSE(first.empty());
+  EXPECT_TRUE(JsonChecker(read_file(first)).valid());
+
+  // Latched: cascading triggers are suppressed, counted, and write nothing.
+  EXPECT_EQ(maybe_dump_postmortem("degraded", "second"), "");
+  EXPECT_EQ(suppressed.value(), suppressed_before + 1);
+  EXPECT_EQ(postmortem_files(dir).size(), 1u);
+
+  // Re-opening the latch dumps again, to a DISTINCT file.
+  reset_postmortem_latch();
+  const std::string third = maybe_dump_postmortem("fault", "third");
+  ASSERT_FALSE(third.empty());
+  EXPECT_NE(third, first);
+  EXPECT_EQ(postmortem_files(dir).size(), 2u);
+
+  set_postmortem_dir("");
+  EXPECT_EQ(maybe_dump_postmortem("fault", "disarmed"), "");
+}
+
+TEST(Postmortem, ForcedFaultYieldsExactlyOneArtifact) {
+  PostmortemDisarmer disarm;
+  const std::string dir = make_postmortem_dir("fault");
+  set_postmortem_dir(dir);
+
+  synth::SynthesisOptions opts;
+  opts.fault_injection.injector = std::make_shared<FaultInjector>(
+      FaultPlan::parse("ucp.frontier@1").value());
+  const auto result =
+      synth::synthesize(workloads::wan2002(), commlib::wan_library(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result->degradation.degraded());
+
+  // The fault fire dumps; the degraded exit that follows is suppressed by
+  // the latch -- exactly one artifact, and it is valid, attributed JSON.
+  const std::vector<std::string> files = postmortem_files(dir);
+  ASSERT_EQ(files.size(), 1u);
+  const std::string doc = read_file(files[0]);
+  EXPECT_TRUE(JsonChecker(doc).valid()) << files[0];
+  EXPECT_NE(doc.find("\"trigger\": \"fault\""), std::string::npos);
+  EXPECT_NE(doc.find("ucp.frontier"), std::string::npos);
+}
+
+TEST(Postmortem, DegradedExitYieldsExactlyOneArtifact) {
+  PostmortemDisarmer disarm;
+  const std::string dir = make_postmortem_dir("degraded");
+  set_postmortem_dir(dir);
+
+  synth::SynthesisOptions opts;
+  opts.deadline = Deadline::expire_after_checks(0);
+  const auto result =
+      synth::synthesize(workloads::wan2002(), commlib::wan_library(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_TRUE(result->degradation.degraded());
+
+  const std::vector<std::string> files = postmortem_files(dir);
+  ASSERT_EQ(files.size(), 1u);
+  const std::string doc = read_file(files[0]);
+  EXPECT_TRUE(JsonChecker(doc).valid()) << files[0];
+  EXPECT_NE(doc.find("\"trigger\": \"degraded\""), std::string::npos);
+}
+
+// ---- In-process profiler ---------------------------------------------------
+
+TraceEvent make_event(const char* name, TraceEvent::Phase phase,
+                      std::int64_t ts, std::uint32_t tid = 0,
+                      std::string scope = "") {
+  TraceEvent e;
+  e.name = name;
+  e.phase = phase;
+  e.timestamp_us = ts;
+  e.thread_id = tid;
+  e.scope = std::move(scope);
+  return e;
+}
+
+std::size_t expected_bucket(double us) {
+  const std::vector<double>& bounds = profile_bucket_bounds();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (us <= bounds[i]) return i;
+  }
+  return bounds.size();
+}
+
+TEST(Profiler, AggregatesCountTotalSelfMax) {
+  using Phase = TraceEvent::Phase;
+  std::vector<TraceEvent> events;
+  events.push_back(make_event("outer", Phase::kBegin, 0, 0, "s"));
+  events.push_back(make_event("inner", Phase::kBegin, 10, 0, "s"));
+  events.push_back(make_event("inner", Phase::kEnd, 30, 0));
+  events.push_back(make_event("outer", Phase::kEnd, 50, 0));
+  events.push_back(make_event("inner", Phase::kBegin, 60, 0, "s"));
+  events.push_back(make_event("inner", Phase::kEnd, 100, 0));
+
+  const std::vector<ProfileEntry> profile = build_profile(events);
+  ASSERT_EQ(profile.size(), 2u);  // (scope, name) order: inner before outer
+  const ProfileEntry& inner = profile[0];
+  EXPECT_EQ(inner.scope, "s");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.count, 2u);
+  EXPECT_EQ(inner.total_us, 20 + 40);
+  EXPECT_EQ(inner.self_us, 20 + 40);  // leaf: inclusive == exclusive
+  EXPECT_EQ(inner.max_us, 40);
+  const ProfileEntry& outer = profile[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(outer.total_us, 50);
+  EXPECT_EQ(outer.self_us, 50 - 20);  // minus the nested inner instance
+  EXPECT_EQ(outer.max_us, 50);
+
+  ASSERT_EQ(inner.buckets.size(), profile_bucket_bounds().size() + 1);
+  // 20us and 40us share a power-of-4 latency bucket (16 < v <= 64).
+  ASSERT_EQ(expected_bucket(20), expected_bucket(40));
+  EXPECT_EQ(inner.buckets[expected_bucket(20)], 2u);
+  EXPECT_EQ(outer.buckets[expected_bucket(50)], 1u);
+}
+
+TEST(Profiler, RepairsOrphansAndOpenSpansLikeTheExporter) {
+  using Phase = TraceEvent::Phase;
+  std::vector<TraceEvent> events;
+  // Orphan End (its Begin was overwritten by the ring): dropped.
+  events.push_back(make_event("lost", Phase::kEnd, 5, 0));
+  // Still-open span: closed synthetically at the stream's last timestamp.
+  events.push_back(make_event("open", Phase::kBegin, 100, 0, "s"));
+  events.push_back(make_event("mark", Phase::kInstant, 200, 0));
+
+  const std::vector<ProfileEntry> profile = build_profile(events);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_EQ(profile[0].name, "open");
+  EXPECT_EQ(profile[0].count, 1u);
+  EXPECT_EQ(profile[0].total_us, 100);  // 200 - 100
+}
+
+TEST(Profiler, SeparatesScopesAndThreads) {
+  using Phase = TraceEvent::Phase;
+  std::vector<TraceEvent> events;
+  // Same span name under two scopes and two threads: scopes aggregate
+  // separately, threads replay on independent stacks.
+  events.push_back(make_event("solve", Phase::kBegin, 0, 0, "a"));
+  events.push_back(make_event("solve", Phase::kBegin, 0, 1, "b"));
+  events.push_back(make_event("solve", Phase::kEnd, 10, 0));
+  events.push_back(make_event("solve", Phase::kEnd, 30, 1));
+
+  const std::vector<ProfileEntry> profile = build_profile(events);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile[0].scope, "a");
+  EXPECT_EQ(profile[0].total_us, 10);
+  EXPECT_EQ(profile[1].scope, "b");
+  EXPECT_EQ(profile[1].total_us, 30);
+}
+
+TEST(Profiler, JsonExportIsValid) {
+  ScopedTraceSession session;
+  {
+    ObsContext scope("profile-json");
+    Span outer("outer", "test");
+    { Span inner("inner", "test"); }
+  }
+  session.close();
+  std::ostringstream os;
+  write_profile_json(os, build_profile(session.sink()));
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+  EXPECT_NE(os.str().find("\"buckets_us\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"scope\": \"profile-json\""), std::string::npos);
+}
+
+TEST(Profiler, CountsAreDeterministicAcrossSerialRuns) {
+  // Two identical serial synthesize runs must profile to the same
+  // (scope, name, count) rows -- what bench_perf_summary's `profile`
+  // section pins and tools/check_bench_regression.py diffs.
+  auto profile_counts = [] {
+    ScopedTraceSession session;
+    ObsContext scope("bench=wan_profile");
+    (void)synth::synthesize(workloads::wan2002(), commlib::wan_library())
+        .value();
+    std::vector<std::pair<std::string, std::uint64_t>> rows;
+    for (const ProfileEntry& e : build_profile(session.sink())) {
+      rows.emplace_back(e.scope + "\x1f" + e.name, e.count);
+    }
+    return rows;
+  };
+  const auto first = profile_counts();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, profile_counts());
+}
+
+TEST(Profiler, DescribeProfileRanksByTotalTime) {
+  std::vector<ProfileEntry> entries(2);
+  entries[0].scope = "s";
+  entries[0].name = "cheap";
+  entries[0].count = 4;
+  entries[0].total_us = 1000;
+  entries[0].self_us = 1000;
+  entries[0].max_us = 400;
+  entries[1].scope = "s";
+  entries[1].name = "hot";
+  entries[1].count = 2;
+  entries[1].total_us = 90000;
+  entries[1].self_us = 80000;
+  entries[1].max_us = 60000;
+
+  const std::string top1 = io::describe_profile(entries, 1);
+  EXPECT_NE(top1.find("hot"), std::string::npos) << top1;
+  EXPECT_EQ(top1.find("cheap"), std::string::npos) << top1;
+  const std::string all = io::describe_profile(entries);
+  EXPECT_LT(all.find("hot"), all.find("cheap")) << all;
+}
+
+// ---- Hostile scope labels through every exporter ---------------------------
+
+TEST(ObsEscaping, HostileScopeLabelsExportValidJson) {
+  const std::string hostile =
+      "evil=\"quoted\"\\back\nnew\tline\x01 utf8=日本語";
+  ScopedTraceSession session;
+  {
+    ObsContext scope(hostile);
+    Span span("hostile-span", "test");
+    trace_counter("hostile-counter", 1.0, "test");
+    trace_instant("hostile-instant", "test");
+    flight_record("stage", "under a hostile scope");
+  }
+  session.close();
+
+  std::ostringstream trace_os;
+  write_chrome_trace(trace_os, session.sink());
+  EXPECT_TRUE(JsonChecker(trace_os.str()).valid()) << trace_os.str();
+
+  std::ostringstream profile_os;
+  write_profile_json(profile_os, build_profile(session.sink()));
+  EXPECT_TRUE(JsonChecker(profile_os.str()).valid()) << profile_os.str();
+
+  std::ostringstream pm_os;
+  dump_postmortem(pm_os, "test", hostile);
+  EXPECT_TRUE(JsonChecker(pm_os.str()).valid()) << pm_os.str();
+}
+
+TEST(ObsEscaping, HostileMetricNamesExportValidJson) {
+  MetricsRegistry registry;
+  registry.counter("bad\"name\nwith\\escapes").add(1);
+  std::ostringstream os;
+  write_metrics_json(os, registry.snapshot());
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+// ---- Determinism: scoped + recorded == bare --------------------------------
+
+std::string result_fingerprint(const synth::SynthesisResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const synth::Candidate& c : r.candidates()) {
+    os << '[';
+    for (model::ArcId a : c.arcs) os << a.value << ',';
+    os << "] " << c.cost << '\n';
+  }
+  os << "chosen:";
+  for (std::size_t j : r.cover.chosen) os << ' ' << j;
+  os << " total=" << r.total_cost
+     << " nodes=" << r.cover.nodes_explored;
+  return os.str();
+}
+
+TEST(ObsDeterminism, ScopedRecordedRunsBitIdentical) {
+  const model::ConstraintGraph cg = workloads::wan2002();
+  const commlib::Library lib = commlib::wan_library();
+  for (int threads : {1, 2, 8}) {
+    synth::SynthesisOptions options;
+    options.threads = threads;
+
+    const auto bare = synth::synthesize(cg, lib, options);
+    ASSERT_TRUE(bare.ok()) << bare.status().to_string();
+
+    std::string scoped_fp;
+    {
+      ScopedTraceSession session;
+      set_timing_enabled(true);
+      ObsContext run("session=determinism", kCaptureMetricsBaseline);
+      ObsContext inner("solve=0");
+      const auto scoped = synth::synthesize(cg, lib, options);
+      set_timing_enabled(false);
+      ASSERT_TRUE(scoped.ok()) << scoped.status().to_string();
+      scoped_fp = result_fingerprint(*scoped);
+    }
+    EXPECT_EQ(scoped_fp, result_fingerprint(*bare)) << "threads=" << threads;
+  }
+}
+
+// ---- Concurrency (TSan targets) --------------------------------------------
+
+TEST(ObsContextConcurrency, ScopeChurnAcrossPool) {
+  ScopedTraceSession session;
+  {
+    ThreadPool pool(8);
+    ObsContext outer("churn");
+    parallel_map_ordered(&pool, 128, [](std::size_t i) {
+      ObsContext task_scope("task=" + std::to_string(i));
+      Span span("churn-work", "test");
+      trace_counter("churn-progress", static_cast<double>(i), "test");
+      {
+        ObsContext nested("inner");
+        trace_instant("churn-mark", "test");
+      }
+      flight_record("stage", "churn " + std::to_string(i));
+      return 0;
+    });
+  }
+  session.close();
+  std::ostringstream os;
+  write_chrome_trace(os, session.sink());
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+TEST(ObsContextConcurrency, DeltaSinceUnderConcurrentScopeChurn) {
+  Counter& counter = MetricsRegistry::global().counter("obs.churn.count");
+  ObsContext base("delta-churn", kCaptureMetricsBaseline);
+  {
+    ThreadPool pool(8);
+    std::vector<std::future<void>> reads;
+    for (int r = 0; r < 8; ++r) {
+      reads.push_back(pool.submit([&base] {
+        for (int k = 0; k < 50; ++k) {
+          (void)base.delta();  // snapshot+delta racing the writers below
+        }
+      }));
+    }
+    parallel_map_ordered(&pool, 64, [&counter](std::size_t i) {
+      ObsContext scope("writer=" + std::to_string(i));
+      for (int k = 0; k < 100; ++k) counter.add(1);
+      return 0;
+    });
+    for (auto& f : reads) f.get();
+  }
+  EXPECT_EQ(base.delta().counters.at("obs.churn.count"), 64u * 100u);
+}
+
+TEST(FlightRecorderConcurrency, ParallelRecordsKeepSeqOrdered) {
+  FlightRecorder recorder(64);
+  {
+    ThreadPool pool(8);
+    parallel_map_ordered(&pool, 8, [&recorder](std::size_t t) {
+      for (int i = 0; i < 500; ++i) {
+        recorder.record("stage", "t" + std::to_string(t));
+      }
+      return 0;
+    });
+  }
+  EXPECT_EQ(recorder.total_recorded(), 8u * 500u);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 64u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1)
+        << "ring order diverged from emission order";
+  }
+}
+
+}  // namespace
+}  // namespace cdcs::support

@@ -21,6 +21,8 @@
 
 #include <gtest/gtest.h>
 
+#include "json_checker.hpp"
+
 #include "commlib/standard_libraries.hpp"
 #include "io/edit_script.hpp"
 #include "support/metrics.hpp"
@@ -36,144 +38,9 @@ namespace cdcs::support {
 namespace {
 
 // ---- Minimal JSON syntax checker ------------------------------------------
-// The repo carries no JSON dependency, so the schema tests validate the
-// exporters with a strict recursive-descent syntax pass (structure only, no
-// DOM). Any deviation from RFC 8259 grammar fails the parse.
+// Shared with test_obs_context.cpp; see json_checker.hpp.
 
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : s_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return string();
-      case 't':
-        return literal("true");
-      case 'f':
-        return literal("false");
-      case 'n':
-        return literal("null");
-      default:
-        return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') return ++pos_, true;
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (peek() == '}') return ++pos_, true;
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') return ++pos_, true;
-    for (;;) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (peek() == ']') return ++pos_, true;
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (static_cast<unsigned char>(s_[pos_]) < 0x20) return false;
-      if (s_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        const char e = s_[pos_];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= s_.size() || !std::isxdigit(
-                                         static_cast<unsigned char>(s_[pos_])))
-              return false;
-          }
-        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    if (peek() == '.') {
-      ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    return pos_ > start && std::isdigit(static_cast<unsigned char>(
-                               s_[pos_ - 1]));
-  }
-
-  bool literal(const char* lit) {
-    for (; *lit != '\0'; ++lit, ++pos_) {
-      if (pos_ >= s_.size() || s_[pos_] != *lit) return false;
-    }
-    return true;
-  }
-
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_{0};
-};
+using testsupport::JsonChecker;
 
 /// Chrome-trace schema invariants over the EXPORTED event stream: balanced
 /// B/E per thread with matching names, per-thread non-decreasing

@@ -3,6 +3,7 @@
 //
 //   chaos_driver [--iterations N] [--seed S] [--threads T]
 //                [--fault-plan SPEC] [--journal-dir DIR]
+//                [--postmortem-dir DIR]
 //
 // Each iteration builds a journaled Engine session on the WAN instance,
 // applies a few seeded random edit batches under an armed FaultPlan
@@ -30,6 +31,7 @@
 #include "io/text_format.hpp"
 #include "model/delta.hpp"
 #include "support/fault.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
 #include "synth/engine.hpp"
 #include "ucp/cover_solver.hpp"
@@ -47,12 +49,14 @@ struct Args {
   int threads = 2;
   std::string fault_plan;  // empty = rotate over all registered sites
   std::string journal_dir = "/tmp";
+  std::string postmortem_dir;  // empty = no postmortem dumps
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--iterations N] [--seed S] [--threads T]"
-               " [--fault-plan SPEC] [--journal-dir DIR]\n"
+               " [--fault-plan SPEC] [--journal-dir DIR]"
+               " [--postmortem-dir DIR]\n"
                "fault-plan SPEC: 'site@n | site%k | site~p' rules joined"
                " with ';', optional 'seed=N' (docs/robustness.md)\n";
   return 2;
@@ -74,6 +78,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.fault_plan = v;
     } else if (flag == "--journal-dir") {
       args.journal_dir = v;
+    } else if (flag == "--postmortem-dir") {
+      args.postmortem_dir = v;
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       return false;
@@ -169,9 +175,16 @@ int main(int argc, char** argv) {
   std::vector<std::string> backends = ucp::registered_cover_solver_names();
   backends.push_back("portfolio");
 
+  if (!args.postmortem_dir.empty()) {
+    support::set_postmortem_dir(args.postmortem_dir);
+  }
+
   int failures = 0;
   int successes = 0;
   for (int i = 0; i < args.iterations; ++i) {
+    // One postmortem per iteration at most: each iteration is its own
+    // experiment, and the monotonic dump sequence keeps filenames distinct.
+    support::reset_postmortem_latch();
     const std::string spec = plan_for_iteration(args, i);
     const std::string journal =
         args.journal_dir + "/chaos_" + std::to_string(i) + ".journal";
@@ -265,6 +278,10 @@ int main(int argc, char** argv) {
             << support::MetricsRegistry::global()
                    .counter("fault.fires")
                    .value()
-            << " fault fire(s)\n";
+            << " fault fire(s), "
+            << support::MetricsRegistry::global()
+                   .counter("postmortem.dumps")
+                   .value()
+            << " postmortem(s)\n";
   return 0;
 }

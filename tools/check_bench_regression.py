@@ -18,6 +18,10 @@ and fails (exit 1) on:
     exact-match canaries for the fixed bench workload, total UCP nodes
     must never grow, and the whole-run pricing-cache hit rate must not
     drop;
+  * drift in the "profile" section's per-(scope, span-name) event COUNTS:
+    the section is built from one scoped serial synthesize, so the set of
+    (scope, name) rows and each row's count are machine-independent; the
+    *_us timings and latency buckets are machine noise and are ignored;
   * drift in the "partitioned_scaling" section: the 1k-arc geo-WAN
     generator fingerprint, cluster/boundary shape, and stitched cost are
     machine-independent and must match exactly; the optimality gap must
@@ -191,6 +195,38 @@ def main():
                         f"metrics.{key} = {e_m[key]} in the bench run "
                         "(fault injection / journaling must be off)"
                     )
+
+    # In-process profiler over one scoped serial synthesize. Only the
+    # (scope, name) -> count mapping is compared: span counts are exact for
+    # the fixed serial workload, while every *_us field and the latency
+    # buckets depend on machine speed and are ignored.
+    b_prof = base.get("profile")
+    e_prof = fresh.get("profile")
+    if b_prof is not None:
+        if e_prof is None:
+            errors.append("profile section missing from fresh run")
+        else:
+            b_counts = {(e["scope"], e["name"]): e["count"]
+                        for e in b_prof.get("entries", [])}
+            e_counts = {(e["scope"], e["name"]): e["count"]
+                        for e in e_prof.get("entries", [])}
+            for key, count in sorted(b_counts.items()):
+                if key not in e_counts:
+                    errors.append(
+                        f"profile row {key} missing from fresh run "
+                        "(instrumentation site disappeared)"
+                    )
+                elif e_counts[key] != count:
+                    errors.append(
+                        f"profile row {key} count changed {count} -> "
+                        f"{e_counts[key]} (fixed serial workload: span "
+                        "counts are exact)"
+                    )
+            for key in sorted(set(e_counts) - set(b_counts)):
+                errors.append(
+                    f"profile row {key} appeared in the fresh run only "
+                    "(new instrumentation site: refresh the baseline)"
+                )
 
     # Partitioned-synthesis scaling gate. Costs here are stitched sums of
     # exact per-cluster covers on a fingerprint-pinned generator output, so
